@@ -1,0 +1,35 @@
+// Ablation of CARBON's competition size (DESIGN.md §5.3): each heuristic's
+// fitness is its mean %-gap over K pricings sampled from the prey. K = 1 is
+// cheap but noisy (a heuristic can win by luck on one easy pricing); large K
+// burns lower-level budget on evaluation instead of search. This bench
+// sweeps K at a fixed total LL budget.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "carbon/cover/generator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace carbon;
+  const common::CliArgs args(argc, argv);
+  core::ExperimentConfig cfg = bench::experiment_config_from_cli(args);
+  const std::size_t cls = static_cast<std::size_t>(args.get_int("class", 4));
+  const bcpop::Instance inst = bcpop::make_paper_bcpop(cls);
+
+  std::printf("== Ablation: heuristic competition size K on %zux%zu "
+              "(runs=%zu, LL budget=%lld) ==\n\n",
+              inst.num_bundles(), inst.num_services(), cfg.runs,
+              cfg.ll_eval_budget);
+  std::printf("%6s %12s %12s %14s\n", "K", "%-gap", "gap stddev",
+              "UL objective");
+
+  for (const std::size_t k : {1UL, 2UL, 4UL, 8UL, 16UL}) {
+    cfg.heuristic_sample_size = k;
+    const auto cell = core::run_cell(inst, core::Algorithm::kCarbon, cfg);
+    std::printf("%6zu %12.3f %12.3f %14.2f\n", k, cell.gap.mean,
+                cell.gap.stddev, cell.ul_objective.mean);
+  }
+  std::printf("\n(moderate K is expected to win: K=1 selects lucky\n"
+              " heuristics, very large K starves the evolutionary search)\n");
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Shared CLI handling for the table/figure benchmark harnesses.
+//
+// All harnesses accept:
+//   --runs R        replications per cell          (default 3; paper: 30)
+//   --ul-budget U   UL fitness evaluations         (default 400; paper: 50000)
+//   --ll-budget L   LL fitness evaluations         (default 1200; paper: 50000)
+//   --pop P         population size, both levels   (default 30; paper: 100)
+//   --seed S        base RNG seed
+//   --full          shorthand for the paper-scale configuration (slow!)
+#pragma once
+
+#include "carbon/common/cli.hpp"
+#include "carbon/core/experiment.hpp"
+
+namespace carbon::bench {
+
+inline core::ExperimentConfig experiment_config_from_cli(
+    const common::CliArgs& args) {
+  core::ExperimentConfig cfg;
+  if (args.get_bool("full")) {
+    cfg = core::ExperimentConfig::paper_scale();
+  }
+  cfg.runs = static_cast<std::size_t>(
+      args.get_int("runs", static_cast<long long>(cfg.runs)));
+  cfg.ul_eval_budget = args.get_int("ul-budget", cfg.ul_eval_budget);
+  cfg.ll_eval_budget = args.get_int("ll-budget", cfg.ll_eval_budget);
+  cfg.population_size = static_cast<std::size_t>(
+      args.get_int("pop", static_cast<long long>(cfg.population_size)));
+  cfg.archive_size = cfg.population_size;
+  cfg.base_seed = static_cast<std::uint64_t>(
+      args.get_int("seed", static_cast<long long>(cfg.base_seed)));
+  return cfg;
+}
+
+}  // namespace carbon::bench

@@ -1,0 +1,57 @@
+// Extension bench (paper future work): how CARBON scales with the number of
+// followers. For K = 1, 2, 4, 8 customers on the same market, runs CARBON
+// and reports total revenue, aggregate %-gap and wall time. The aggregate
+// gap should stay small as K grows — one evolved heuristic models all
+// customers — while revenue grows roughly linearly with K.
+
+#include <cstdio>
+
+#include "carbon/bcpop/multi_follower.hpp"
+#include "carbon/common/cli.hpp"
+#include "carbon/common/stopwatch.hpp"
+#include "carbon/core/carbon_solver.hpp"
+#include "carbon/cover/generator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace carbon;
+  const common::CliArgs args(argc, argv);
+  const auto ll_budget = args.get_int("ll-budget", 4'000);
+  const auto ul_budget = args.get_int("ul-budget", 400);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 5));
+
+  std::printf("== Extension: CARBON on multi-follower markets "
+              "(UL budget=%lld, LL budget=%lld) ==\n\n",
+              ul_budget, ll_budget);
+  std::printf("%10s %14s %14s %12s %10s\n", "followers", "revenue F",
+              "rev/follower", "%-gap", "seconds");
+
+  for (const std::size_t k : {1UL, 2UL, 4UL, 8UL}) {
+    cover::GeneratorConfig gen;
+    gen.num_bundles = 100;
+    gen.num_services = 5;
+    gen.seed = seed;
+    bcpop::Instance market(cover::generate(gen), 10);
+    const auto problem = bcpop::make_multi_follower(std::move(market), k,
+                                                    seed);
+    bcpop::MultiFollowerEvaluator eval(problem);
+
+    core::CarbonConfig cfg;
+    cfg.ul_population_size = 30;
+    cfg.gp_population_size = 30;
+    cfg.ul_eval_budget = ul_budget;
+    cfg.ll_eval_budget = ll_budget;
+    cfg.heuristic_sample_size = 3;
+    cfg.seed = seed;
+
+    common::Stopwatch sw;
+    const core::CarbonResult r = core::CarbonSolver(eval, cfg).run();
+    std::printf("%10zu %14.2f %14.2f %12.3f %10.2f\n", k,
+                r.best_ul_objective,
+                r.best_ul_objective / static_cast<double>(k),
+                r.best_evaluation.gap_percent, sw.seconds());
+  }
+  std::printf("\n(aggregate gap staying small as K grows shows one evolved\n"
+              " heuristic modelling all followers — the property that lets\n"
+              " the competitive scheme extend beyond one follower)\n");
+  return 0;
+}

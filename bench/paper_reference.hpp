@@ -1,0 +1,48 @@
+// The numbers reported by the paper (Tables III and IV), used to print
+// side-by-side comparisons. Our substrate is a synthetic reproduction of the
+// (unavailable) modified OR-library instances, so absolute values are not
+// expected to match — the ordering and rough magnitudes are.
+#pragma once
+
+#include <array>
+
+namespace carbon::bench {
+
+struct PaperRow {
+  int variables;
+  int constraints;
+  double carbon;
+  double cobra;
+};
+
+/// Table III: best %-gap to LL optimality.
+inline constexpr std::array<PaperRow, 9> kPaperGap = {{
+    {100, 5, 1.13, 9.71},
+    {100, 10, 1.87, 12.33},
+    {100, 30, 3.13, 23.31},
+    {250, 5, 0.37, 25.19},
+    {250, 10, 0.76, 26.08},
+    {250, 30, 1.62, 27.75},
+    {500, 5, 0.15, 30.07},
+    {500, 10, 0.34, 34.68},
+    {500, 30, 0.74, 35.19},
+}};
+inline constexpr double kPaperGapAvgCarbon = 1.12;
+inline constexpr double kPaperGapAvgCobra = 24.92;
+
+/// Table IV: upper-level objective values.
+inline constexpr std::array<PaperRow, 9> kPaperUl = {{
+    {100, 5, 10964.07, 14710.78},
+    {100, 10, 8976.39, 15226.79},
+    {100, 30, 8669.49, 14762.83},
+    {250, 5, 25750.66, 35479.64},
+    {250, 10, 26897.33, 38283.71},
+    {250, 30, 24338.39, 39368.26},
+    {500, 5, 50177.28, 73529.34},
+    {500, 10, 49441.39, 75041.02},
+    {500, 30, 48904.15, 75386.02},
+}};
+inline constexpr double kPaperUlAvgCarbon = 28235.46;
+inline constexpr double kPaperUlAvgCobra = 42420.93;
+
+}  // namespace carbon::bench

@@ -1,0 +1,55 @@
+// Reproduces Table III of the paper: best %-gap to lower-level optimality,
+// CARBON vs COBRA, over the 9 instance classes
+// (n in {100,250,500} bundles x m in {5,10,30} services).
+//
+// Expected shape (paper): CARBON's gap is an order of magnitude smaller than
+// COBRA's on every class, and COBRA's gap grows with instance size while
+// CARBON's shrinks. Run with --full for the paper-scale budget.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "carbon/common/statistics.hpp"
+#include "carbon/cover/generator.hpp"
+#include "paper_reference.hpp"
+
+int main(int argc, char** argv) {
+  using namespace carbon;
+  const common::CliArgs args(argc, argv);
+  const core::ExperimentConfig cfg = bench::experiment_config_from_cli(args);
+
+  std::printf("== Table III: %%-gap to LL optimality "
+              "(runs=%zu, UL budget=%lld, LL budget=%lld) ==\n\n",
+              cfg.runs, cfg.ul_eval_budget, cfg.ll_eval_budget);
+  std::printf("%6s %6s | %10s %10s | %10s %10s | %8s\n", "n", "m",
+              "CARBON", "COBRA", "paper-CAR", "paper-COB", "p-value");
+
+  double sum_carbon = 0.0;
+  double sum_cobra = 0.0;
+  for (std::size_t cls = 0; cls < cover::paper_classes().size(); ++cls) {
+    const bcpop::Instance inst = bcpop::make_paper_bcpop(cls);
+    const core::CellResult carbon =
+        core::run_cell(inst, core::Algorithm::kCarbon, cfg);
+    const core::CellResult cobra =
+        core::run_cell(inst, core::Algorithm::kCobra, cfg);
+
+    std::vector<double> gc;
+    std::vector<double> go;
+    for (const auto& r : carbon.runs) gc.push_back(r.best_gap);
+    for (const auto& r : cobra.runs) go.push_back(r.best_gap);
+    const double p = common::rank_sum_test(gc, go).p_value;
+
+    const auto& ref = bench::kPaperGap[cls];
+    std::printf("%6zu %6zu | %10.2f %10.2f | %10.2f %10.2f | %8.4f\n",
+                inst.num_bundles(), inst.num_services(), carbon.gap.mean,
+                cobra.gap.mean, ref.carbon, ref.cobra, p);
+    sum_carbon += carbon.gap.mean;
+    sum_cobra += cobra.gap.mean;
+  }
+  std::printf("%6s %6s | %10.2f %10.2f | %10.2f %10.2f |\n", "avg", "",
+              sum_carbon / 9.0, sum_cobra / 9.0, bench::kPaperGapAvgCarbon,
+              bench::kPaperGapAvgCobra);
+  std::printf("\nShape check: CARBON < COBRA on every row = %s\n",
+              sum_carbon < sum_cobra ? "consistent with the paper" : "VIOLATED");
+  return 0;
+}

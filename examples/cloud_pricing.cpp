@@ -1,0 +1,78 @@
+// Full Bi-level Cloud Pricing scenario: CARBON vs COBRA vs nested GA,
+// head-to-head on one configurable market.
+//
+// Usage:
+//   cloud_pricing [--bundles M] [--services N] [--owned L] [--tightness T]
+//                 [--runs R] [--ul-budget U] [--ll-budget L] [--seed S]
+//
+// Prints one row per algorithm with the best leader revenue, the best
+// lower-level %-gap, and the Wilcoxon rank-sum p-value of the gap comparison
+// against CARBON. Demonstrates the paper's central claim: a leader using a
+// sloppy follower model (COBRA) believes in revenue it will never collect.
+
+#include <cstdio>
+#include <vector>
+
+#include "carbon/common/cli.hpp"
+#include "carbon/common/statistics.hpp"
+#include "carbon/core/experiment.hpp"
+#include "carbon/cover/generator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace carbon;
+  const common::CliArgs args(argc, argv);
+
+  cover::GeneratorConfig gen;
+  gen.num_bundles = static_cast<std::size_t>(args.get_int("bundles", 150));
+  gen.num_services = static_cast<std::size_t>(args.get_int("services", 8));
+  gen.tightness = args.get_double("tightness", 0.25);
+  gen.seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
+  const auto owned = static_cast<std::size_t>(
+      args.get_int("owned", static_cast<long long>(gen.num_bundles / 10)));
+
+  const bcpop::Instance market(cover::generate(gen), owned);
+  std::printf("Market: %zu bundles x %zu services, leader owns %zu, "
+              "mean competitor price %.1f\n\n",
+              market.num_bundles(), market.num_services(), market.num_owned(),
+              market.mean_competitor_price());
+
+  core::ExperimentConfig cfg;
+  cfg.runs = static_cast<std::size_t>(args.get_int("runs", 5));
+  cfg.ul_eval_budget = args.get_int("ul-budget", 1'000);
+  cfg.ll_eval_budget = args.get_int("ll-budget", 3'000);
+  cfg.base_seed = static_cast<std::uint64_t>(args.get_int("seed", 7)) * 977;
+
+  const std::vector<core::Algorithm> algos = {
+      core::Algorithm::kCarbon,
+      core::Algorithm::kCobra,
+      core::Algorithm::kNestedGa,
+  };
+
+  std::vector<core::CellResult> cells;
+  for (core::Algorithm a : algos) {
+    cells.push_back(core::run_cell(market, a, cfg));
+  }
+
+  std::vector<double> carbon_gaps;
+  for (const auto& r : cells[0].runs) carbon_gaps.push_back(r.best_gap);
+
+  std::printf("%-12s %14s %14s %12s %12s %10s\n", "algorithm", "F (revenue)",
+              "F stddev", "%-gap", "gap stddev", "p vs CARBON");
+  for (const core::CellResult& cell : cells) {
+    std::vector<double> gaps;
+    for (const auto& r : cell.runs) gaps.push_back(r.best_gap);
+    const double p =
+        cell.algorithm == core::Algorithm::kCarbon
+            ? 1.0
+            : common::rank_sum_test(carbon_gaps, gaps).p_value;
+    std::printf("%-12s %14.2f %14.2f %12.3f %12.3f %10.4f\n",
+                core::to_string(cell.algorithm), cell.ul_objective.mean,
+                cell.ul_objective.stddev, cell.gap.mean, cell.gap.stddev, p);
+  }
+
+  std::printf(
+      "\nReading the table: COBRA's larger %%-gap means its customer model\n"
+      "overpays, so its reported revenue is an over-relaxation (Eq. 3 of\n"
+      "the paper) — CARBON's smaller revenue is the realistic one.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Toll setting on a road network — the application domain the paper's
+// related-work section opens with. The leader prices a subset of arcs; each
+// commodity of travellers then takes its cheapest path (the exact rational
+// reaction, computed by Dijkstra). Sweeping a single toll exposes the
+// classic bi-level revenue cliff: revenue grows linearly with the toll until
+// the rational follower detours, then drops to zero instantly.
+//
+// Usage: toll_setting [--rows R] [--cols C] [--commodities K] [--seed S]
+
+#include <cstdio>
+
+#include "carbon/common/cli.hpp"
+#include "carbon/toll/toll_problem.hpp"
+
+int main(int argc, char** argv) {
+  using namespace carbon;
+  const common::CliArgs args(argc, argv);
+
+  toll::GridConfig grid;
+  grid.rows = static_cast<std::size_t>(args.get_int("rows", 5));
+  grid.cols = static_cast<std::size_t>(args.get_int("cols", 5));
+  grid.num_commodities =
+      static_cast<std::size_t>(args.get_int("commodities", 5));
+  grid.seed = static_cast<std::uint64_t>(args.get_int("seed", 11));
+  const toll::Problem problem = toll::make_grid_problem(grid);
+
+  std::printf("Road network: %zux%zu grid, %zu arcs (%zu tollable), "
+              "%zu commodities\n\n",
+              grid.rows, grid.cols, problem.network().num_arcs(),
+              problem.tollable_arcs().size(), problem.commodities().size());
+
+  // Baselines: free roads and maximal tolls.
+  const std::vector<double> zero(problem.tollable_arcs().size(), 0.0);
+  const std::vector<double> maxed(problem.tollable_arcs().size(),
+                                  problem.toll_cap());
+  const toll::Evaluation free_roads = toll::evaluate(problem, zero);
+  const toll::Evaluation gouging = toll::evaluate(problem, maxed);
+  std::printf("zero tolls:    revenue %8.2f, travel cost %8.2f\n",
+              free_roads.revenue, free_roads.travel_cost);
+  std::printf("maximal tolls: revenue %8.2f, travel cost %8.2f "
+              "(travellers detour!)\n\n",
+              gouging.revenue, gouging.travel_cost);
+
+  // Optimize.
+  toll::GaConfig cfg;
+  cfg.seed = grid.seed;
+  const toll::GaResult r = toll::solve_with_ga(problem, cfg);
+  std::printf("optimized:     revenue %8.2f, travel cost %8.2f\n",
+              r.best_evaluation.revenue, r.best_evaluation.travel_cost);
+
+  std::printf("\ntolled arcs actually used (flow > 0):\n");
+  for (std::size_t i = 0; i < r.best_tolls.size(); ++i) {
+    if (r.best_evaluation.toll_arc_flow[i] <= 0.0) continue;
+    const graph::Arc& a =
+        problem.network().arc(problem.tollable_arcs()[i]);
+    std::printf("  arc %u->%u: base cost %.2f, toll %.2f, flow %.2f\n",
+                a.from, a.to, a.weight, r.best_tolls[i],
+                r.best_evaluation.toll_arc_flow[i]);
+  }
+  std::printf("\nThe optimizer keeps tolls just below each commodity's "
+              "detour cost — charging\nmore loses the customer entirely "
+              "(the same overestimation trap as BCPOP's\nTable IV, here in "
+              "its original habitat).\n");
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Evaluation pipeline for BCPOP upper-level decisions.
+//
+// Every pricing x induces a fresh lower-level covering instance LL(x). The
+// evaluator
+//   1. substitutes the leader's prices into the market,
+//   2. solves (and memoizes) the LP relaxation -> LB(x), duals d_k, x̄,
+//   3. obtains a customer decision y: either by running a (GP-evolved)
+//      greedy heuristic, or by repairing a binary genome (COBRA's encoding),
+//   4. reports F (leader revenue), f = A(x) (customer cost) and the %-gap.
+//
+// It also keeps the UL/LL evaluation counters used as the stopping criterion
+// (Table II allots 50 000 evaluations to each level).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+
+#include "carbon/bcpop/evaluator_interface.hpp"
+#include "carbon/bcpop/instance.hpp"
+#include "carbon/cover/greedy.hpp"
+#include "carbon/cover/relaxation.hpp"
+#include "carbon/gp/tree.hpp"
+#include "carbon/lp/simplex.hpp"
+
+namespace carbon::bcpop {
+
+class Evaluator final : public EvaluatorInterface {
+ public:
+  using EvaluatorInterface::evaluate_with_heuristic;
+  using EvaluatorInterface::evaluate_with_selection;
+
+  explicit Evaluator(const Instance& instance,
+                     std::size_t relaxation_cache_capacity = 4096);
+
+  /// Greedy driven by a GP scoring tree (CARBON's lower level). Scoring
+  /// trees without residual-dependent terminals take the sort-based
+  /// cover::greedy_solve_static fast path automatically.
+  Evaluation evaluate_with_heuristic(std::span<const double> pricing,
+                                     const gp::Tree& heuristic,
+                                     EvalPurpose purpose) override;
+
+  /// Greedy driven by an arbitrary scoring function (baselines, tests).
+  Evaluation evaluate_with_score(std::span<const double> pricing,
+                                 const cover::ScoreFunction& score,
+                                 EvalPurpose purpose = EvalPurpose::kBoth);
+
+  /// Binary customer genome (COBRA's lower level). Infeasible selections are
+  /// greedily repaired (cheapest effective bundle first); redundant bundles
+  /// are NOT removed, the genome is respected otherwise.
+  Evaluation evaluate_with_selection(std::span<const double> pricing,
+                                     std::span<const std::uint8_t> selection,
+                                     EvalPurpose purpose) override;
+
+  /// When enabled, heuristic-built covers are polished with
+  /// cover::local_search (drop + swap descent) before scoring — the memetic
+  /// variant evaluated by bench/ablation_memetic. Off by default: the paper's
+  /// CARBON scores the raw greedy output.
+  void set_polish(bool enabled) noexcept { polish_ = enabled; }
+  [[nodiscard]] bool polish() const noexcept { return polish_; }
+
+  [[nodiscard]] std::span<const ea::Bounds> price_bounds() const override {
+    return inst_.price_bounds();
+  }
+  [[nodiscard]] std::size_t genome_length() const override {
+    return inst_.num_bundles();
+  }
+
+  /// LP relaxation of LL(pricing), memoized. Reference valid until the next
+  /// cache eviction (capacity overflow) — copy if you must keep it.
+  const cover::Relaxation& relaxation(std::span<const double> pricing);
+
+  [[nodiscard]] const Instance& instance() const noexcept { return inst_; }
+
+  /// Number of F computations so far.
+  [[nodiscard]] long long ul_evaluations() const noexcept override {
+    return ul_evals_;
+  }
+  /// Number of LL solution constructions so far (heuristic applications or
+  /// genome evaluations).
+  [[nodiscard]] long long ll_evaluations() const noexcept override {
+    return ll_evals_;
+  }
+  [[nodiscard]] long long relaxations_solved() const noexcept {
+    return relaxations_solved_;
+  }
+  [[nodiscard]] long long relaxation_cache_hits() const noexcept {
+    return cache_hits_;
+  }
+
+ private:
+  struct PricingHash {
+    std::size_t operator()(const std::vector<double>& v) const noexcept;
+  };
+
+  /// Points `ll_` at the LL instance for this pricing.
+  void load_pricing(std::span<const double> pricing);
+  Evaluation finalize(std::span<const double> pricing,
+                      const cover::SolveResult& solved,
+                      const cover::Relaxation& relax, EvalPurpose purpose);
+
+  const Instance& inst_;
+  cover::Instance ll_;  ///< Mutable working copy of the market.
+  lp::Problem ll_lp_;   ///< Relaxation LP; only leader costs change per call.
+  lp::Basis warm_basis_;  ///< Optimal basis reused across pricings.
+  std::size_t cache_capacity_;
+  std::unordered_map<std::vector<double>, cover::Relaxation, PricingHash>
+      cache_;
+  bool polish_ = false;
+  long long ul_evals_ = 0;
+  long long ll_evals_ = 0;
+  long long relaxations_solved_ = 0;
+  long long cache_hits_ = 0;
+};
+
+}  // namespace carbon::bcpop

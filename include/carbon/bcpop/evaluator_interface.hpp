@@ -1,0 +1,71 @@
+// Abstraction over bi-level evaluation backends.
+//
+// CARBON and COBRA only need four things from the problem: the leader's
+// decision box, the length of a binary follower genome, and the two
+// evaluation entry points (heuristic-driven and genome-driven). Putting that
+// behind an interface lets the same solvers run on the single-customer BCPOP
+// (bcpop::Evaluator) and on extensions such as the multi-follower market
+// (bcpop::MultiFollowerEvaluator) — the direction the paper's conclusion
+// names as future work.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "carbon/ea/real_ops.hpp"
+#include "carbon/gp/tree.hpp"
+
+namespace carbon::bcpop {
+
+/// What an evaluation is being used for — determines which budget counters
+/// it charges (Table II tracks UL and LL fitness evaluations separately).
+enum class EvalPurpose : unsigned char {
+  kLowerOnly,  ///< heuristic-fitness evaluation (CARBON predators)
+  kBoth,       ///< complete bi-level evaluation (prey fitness, COBRA pairs)
+};
+
+/// The result of one bi-level evaluation.
+struct Evaluation {
+  bool ll_feasible = false;
+  double ul_objective = 0.0;  ///< F(x, y): leader revenue (maximized).
+  double ll_objective = 0.0;  ///< f(x, y) = A(x): follower cost (minimized).
+  double lower_bound = 0.0;   ///< LB(x): relaxation optimum.
+  double gap_percent = 0.0;   ///< Eq. (1).
+  std::vector<std::uint8_t> selection;  ///< Follower decision vector.
+};
+
+class EvaluatorInterface {
+ public:
+  virtual ~EvaluatorInterface() = default;
+
+  /// Box bounds of the leader's decision vector.
+  [[nodiscard]] virtual std::span<const ea::Bounds> price_bounds() const = 0;
+
+  /// Length of a binary lower-level genome (COBRA's encoding).
+  [[nodiscard]] virtual std::size_t genome_length() const = 0;
+
+  /// Evaluates a pricing with a GP scoring heuristic driving the follower.
+  virtual Evaluation evaluate_with_heuristic(std::span<const double> pricing,
+                                             const gp::Tree& heuristic,
+                                             EvalPurpose purpose) = 0;
+
+  /// Evaluates a pricing with a binary follower genome (repaired if needed).
+  virtual Evaluation evaluate_with_selection(
+      std::span<const double> pricing,
+      std::span<const std::uint8_t> selection, EvalPurpose purpose) = 0;
+
+  /// Convenience overloads defaulting to a complete bi-level evaluation.
+  Evaluation evaluate_with_heuristic(std::span<const double> pricing,
+                                     const gp::Tree& heuristic) {
+    return evaluate_with_heuristic(pricing, heuristic, EvalPurpose::kBoth);
+  }
+  Evaluation evaluate_with_selection(std::span<const double> pricing,
+                                     std::span<const std::uint8_t> selection) {
+    return evaluate_with_selection(pricing, selection, EvalPurpose::kBoth);
+  }
+
+  [[nodiscard]] virtual long long ul_evaluations() const = 0;
+  [[nodiscard]] virtual long long ll_evaluations() const = 0;
+};
+
+}  // namespace carbon::bcpop

@@ -1,0 +1,78 @@
+// The Bi-level Cloud Pricing Optimization Problem (Program 2 of the paper).
+//
+//   max   F = sum_{j<=L} c_j x_j                     (CSP revenue)
+//   s.t.  min  f = sum_{j<=M} c_j x_j                (CSC total cost)
+//         s.t. sum_j q_jk x_j >= b_k  for all k      (service coverage)
+//              x_j in {0,1}
+//         c_j >= 0 for j <= L                        (leader's prices)
+//
+// The market holds M bundles; the first L belong to the leader (the Cloud
+// Service Provider) and their prices are the upper-level decision vector.
+// The remaining M-L bundles are competitor offers with fixed prices. Every
+// pricing induces a fresh lower-level covering instance.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "carbon/cover/instance.hpp"
+#include "carbon/ea/real_ops.hpp"
+
+namespace carbon::bcpop {
+
+/// An upper-level decision: prices for the leader's L bundles.
+using Pricing = std::vector<double>;
+
+class Instance {
+ public:
+  /// The first `num_owned` bundles of `market` become the leader's; their
+  /// initial costs are ignored. Price bounds default to
+  /// [0, price_cap_factor * mean competitor price].
+  Instance(cover::Instance market, std::size_t num_owned,
+           double price_cap_factor = 2.0);
+
+  [[nodiscard]] const cover::Instance& market() const noexcept {
+    return market_;
+  }
+  [[nodiscard]] std::size_t num_owned() const noexcept { return num_owned_; }
+  [[nodiscard]] std::size_t num_bundles() const noexcept {
+    return market_.num_bundles();
+  }
+  [[nodiscard]] std::size_t num_services() const noexcept {
+    return market_.num_services();
+  }
+
+  /// Box bounds for the pricing decision vector (size num_owned).
+  [[nodiscard]] std::span<const ea::Bounds> price_bounds() const noexcept {
+    return price_bounds_;
+  }
+
+  /// Mean price of the competitor (non-owned) bundles.
+  [[nodiscard]] double mean_competitor_price() const noexcept {
+    return mean_competitor_price_;
+  }
+
+  /// The lower-level covering instance induced by `pricing`: the market with
+  /// the leader's prices substituted.
+  [[nodiscard]] cover::Instance lower_level_instance(
+      std::span<const double> pricing) const;
+
+  /// Leader revenue for a given pricing and customer selection.
+  [[nodiscard]] double leader_revenue(
+      std::span<const double> pricing,
+      std::span<const std::uint8_t> selection) const;
+
+ private:
+  cover::Instance market_;
+  std::size_t num_owned_;
+  std::vector<ea::Bounds> price_bounds_;
+  double mean_competitor_price_ = 0.0;
+};
+
+/// Convenience: builds the paper-class BCPOP instance (class_index 0..8,
+/// L = num_bundles / 10 owned bundles).
+[[nodiscard]] Instance make_paper_bcpop(std::size_t class_index,
+                                        std::uint64_t run = 0);
+
+}  // namespace carbon::bcpop

@@ -1,0 +1,101 @@
+// Multi-follower extension of the BCPOP — the paper's stated future work
+// ("multiple-level problems with deeper nested structure"; the simplest
+// realistic variant is several independent customers reacting to one
+// pricing).
+//
+// K customers shop on the same market (same bundles, same leader prices) but
+// each has its own service requirements b_f. The leader's revenue is the sum
+// over customers; each customer independently solves its own covering
+// instance. CARBON carries over unchanged: a scoring heuristic applies to
+// *any* covering instance, so one predator population models all customers
+// at once — exactly the property that breaks the nested structure in the
+// single-follower case.
+//
+// Aggregate semantics (documented so the gap stays an Eq.-(1) quantity):
+//   F       = Σ_f  revenue from customer f
+//   A(x)    = Σ_f  customer f's basket cost
+//   LB(x)   = Σ_f  LP bound of customer f's instance
+//   %-gap   = 100 (A − LB) / max(LB, 1)          (gap of the summed system)
+//   genome  = concatenation of the K per-customer baskets (for COBRA).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "carbon/bcpop/evaluator.hpp"
+#include "carbon/bcpop/evaluator_interface.hpp"
+#include "carbon/bcpop/instance.hpp"
+
+namespace carbon::bcpop {
+
+class MultiFollowerProblem {
+ public:
+  /// `market` supplies bundles, competitor prices and the demands of
+  /// follower 0; `extra_follower_demands` adds one follower per entry (each
+  /// a vector of num_services demands).
+  MultiFollowerProblem(Instance market,
+                       std::vector<std::vector<int>> extra_follower_demands);
+
+  [[nodiscard]] std::size_t num_followers() const noexcept {
+    return followers_.size();
+  }
+  [[nodiscard]] const Instance& follower(std::size_t f) const {
+    return followers_[f];
+  }
+  [[nodiscard]] std::span<const ea::Bounds> price_bounds() const noexcept {
+    return followers_.front().price_bounds();
+  }
+  [[nodiscard]] std::size_t num_bundles() const noexcept {
+    return followers_.front().num_bundles();
+  }
+
+ private:
+  std::vector<Instance> followers_;
+};
+
+/// Derives a K-follower problem from a paper-class market by perturbing the
+/// base demands per follower (deterministic in `seed`).
+[[nodiscard]] MultiFollowerProblem make_multi_follower(
+    Instance market, std::size_t num_followers, std::uint64_t seed = 1);
+
+class MultiFollowerEvaluator final : public EvaluatorInterface {
+ public:
+  using EvaluatorInterface::evaluate_with_heuristic;
+  using EvaluatorInterface::evaluate_with_selection;
+
+  explicit MultiFollowerEvaluator(const MultiFollowerProblem& problem);
+
+  Evaluation evaluate_with_heuristic(std::span<const double> pricing,
+                                     const gp::Tree& heuristic,
+                                     EvalPurpose purpose) override;
+  Evaluation evaluate_with_selection(std::span<const double> pricing,
+                                     std::span<const std::uint8_t> selection,
+                                     EvalPurpose purpose) override;
+
+  [[nodiscard]] std::span<const ea::Bounds> price_bounds() const override {
+    return problem_.price_bounds();
+  }
+  /// Concatenated per-follower baskets.
+  [[nodiscard]] std::size_t genome_length() const override {
+    return problem_.num_bundles() * problem_.num_followers();
+  }
+  [[nodiscard]] long long ul_evaluations() const override { return ul_evals_; }
+  /// One LL evaluation per follower solve (cost scales with K).
+  [[nodiscard]] long long ll_evaluations() const override { return ll_evals_; }
+
+  /// Per-follower breakdown of the most recent evaluation.
+  [[nodiscard]] const std::vector<Evaluation>& last_breakdown() const {
+    return last_breakdown_;
+  }
+
+ private:
+  Evaluation aggregate(std::span<const double> pricing, EvalPurpose purpose);
+
+  const MultiFollowerProblem& problem_;
+  std::vector<std::unique_ptr<Evaluator>> per_follower_;
+  std::vector<Evaluation> last_breakdown_;
+  long long ul_evals_ = 0;
+  long long ll_evals_ = 0;
+};
+
+}  // namespace carbon::bcpop

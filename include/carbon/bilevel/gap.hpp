@@ -1,0 +1,19 @@
+// The lower-level optimality gap (Eq. 1 of the paper):
+//
+//   %-gap(x) = 100 * (A(x) - LB(x)) / LB(x)
+//
+// where A(x) is the lower-level objective reached by some algorithm A on the
+// LL instance induced by upper-level decision x, and LB(x) is a lower bound
+// (here: the LP relaxation optimum). The gap makes LL solution quality
+// comparable *across different upper-level decisions*, which is the key
+// device that lets CARBON break the nested structure.
+#pragma once
+
+namespace carbon::bilevel {
+
+/// Eq. (1). `lower_bound` is guarded against division by ~0 with a floor of
+/// 1.0, which matches how gaps behave on priced instances (costs >= 0 and
+/// an LB of 0 means the follower pays nothing either way).
+[[nodiscard]] double percent_gap(double achieved, double lower_bound) noexcept;
+
+}  // namespace carbon::bilevel

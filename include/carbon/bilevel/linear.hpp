@@ -1,0 +1,93 @@
+// Two-variable linear bi-level problems, used to reproduce the paper's
+// pedagogical example (Program 3 / the Mersha & Dempe instance behind Fig. 1):
+//
+//   min  F(x,y) = -x - 2y          (leader)
+//   s.t. 2x - 3y >= -12
+//        x + y  <= 14
+//        min  f(y) = -y            (follower)
+//        s.t. -3x + y <= -3
+//              3x + y <= 30
+//        x, y >= 0
+//
+// The follower ignores the leader's constraints, so the rational reaction at
+// x = 6 is y = 12 — which violates 2x - 3y >= -12 and leaves the leader
+// without a feasible solution. The inducible region is discontinuous.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+namespace carbon::bilevel {
+
+/// a*x + b*y <= rhs
+struct LinearConstraint {
+  double a = 0.0;
+  double b = 0.0;
+  double rhs = 0.0;
+
+  [[nodiscard]] bool satisfied(double x, double y,
+                               double tol = 1e-9) const noexcept {
+    return a * x + b * y <= rhs + tol;
+  }
+};
+
+struct LinearBilevel {
+  // Leader: min Fx*x + Fy*y subject to upper constraints.
+  double upper_cost_x = 0.0;
+  double upper_cost_y = 0.0;
+  std::vector<LinearConstraint> upper;
+  // Follower: min fy*y subject to lower constraints (parametrized by x).
+  double lower_cost_y = 0.0;
+  std::vector<LinearConstraint> lower;
+  double x_min = 0.0, x_max = 0.0;
+  double y_min = 0.0, y_max = 0.0;
+
+  [[nodiscard]] double upper_objective(double x, double y) const noexcept {
+    return upper_cost_x * x + upper_cost_y * y;
+  }
+  [[nodiscard]] double lower_objective(double y) const noexcept {
+    return lower_cost_y * y;
+  }
+};
+
+/// The follower's feasible interval for y at a fixed x; nullopt when empty.
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+};
+[[nodiscard]] std::optional<Interval> follower_feasible_interval(
+    const LinearBilevel& p, double x);
+
+/// The rational reaction set P(x). For a linear objective over an interval it
+/// is one endpoint (or the whole interval when lower_cost_y == 0; then the
+/// optimistic convention picks the endpoint minimizing F).
+[[nodiscard]] std::optional<double> rational_reaction(const LinearBilevel& p,
+                                                      double x);
+
+/// Checks all upper-level constraints at (x, y).
+[[nodiscard]] bool upper_feasible(const LinearBilevel& p, double x, double y);
+
+/// A point of the inducible region with its leader value.
+struct BilevelPoint {
+  double x = 0.0;
+  double y = 0.0;
+  double upper_value = 0.0;
+};
+
+/// Reference solver: scans x on a uniform grid, applies the rational reaction
+/// and keeps the best upper-feasible point. Exposes the discontinuous
+/// inducible region directly (every grid x where the reaction is
+/// upper-infeasible is a hole).
+struct GridSolveResult {
+  std::optional<BilevelPoint> best;
+  std::size_t feasible_points = 0;
+  std::size_t infeasible_points = 0;  ///< rational reaction violates UL
+  std::size_t empty_points = 0;       ///< follower infeasible at this x
+};
+[[nodiscard]] GridSolveResult solve_by_grid(const LinearBilevel& p,
+                                            std::size_t resolution);
+
+/// The paper's Program 3 instance.
+[[nodiscard]] LinearBilevel program3();
+
+}  // namespace carbon::bilevel

@@ -1,0 +1,40 @@
+// Very small command-line flag parser shared by the examples and benchmark
+// harnesses. Supports `--name value`, `--name=value` and boolean `--flag`.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace carbon::common {
+
+class CliArgs {
+ public:
+  CliArgs(int argc, char** argv);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+  [[nodiscard]] std::string get(const std::string& name,
+                                const std::string& fallback) const;
+  [[nodiscard]] long long get_int(const std::string& name,
+                                  long long fallback) const;
+  [[nodiscard]] double get_double(const std::string& name,
+                                  double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& name,
+                              bool fallback = false) const;
+
+  /// Positional (non-flag) arguments in order of appearance.
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  [[nodiscard]] const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace carbon::common

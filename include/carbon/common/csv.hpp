@@ -1,0 +1,34 @@
+// Tiny CSV emitter used by the benchmark harnesses to dump convergence series
+// and table rows for external plotting. Quotes fields only when needed.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace carbon::common {
+
+class CsvWriter {
+ public:
+  /// Writes to `out`; the stream must outlive the writer.
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  /// Writes a header row. Call at most once, before any data rows.
+  void header(const std::vector<std::string>& names);
+
+  /// Starts accumulating a row; call field()/number() then end_row().
+  CsvWriter& field(std::string_view value);
+  CsvWriter& number(double value, int precision = 6);
+  CsvWriter& integer(long long value);
+  void end_row();
+
+ private:
+  static bool needs_quoting(std::string_view v);
+  static std::string quoted(std::string_view v);
+
+  std::ostream* out_;
+  std::vector<std::string> row_;
+};
+
+}  // namespace carbon::common

@@ -1,0 +1,70 @@
+// Descriptive statistics and the nonparametric tests used by the experiment
+// harness. The paper reports results over 30 independent runs and claims
+// statistical ordering of the two algorithms; we expose the machinery to
+// verify such claims (summary statistics + Wilcoxon rank-sum / Mann-Whitney U).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace carbon::common {
+
+/// Numerically stable streaming mean/variance (Welford).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 when fewer than 2 samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Five-number-style summary of a sample.
+struct Summary {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double q1 = 0.0;
+  double median = 0.0;
+  double q3 = 0.0;
+  double max = 0.0;
+};
+
+/// Computes a Summary. The input is copied (it must be sorted internally).
+[[nodiscard]] Summary summarize(std::span<const double> xs);
+
+/// Linear-interpolation quantile of a *sorted* sample, q in [0,1].
+[[nodiscard]] double quantile_sorted(std::span<const double> sorted, double q);
+
+/// Result of a two-sided Wilcoxon rank-sum (Mann-Whitney U) test.
+struct RankSumResult {
+  double u_statistic = 0.0;   ///< U for the first sample.
+  double z = 0.0;             ///< Normal approximation (tie-corrected).
+  double p_value = 1.0;       ///< Two-sided p under the normal approximation.
+  double rank_biserial = 0.0; ///< Effect size in [-1, 1]; >0 means a > b.
+};
+
+/// Wilcoxon rank-sum test comparing samples a and b (two-sided, normal
+/// approximation with tie correction and continuity correction). Suitable for
+/// run counts >= ~8 per group, which matches our experiment protocol.
+[[nodiscard]] RankSumResult rank_sum_test(std::span<const double> a,
+                                          std::span<const double> b);
+
+/// Standard normal CDF.
+[[nodiscard]] double normal_cdf(double z);
+
+}  // namespace carbon::common

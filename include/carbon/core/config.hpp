@@ -1,0 +1,76 @@
+// CARBON's configuration — defaults follow Table II of the paper.
+#pragma once
+
+#include <cstdint>
+
+#include "carbon/ea/real_ops.hpp"
+#include "carbon/gp/operators.hpp"
+
+namespace carbon::core {
+
+/// Which solution the leader assumes the follower picks when several
+/// follower models are available (paper §II). Optimistic: the best model
+/// (lowest gap) speaks for the follower. Pessimistic: the leader hedges —
+/// each pricing is evaluated under the top `follower_ensemble` models and
+/// scored by its WORST (lowest) revenue, approximating "among plausible
+/// rational reactions, count on the least favourable".
+enum class Stance : unsigned char {
+  kOptimistic,
+  kPessimistic,
+};
+
+/// What the predator (heuristic) population minimizes. The paper argues the
+/// %-gap is the only measure comparable across the different LL instances
+/// that different pricings induce; raw LL value is provided as an ablation.
+enum class PredatorFitness : unsigned char {
+  kGap,    ///< mean %-gap over the competition sample (the paper's choice)
+  kValue,  ///< mean raw LL objective value (COBRA-style; ablation)
+};
+
+struct CarbonConfig {
+  // --- Upper level (prey: pricings, real-coded GA) ---
+  std::size_t ul_population_size = 100;
+  std::size_t ul_archive_size = 100;
+  /// Probability that a selected pair undergoes SBX.
+  double ul_crossover_prob = 0.85;
+  /// Probability that an offspring undergoes polynomial mutation
+  /// (per-gene rate inside the operator is 1/num_genes).
+  double ul_mutation_prob = 0.01;
+  ea::SbxConfig sbx{};
+  ea::PolynomialMutationConfig mutation{};
+
+  // --- Lower level (predators: heuristics, GP) ---
+  std::size_t gp_population_size = 100;
+  std::size_t gp_archive_size = 100;
+  double gp_crossover_prob = 0.85;
+  double gp_mutation_prob = 0.10;
+  double gp_reproduction_prob = 0.05;
+  std::size_t gp_tournament_size = 3;
+  gp::OperatorConfig gp_ops{};
+
+  PredatorFitness predator_fitness = PredatorFitness::kGap;
+
+  /// Memetic variant: polish every heuristic-built cover with a drop/swap
+  /// local search before scoring (extension; the paper scores raw greedies).
+  bool memetic_polish = false;
+
+  /// Optimistic (paper default) or pessimistic leader stance.
+  Stance stance = Stance::kOptimistic;
+  /// Follower models consulted per pricing in pessimistic mode (costs this
+  /// many LL evaluations per prey evaluation).
+  std::size_t follower_ensemble = 3;
+
+  /// Pricings sampled per heuristic fitness evaluation (competition size).
+  std::size_t heuristic_sample_size = 5;
+  /// Archive entries re-injected into the UL population each generation.
+  std::size_t archive_reinjection = 5;
+
+  // --- Budgets (Table II: 50 000 UL + 50 000 LL fitness evaluations) ---
+  long long ul_eval_budget = 50'000;
+  long long ll_eval_budget = 50'000;
+
+  std::uint64_t seed = 1;
+  bool record_convergence = true;
+};
+
+}  // namespace carbon::core

@@ -1,0 +1,73 @@
+// Replicated-run experiment harness.
+//
+// The paper's protocol: every (instance class, algorithm) cell is measured
+// over 30 independent runs; tables report the best %-gap and best UL
+// objective per run, aggregated. This harness runs R seeded replications
+// (in parallel when a thread pool is available), aggregates summaries and a
+// Wilcoxon rank-sum comparison, and averages convergence traces for the
+// figure benches.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "carbon/bcpop/instance.hpp"
+#include "carbon/common/statistics.hpp"
+#include "carbon/core/result.hpp"
+
+namespace carbon::core {
+
+/// Algorithms the harness can dispatch to.
+enum class Algorithm {
+  kCarbon,
+  kCobra,
+  kNestedGa,
+  kCarbonValueFitness,  ///< ablation: CARBON minimizing f instead of the gap
+  kCarbonMemetic,       ///< extension: local-search polish of every cover
+  kBiga,                ///< COBRA's ancestor (simultaneous co-evolution)
+  kCodba,               ///< decomposition-based co-evolution
+};
+
+[[nodiscard]] const char* to_string(Algorithm a) noexcept;
+
+/// Scaled-down experiment knobs. `scale(1.0)` is the paper's Table II
+/// configuration; the default bench scale keeps the qualitative shape at
+/// laptop runtimes.
+struct ExperimentConfig {
+  std::size_t runs = 3;
+  std::size_t population_size = 30;       ///< both levels
+  std::size_t archive_size = 30;
+  long long ul_eval_budget = 400;
+  long long ll_eval_budget = 1'200;
+  std::size_t heuristic_sample_size = 4;  ///< CARBON competition size
+  std::uint64_t base_seed = 20180521;     ///< per-run seed = base + run
+  bool record_convergence = false;
+  std::size_t threads = 0;                ///< 0 = hardware concurrency
+
+  /// Paper-scale (Table II) configuration: 30 runs, pop/archive 100,
+  /// 50 000 + 50 000 evaluations.
+  [[nodiscard]] static ExperimentConfig paper_scale();
+};
+
+/// Aggregate over the R runs of one (instance, algorithm) cell.
+struct CellResult {
+  Algorithm algorithm = Algorithm::kCarbon;
+  common::Summary gap;           ///< distribution of per-run best %-gap
+  common::Summary ul_objective;  ///< distribution of per-run best F
+  std::vector<RunResult> runs;
+  double wall_seconds = 0.0;
+};
+
+/// Runs R replications of `algorithm` on `instance`.
+[[nodiscard]] CellResult run_cell(const bcpop::Instance& instance,
+                                  Algorithm algorithm,
+                                  const ExperimentConfig& config);
+
+/// Element-wise mean of convergence traces across runs, truncated to the
+/// shortest trace. Traces must be non-empty.
+[[nodiscard]] std::vector<ConvergencePoint> average_convergence(
+    const std::vector<RunResult>& runs);
+
+}  // namespace carbon::core

@@ -1,0 +1,48 @@
+// Result and convergence-trace types shared by all bi-level solvers
+// (CARBON, COBRA, and the nested baseline).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "carbon/bcpop/evaluator_interface.hpp"
+#include "carbon/bcpop/instance.hpp"
+
+namespace carbon::core {
+
+/// One point of a convergence curve (Figs. 4 and 5 of the paper).
+struct ConvergencePoint {
+  int generation = 0;
+  long long ul_evaluations = 0;
+  long long ll_evaluations = 0;
+  /// Best-so-far values (monotone by construction).
+  double best_ul_so_far = 0.0;
+  double best_gap_so_far = 0.0;
+  /// Current-population values (these expose COBRA's see-saw).
+  double current_best_ul = 0.0;
+  double current_mean_gap = 0.0;
+  /// GP predator-population diversity (CARBON only; 0 elsewhere).
+  double gp_unique_fraction = 0.0;
+  double gp_mean_tree_size = 0.0;
+  /// Phase annotation: "carbon", "upper", "lower", "coevolution", ...
+  std::string phase;
+};
+
+/// Outcome of one independent solver run.
+struct RunResult {
+  /// Best leader revenue over all feasible complete evaluations.
+  double best_ul_objective = 0.0;
+  /// Smallest %-gap over all complete evaluations (the paper's Table III
+  /// extraction: "best results in terms of %-gap").
+  double best_gap = 1e9;
+  /// The pricing achieving best_ul_objective and its full evaluation.
+  bcpop::Pricing best_pricing;
+  bcpop::Evaluation best_evaluation;
+  /// Per-generation trace (empty when recording is disabled).
+  std::vector<ConvergencePoint> convergence;
+  long long ul_evaluations = 0;
+  long long ll_evaluations = 0;
+  int generations = 0;
+};
+
+}  // namespace carbon::core

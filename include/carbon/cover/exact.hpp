@@ -1,0 +1,34 @@
+// Exact branch & bound for small covering instances.
+//
+// LP-bound-driven depth-first branch & bound over the binary bundle
+// variables. It exists so tests and the relaxation-ordering ablation
+// (Eq. 3 of the paper: w(x) <= A_carbon(x) <= A_cobra(x)) can compute the
+// *true* lower-level optimum w(x) on instances small enough to enumerate.
+#pragma once
+
+#include <cstddef>
+
+#include "carbon/cover/instance.hpp"
+
+namespace carbon::cover {
+
+struct ExactOptions {
+  /// Node budget; when exhausted the incumbent is returned with
+  /// proven_optimal = false.
+  std::size_t max_nodes = 200'000;
+  /// Nodes whose LP bound is within this of the incumbent are pruned.
+  double bound_tolerance = 1e-6;
+};
+
+struct ExactResult {
+  bool feasible = false;
+  bool proven_optimal = false;
+  double value = 0.0;
+  std::vector<std::uint8_t> selection;
+  std::size_t nodes_explored = 0;
+};
+
+[[nodiscard]] ExactResult exact_solve(const Instance& instance,
+                                      const ExactOptions& options = {});
+
+}  // namespace carbon::cover

@@ -1,0 +1,65 @@
+// Synthetic instance generator.
+//
+// The paper takes OR-library Multi-dimensional Knapsack (MKP) instances and
+// flips their <= constraints to >= to obtain covering instances with
+// non-binary coefficients. OR-library MKP instances follow the Chu & Beasley
+// scheme: coefficients uniform in {0..999} (with a density knob), right-hand
+// sides set to a fixed *tightness* fraction of the column sums, and costs
+// correlated with the coefficient mass plus noise. We reproduce that scheme
+// directly for >= covering, which yields the same structural statistics
+// without network access (substitution documented in DESIGN.md §3).
+#pragma once
+
+#include <cstdint>
+
+#include "carbon/common/rng.hpp"
+#include "carbon/cover/instance.hpp"
+
+namespace carbon::cover {
+
+struct GeneratorConfig {
+  std::size_t num_bundles = 100;   ///< M (decision variables)
+  std::size_t num_services = 5;    ///< N (constraints)
+  /// Demand b_k = tightness * sum_j q_jk; smaller = easier covers.
+  double tightness = 0.25;
+  /// Probability that q_jk is nonzero (Chu & Beasley use dense matrices;
+  /// lowering this makes bundles more specialized).
+  double density = 0.75;
+  int max_quantity = 999;
+  /// Cost c_j = correlation * (sum_k q_jk) / N + noise * U(0,1) + base.
+  double cost_correlation = 1.0;
+  double cost_noise = 500.0;
+  double cost_base = 1.0;
+  std::uint64_t seed = 42;
+};
+
+/// Generates a coverable instance (demands never exceed total supply by
+/// construction). Deterministic in the seed.
+[[nodiscard]] Instance generate(const GeneratorConfig& config);
+
+/// The 9 instance classes of the paper's Table III/IV:
+/// n (bundles) in {100, 250, 500} x m (services) in {5, 10, 30}.
+struct PaperClass {
+  std::size_t num_bundles;
+  std::size_t num_services;
+};
+
+[[nodiscard]] const std::vector<PaperClass>& paper_classes();
+
+/// Instance for paper class index (0..8), replication `run` (affects seed).
+[[nodiscard]] Instance make_paper_instance(std::size_t class_index,
+                                           std::uint64_t run = 0);
+
+/// Named instance families probing robustness beyond the paper's nine
+/// classes: constraint tightness, matrix density and cost correlation all
+/// change which heuristics work, so a follower model must adapt — exactly
+/// what the predator population is for.
+struct NamedFamily {
+  const char* name;
+  const char* description;
+  GeneratorConfig config;
+};
+
+[[nodiscard]] const std::vector<NamedFamily>& instance_families();
+
+}  // namespace carbon::cover

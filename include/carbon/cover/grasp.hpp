@@ -1,0 +1,34 @@
+// GRASP-style randomized greedy for covering (semi-greedy construction).
+//
+// Instead of always taking the argmax-scored bundle, each round selects
+// uniformly from the restricted candidate list (RCL) — the bundles whose
+// score is within `alpha` of the round's best. alpha = 0 reproduces the
+// deterministic greedy; alpha = 1 is uniform random construction. Multiple
+// restarts with redundancy elimination give a cheap multistart
+// metaheuristic, useful as (a) a stronger repair/constructive baseline and
+// (b) a diversity source for lower-level populations.
+#pragma once
+
+#include "carbon/common/rng.hpp"
+#include "carbon/cover/greedy.hpp"
+
+namespace carbon::cover {
+
+struct GraspOptions {
+  /// RCL width in [0, 1]: a bundle joins the RCL when
+  /// score >= best - alpha * (best - worst).
+  double alpha = 0.15;
+  std::size_t restarts = 8;
+  GreedyOptions greedy{};
+};
+
+/// Runs `restarts` randomized constructions and returns the best feasible
+/// cover found. Deterministic in `rng`'s state.
+[[nodiscard]] SolveResult grasp_solve(const Instance& instance,
+                                      const ScoreFunction& score,
+                                      common::Rng& rng,
+                                      std::span<const double> duals = {},
+                                      std::span<const double> relaxed_x = {},
+                                      const GraspOptions& options = {});
+
+}  // namespace carbon::cover

@@ -1,0 +1,219 @@
+// Score-driven greedy multicover heuristic — the algorithm template whose
+// scoring function the GP population evolves (paper §IV-B).
+//
+// The greedy repeatedly scores every not-yet-selected bundle that still adds
+// useful coverage, picks the highest-scoring one, and stops when all demands
+// are met. An optional reverse pass then drops redundant bundles (most
+// expensive first). Features exposed to the scoring function implement the
+// paper's terminal set (Table I) with the per-service terminals aggregated
+// over services, as discussed in DESIGN.md §5.1.
+//
+// The core is a template over the scorer so that hot callers (the GP tree
+// evaluator, which runs inside the innermost loop of every fitness
+// evaluation) pay no std::function indirection; `greedy_solve` is the
+// type-erased convenience wrapper.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "carbon/cover/instance.hpp"
+
+namespace carbon::cover {
+
+/// Everything a scoring function may look at when scoring bundle j.
+/// All values are recomputed against the *residual* demand each round.
+struct BundleFeatures {
+  double cost = 0.0;       ///< c_j — price of the bundle.
+  double qsum = 0.0;       ///< Σ_k q_jk — raw service mass of the bundle.
+  double qcov = 0.0;       ///< Σ_k min(q_jk, residual_k) — useful coverage now.
+  double bres = 0.0;       ///< Σ_k residual_k — outstanding demand.
+  double dual = 0.0;       ///< Σ_k d_k q_jk — LP-dual-weighted coverage.
+  double xbar = 0.0;       ///< x̄_j — value of bundle j in the LP relaxation.
+};
+
+/// Scores one bundle; the greedy selects the maximal score each round.
+using ScoreFunction = std::function<double(const BundleFeatures&)>;
+
+struct GreedyOptions {
+  /// Drop redundant bundles after reaching feasibility.
+  bool eliminate_redundancy = true;
+};
+
+namespace detail {
+
+/// NaN/inf scores would otherwise poison the argmax.
+inline double sanitize_score(double score) noexcept {
+  return std::isfinite(score) ? score : -std::numeric_limits<double>::max();
+}
+
+}  // namespace detail
+
+/// Runs the greedy with an arbitrary callable scorer (inlined at the call
+/// site). `duals` and `relaxed_x` may be empty, in which case the
+/// corresponding features read as 0 (the GP population then learns to ignore
+/// them). Returns feasible=false only when the instance itself cannot be
+/// covered.
+template <typename Score>
+[[nodiscard]] SolveResult greedy_solve_with(const Instance& instance,
+                                            Score&& score,
+                                            std::span<const double> duals = {},
+                                            std::span<const double> relaxed_x =
+                                                {},
+                                            const GreedyOptions& options = {}) {
+  const std::size_t m = instance.num_bundles();
+  const std::size_t n = instance.num_services();
+
+  SolveResult result;
+  result.selection.assign(m, 0);
+
+  std::vector<int> residual(instance.demands().begin(),
+                            instance.demands().end());
+  long long outstanding =
+      std::accumulate(residual.begin(), residual.end(), 0LL);
+
+  // Per-bundle static features (do not depend on the residual).
+  std::vector<double> qsum(m, 0.0);
+  std::vector<double> dual_mass(m, 0.0);
+  for (std::size_t j = 0; j < m; ++j) {
+    const auto row = instance.bundle(j);
+    double s = 0.0;
+    double d = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+      s += row[k];
+      if (k < duals.size()) d += duals[k] * row[k];
+    }
+    qsum[j] = s;
+    dual_mass[j] = d;
+  }
+
+  // Incrementally maintained useful coverage: useful[j] = Σ_k min(q_jk, r_k).
+  std::vector<double> useful(m, 0.0);
+  for (std::size_t j = 0; j < m; ++j) {
+    const auto row = instance.bundle(j);
+    double u = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+      u += std::min(row[k], residual[k]);
+    }
+    useful[j] = u;
+  }
+
+  while (outstanding > 0) {
+    double best_score = -std::numeric_limits<double>::infinity();
+    std::size_t best_j = m;
+    const double bres = static_cast<double>(outstanding);
+
+    for (std::size_t j = 0; j < m; ++j) {
+      if (result.selection[j]) continue;
+      if (useful[j] <= 0.0) continue;  // adds nothing: never select
+
+      BundleFeatures f;
+      f.cost = instance.cost(j);
+      f.qsum = qsum[j];
+      f.qcov = useful[j];
+      f.bres = bres;
+      f.dual = dual_mass[j];
+      f.xbar = j < relaxed_x.size() ? relaxed_x[j] : 0.0;
+
+      const double s = detail::sanitize_score(score(f));
+      if (s > best_score) {
+        best_score = s;
+        best_j = j;
+      }
+    }
+
+    if (best_j == m) {
+      // No bundle adds coverage yet demand remains: instance not coverable.
+      result.feasible = false;
+      result.value = instance.selection_cost(result.selection);
+      return result;
+    }
+
+    result.selection[best_j] = 1;
+    const auto chosen = instance.bundle(best_j);
+    for (std::size_t k = 0; k < n; ++k) {
+      const int r_old = residual[k];
+      if (r_old <= 0 || chosen[k] <= 0) continue;
+      const int used = std::min(chosen[k], r_old);
+      const int r_new = r_old - used;
+      residual[k] = r_new;
+      outstanding -= used;
+      // Update useful coverage of the unselected bundles for this service.
+      // Iterates only the suppliers of service k (CSR index, contiguous).
+      const auto idx = instance.suppliers(k);
+      const auto qty = instance.supplier_quantities(k);
+      for (std::size_t t = 0; t < idx.size(); ++t) {
+        const std::size_t j = idx[t];
+        if (result.selection[j]) continue;
+        const int q = qty[t];
+        useful[j] -= std::min(q, r_old) - std::min(q, r_new);
+      }
+    }
+  }
+
+  if (options.eliminate_redundancy) {
+    // Coverage including slack (residual may be over-covered).
+    std::vector<long long> covered(n, 0);
+    for (std::size_t j = 0; j < m; ++j) {
+      if (!result.selection[j]) continue;
+      const auto row = instance.bundle(j);
+      for (std::size_t k = 0; k < n; ++k) covered[k] += row[k];
+    }
+    // Try to drop selected bundles, most expensive first.
+    std::vector<std::size_t> chosen;
+    for (std::size_t j = 0; j < m; ++j) {
+      if (result.selection[j]) chosen.push_back(j);
+    }
+    std::sort(chosen.begin(), chosen.end(),
+              [&](std::size_t a, std::size_t b) {
+                return instance.cost(a) > instance.cost(b);
+              });
+    for (std::size_t j : chosen) {
+      const auto row = instance.bundle(j);
+      bool droppable = true;
+      for (std::size_t k = 0; k < n; ++k) {
+        if (covered[k] - row[k] < instance.demand(k)) {
+          droppable = false;
+          break;
+        }
+      }
+      if (!droppable) continue;
+      result.selection[j] = 0;
+      for (std::size_t k = 0; k < n; ++k) covered[k] -= row[k];
+    }
+  }
+
+  result.feasible = true;
+  result.value = instance.selection_cost(result.selection);
+  return result;
+}
+
+/// Fast path for *static* scorers (scores independent of the residual
+/// demand): one score per bundle, computed up front. Semantically identical
+/// to greedy_solve_with for any scorer that ignores qcov/bres: useful
+/// coverage only ever decreases, so the argmax sequence equals the
+/// score-descending sweep (ties broken by index in both). Complexity drops
+/// from O(steps * M * score) to O(M log M + M * N).
+[[nodiscard]] SolveResult greedy_solve_static(
+    const Instance& instance, std::span<const double> scores,
+    const GreedyOptions& options = {});
+
+/// Type-erased convenience wrapper over greedy_solve_with.
+[[nodiscard]] SolveResult greedy_solve(const Instance& instance,
+                                       const ScoreFunction& score,
+                                       std::span<const double> duals = {},
+                                       std::span<const double> relaxed_x = {},
+                                       const GreedyOptions& options = {});
+
+/// Classic baseline score: useful-coverage per unit cost (cost-effectiveness).
+[[nodiscard]] double cost_effectiveness_score(const BundleFeatures& f);
+
+/// Baseline score using LP duals: dual-weighted coverage minus cost
+/// (the LP "attractiveness" of the column).
+[[nodiscard]] double dual_score(const BundleFeatures& f);
+
+}  // namespace carbon::cover

@@ -1,0 +1,49 @@
+// Lagrangian relaxation bound for the covering problem.
+//
+// Relaxing the coverage constraints of  min c'x, Qx >= b, x in {0,1}^M  with
+// multipliers λ >= 0 gives
+//
+//   L(λ) = λ'b + Σ_j min(0, c_j − λ'Q_j),
+//
+// a valid lower bound for every λ; the inner minimization decomposes per
+// bundle (buy iff the λ-reduced cost is negative). Because the inner problem
+// has the integrality property, max_λ L(λ) equals the LP relaxation bound —
+// this module therefore offers (a) an independent cross-check of the simplex
+// bound used by the %-gap, and (b) a bound usable without an LP solver, at
+// the price of approximate convergence. Maximization is by the standard
+// subgradient method with Polyak step sizes and step-halving on stagnation.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "carbon/cover/instance.hpp"
+
+namespace carbon::cover {
+
+struct LagrangianOptions {
+  std::size_t max_iterations = 200;
+  /// Initial Polyak step scale μ (step = μ (UB − L)/‖g‖²).
+  double step_scale = 2.0;
+  /// Halve μ after this many iterations without bound improvement.
+  std::size_t stall_limit = 10;
+  /// Stop when μ falls below this.
+  double min_step_scale = 1e-4;
+};
+
+struct LagrangianResult {
+  double lower_bound = 0.0;          ///< best L(λ) found
+  std::vector<double> multipliers;   ///< λ achieving it (>= 0, one per service)
+  /// Inner solution at the best λ (NOT generally feasible for the cover).
+  std::vector<std::uint8_t> inner_selection;
+  std::size_t iterations = 0;
+};
+
+/// Maximizes L(λ) by subgradient ascent. `upper_bound` should be the value
+/// of any feasible cover (e.g. from the greedy); it calibrates the Polyak
+/// steps. Deterministic.
+[[nodiscard]] LagrangianResult lagrangian_bound(
+    const Instance& instance, double upper_bound,
+    const LagrangianOptions& options = {});
+
+}  // namespace carbon::cover

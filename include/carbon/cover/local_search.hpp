@@ -1,0 +1,43 @@
+// Local search polish for covering solutions.
+//
+// The paper notes that large covering instances "are generally tackled using
+// heuristics or metaheuristics"; the GP-evolved greedy is the fast
+// constructive side. This module adds the improvement side: a first-improve
+// descent over two neighbourhoods,
+//
+//   DROP   — remove a selected bundle whose removal keeps feasibility
+//            (always improving: costs are non-negative);
+//   SWAP   — replace one selected bundle with one cheaper unselected bundle
+//            when coverage stays feasible;
+//
+// used by the memetic CARBON ablation (polish the heuristic's cover before
+// scoring) and available to users as a standalone refinement step.
+#pragma once
+
+#include <cstddef>
+
+#include "carbon/cover/instance.hpp"
+
+namespace carbon::cover {
+
+struct LocalSearchOptions {
+  /// Stop after this many improving moves (0 = unlimited).
+  std::size_t max_moves = 0;
+  bool enable_drop = true;
+  bool enable_swap = true;
+};
+
+struct LocalSearchResult {
+  double value = 0.0;
+  std::size_t drops = 0;
+  std::size_t swaps = 0;
+};
+
+/// Improves `selection` in place (must be a feasible cover; throws
+/// std::invalid_argument otherwise). Returns the final cost and move counts.
+/// Deterministic: neighbourhoods are scanned in index order, first improve.
+LocalSearchResult local_search(const Instance& instance,
+                               std::vector<std::uint8_t>& selection,
+                               const LocalSearchOptions& options = {});
+
+}  // namespace carbon::cover

@@ -1,0 +1,34 @@
+// OR-library-style text I/O for covering instances.
+//
+// Format (whitespace separated, mirrors OR-library MKP files with the
+// constraint sense flipped to >= as the paper does):
+//
+//   M N                      num_bundles num_services
+//   c_1 ... c_M              bundle costs
+//   q_11 ... q_M1            N rows of M coefficients (service-major)
+//   ...
+//   q_1N ... q_MN
+//   b_1 ... b_N              demands
+//
+// This lets users convert genuine OR-library MKP files offline and feed them
+// to the solvers.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "carbon/cover/instance.hpp"
+
+namespace carbon::cover {
+
+/// Serializes an instance. Throws std::ios_base::failure on stream errors.
+void write_orlib(std::ostream& out, const Instance& instance);
+
+/// Parses an instance. Throws std::runtime_error on malformed input.
+[[nodiscard]] Instance read_orlib(std::istream& in);
+
+/// File-path conveniences.
+void save_orlib(const std::string& path, const Instance& instance);
+[[nodiscard]] Instance load_orlib(const std::string& path);
+
+}  // namespace carbon::cover

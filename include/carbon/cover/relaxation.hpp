@@ -1,0 +1,31 @@
+// Continuous relaxation of a covering instance.
+//
+// The relaxation plays three roles in the paper: it supplies the lower bound
+// LB(x) that defines the %-gap (Eq. 1), and its dual values d_k and relaxed
+// solution x̄_j feed the GP terminal set (Table I). We solve it with the
+// bounded-variable simplex, so the basis size is the (small) service count.
+#pragma once
+
+#include <vector>
+
+#include "carbon/cover/instance.hpp"
+#include "carbon/lp/problem.hpp"
+
+namespace carbon::cover {
+
+struct Relaxation {
+  bool feasible = false;
+  double lower_bound = 0.0;          ///< LP optimum = LB(x).
+  std::vector<double> duals;         ///< One per service (>= 0).
+  std::vector<double> relaxed_x;     ///< One per bundle, in [0, 1].
+};
+
+/// Builds the LP  min c'x, Qx >= b, 0 <= x <= 1  for the instance.
+[[nodiscard]] lp::Problem build_relaxation_lp(const Instance& instance);
+
+/// Solves the relaxation. Throws std::runtime_error on solver failure
+/// (iteration limit / numerical breakdown), which indicates a bug rather
+/// than a property of the instance.
+[[nodiscard]] Relaxation relax(const Instance& instance);
+
+}  // namespace carbon::cover

@@ -1,0 +1,78 @@
+// Bounded elitist archive. Both CARBON and COBRA keep 100-slot archives at
+// each level (Table II); the archive stores the best individuals seen so far
+// and can re-inject them into the population.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "carbon/common/rng.hpp"
+
+namespace carbon::ea {
+
+template <typename T>
+class Archive {
+ public:
+  struct Entry {
+    T item;
+    double fitness = 0.0;
+  };
+
+  /// `maximize` picks the comparison direction; capacity bounds the size.
+  Archive(std::size_t capacity, bool maximize)
+      : capacity_(capacity), maximize_(maximize) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Inserts if the archive has room or the candidate beats the worst entry.
+  /// Returns true when the candidate was stored.
+  bool add(T item, double fitness) {
+    if (capacity_ == 0) return false;
+    if (entries_.size() < capacity_) {
+      entries_.push_back({std::move(item), fitness});
+      bubble_up(entries_.size() - 1);
+      return true;
+    }
+    // entries_ is kept sorted best-first; the worst is at the back.
+    if (!better(fitness, entries_.back().fitness)) return false;
+    entries_.back() = {std::move(item), fitness};
+    bubble_up(entries_.size() - 1);
+    return true;
+  }
+
+  /// Best entry. Precondition: not empty.
+  [[nodiscard]] const Entry& best() const { return entries_.front(); }
+
+  /// Entry at sorted rank i (0 = best).
+  [[nodiscard]] const Entry& at(std::size_t i) const { return entries_[i]; }
+
+  /// Uniformly random archived entry. Precondition: not empty.
+  [[nodiscard]] const Entry& sample(common::Rng& rng) const {
+    return entries_[rng.below(entries_.size())];
+  }
+
+  [[nodiscard]] const std::vector<Entry>& entries() const noexcept {
+    return entries_;
+  }
+
+ private:
+  [[nodiscard]] bool better(double a, double b) const noexcept {
+    return maximize_ ? a > b : a < b;
+  }
+
+  void bubble_up(std::size_t i) {
+    while (i > 0 && better(entries_[i].fitness, entries_[i - 1].fitness)) {
+      std::swap(entries_[i], entries_[i - 1]);
+      --i;
+    }
+  }
+
+  std::size_t capacity_;
+  bool maximize_;
+  std::vector<Entry> entries_;  // sorted best-first
+};
+
+}  // namespace carbon::ea

@@ -1,0 +1,30 @@
+// Binary-genome GA operators used by COBRA's lower-level population
+// (Table II: two-point crossover, swap mutation with rate 1/#variables).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "carbon/common/rng.hpp"
+
+namespace carbon::ea {
+
+/// Random 0/1 genome with the given density of ones.
+[[nodiscard]] std::vector<std::uint8_t> random_binary_vector(
+    common::Rng& rng, std::size_t size, double density = 0.5);
+
+/// Two-point crossover, in place on both parents.
+void two_point_crossover(common::Rng& rng, std::span<std::uint8_t> a,
+                         std::span<std::uint8_t> b);
+
+/// Swap mutation: each gene, with probability `per_gene_probability`
+/// (<0 = 1/size), exchanges its value with another uniformly chosen gene.
+void swap_mutation(common::Rng& rng, std::span<std::uint8_t> genome,
+                   double per_gene_probability = -1.0);
+
+/// Bit-flip mutation (extension operator; useful for tests and ablations).
+void flip_mutation(common::Rng& rng, std::span<std::uint8_t> genome,
+                   double per_gene_probability = -1.0);
+
+}  // namespace carbon::ea

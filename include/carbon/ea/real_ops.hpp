@@ -1,0 +1,58 @@
+// Real-coded GA operators used by the upper-level population of both CARBON
+// and COBRA (paper Table II): simulated binary crossover (SBX, Deb &
+// Agrawal), polynomial mutation (Deb & Goyal) and tournament selection.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "carbon/common/rng.hpp"
+
+namespace carbon::ea {
+
+/// Per-gene box bounds.
+struct Bounds {
+  double lo = 0.0;
+  double hi = 1.0;
+};
+
+/// Uniform random vector inside the bounds.
+[[nodiscard]] std::vector<double> random_real_vector(
+    common::Rng& rng, std::span<const Bounds> bounds);
+
+/// Clamps every gene into its bounds (in place).
+void clamp_to_bounds(std::span<double> genome, std::span<const Bounds> bounds);
+
+struct SbxConfig {
+  double eta = 15.0;              ///< Distribution index (larger = children closer to parents).
+  double per_gene_probability = 0.5;  ///< Chance each gene actually recombines.
+};
+
+/// Simulated binary crossover, in place on both parents.
+void sbx_crossover(common::Rng& rng, std::span<double> a, std::span<double> b,
+                   std::span<const Bounds> bounds, const SbxConfig& config = {});
+
+struct PolynomialMutationConfig {
+  double eta = 20.0;  ///< Distribution index.
+  /// Per-gene mutation probability; <0 means 1/num_genes.
+  double per_gene_probability = -1.0;
+};
+
+/// Polynomial (bounded) mutation, in place.
+void polynomial_mutation(common::Rng& rng, std::span<double> genome,
+                         std::span<const Bounds> bounds,
+                         const PolynomialMutationConfig& config = {});
+
+/// k-tournament over a fitness array. Returns the index of the winner.
+/// `maximize` selects the comparison direction.
+[[nodiscard]] std::size_t tournament_select(common::Rng& rng,
+                                            std::span<const double> fitness,
+                                            std::size_t k, bool maximize);
+
+/// Binary tournament (k = 2), the paper's UL selection operator.
+[[nodiscard]] inline std::size_t binary_tournament(
+    common::Rng& rng, std::span<const double> fitness, bool maximize) {
+  return tournament_select(rng, fitness, 2, maximize);
+}
+
+}  // namespace carbon::ea

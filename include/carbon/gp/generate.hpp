@@ -1,0 +1,37 @@
+// Random tree generation: full, grow, and ramped half-and-half (Koza).
+#pragma once
+
+#include "carbon/common/rng.hpp"
+#include "carbon/gp/tree.hpp"
+
+namespace carbon::gp {
+
+struct GenerateConfig {
+  int min_depth = 2;  ///< ramped half-and-half minimum depth
+  int max_depth = 4;  ///< ramped half-and-half maximum depth
+  /// Probability of placing a terminal at a non-forced position in `grow`.
+  double terminal_probability = 0.3;
+  /// Include ephemeral random constants in the terminal pool. The paper's
+  /// Table I has no constants, so this defaults to off.
+  bool use_constants = false;
+  double constant_min = -10.0;
+  double constant_max = 10.0;
+};
+
+/// Every path reaches exactly `depth` levels (operators until the last).
+[[nodiscard]] Tree generate_full(common::Rng& rng, int depth,
+                                 const GenerateConfig& config = {});
+
+/// Paths may stop early with `terminal_probability`; max depth `depth`.
+[[nodiscard]] Tree generate_grow(common::Rng& rng, int depth,
+                                 const GenerateConfig& config = {});
+
+/// Koza's ramped half-and-half over [min_depth, max_depth].
+[[nodiscard]] Tree generate_ramped(common::Rng& rng,
+                                   const GenerateConfig& config = {});
+
+/// Uniformly random terminal leaf (respecting use_constants).
+[[nodiscard]] Tree random_leaf(common::Rng& rng,
+                               const GenerateConfig& config = {});
+
+}  // namespace carbon::gp

@@ -1,0 +1,47 @@
+// GP variation operators used by CARBON's predator population (Table II):
+// one-point subtree crossover, uniform (subtree-replacement) mutation, and
+// reproduction. Depth limits follow the DEAP convention the paper's
+// implementation used: an offspring exceeding the static limit is discarded
+// and replaced by a copy of its (first) parent.
+#pragma once
+
+#include <utility>
+
+#include "carbon/common/rng.hpp"
+#include "carbon/gp/generate.hpp"
+#include "carbon/gp/tree.hpp"
+
+namespace carbon::gp {
+
+struct OperatorConfig {
+  /// Static depth limit applied after crossover/mutation.
+  int max_depth = 10;
+  /// Bias toward internal nodes when picking crossover/mutation points
+  /// (Koza's 90/10 rule).
+  double internal_bias = 0.9;
+  /// Depth range of the freshly grown subtree in uniform mutation.
+  int mutation_min_depth = 1;
+  int mutation_max_depth = 3;
+  GenerateConfig generate;
+};
+
+/// Picks a node index, biased toward internal nodes per `internal_bias`.
+[[nodiscard]] std::size_t pick_node(common::Rng& rng, const Tree& tree,
+                                    double internal_bias);
+
+/// One-point subtree exchange. Returns the two offspring; an offspring whose
+/// depth exceeds the limit is replaced by a copy of the corresponding parent.
+[[nodiscard]] std::pair<Tree, Tree> subtree_crossover(
+    common::Rng& rng, const Tree& a, const Tree& b,
+    const OperatorConfig& config = {});
+
+/// Uniform mutation: replaces a random subtree by a freshly grown one.
+[[nodiscard]] Tree uniform_mutation(common::Rng& rng, const Tree& tree,
+                                    const OperatorConfig& config = {});
+
+/// Point mutation: re-draws a single node with the same arity (cheap local
+/// change; used by tests and as an extension operator).
+[[nodiscard]] Tree point_mutation(common::Rng& rng, const Tree& tree,
+                                  const OperatorConfig& config = {});
+
+}  // namespace carbon::gp

@@ -1,0 +1,35 @@
+// Diversity and size statistics over a GP population.
+//
+// Competitive co-evolution degenerates when the predator population
+// converges structurally (every heuristic the same tree): the arms race
+// stalls. These metrics let experiments monitor that — mean/max size and
+// depth, the number of structurally distinct trees, and terminal usage
+// frequencies (which terminals the population has "discovered").
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <span>
+
+#include "carbon/gp/tree.hpp"
+
+namespace carbon::gp {
+
+struct PopulationStats {
+  std::size_t population = 0;
+  double mean_size = 0.0;
+  std::size_t max_size = 0;
+  double mean_depth = 0.0;
+  int max_depth = 0;
+  /// Structurally distinct individuals (exact node-sequence equality).
+  std::size_t unique_structures = 0;
+  /// Fraction of individuals reading each terminal.
+  std::array<double, kNumTerminals> terminal_usage{};
+  /// Fraction of individuals whose score ignores the residual (static
+  /// heuristics take the sorted greedy fast path).
+  double static_fraction = 0.0;
+};
+
+[[nodiscard]] PopulationStats analyze_population(std::span<const Tree> trees);
+
+}  // namespace carbon::gp

@@ -1,0 +1,33 @@
+// Bridge from GP trees to the greedy solver's scoring interface.
+#pragma once
+
+#include <array>
+
+#include "carbon/cover/greedy.hpp"
+#include "carbon/gp/tree.hpp"
+
+namespace carbon::gp {
+
+/// Lays out BundleFeatures in Terminal order.
+[[nodiscard]] inline std::array<double, kNumTerminals> features_to_array(
+    const cover::BundleFeatures& f) noexcept {
+  return {f.cost, f.qsum, f.qcov, f.bres, f.dual, f.xbar};
+}
+
+/// True when the tree reads neither QCOV nor BRES — its score for a bundle
+/// is then invariant across greedy rounds, enabling the sort-based
+/// cover::greedy_solve_static fast path.
+[[nodiscard]] inline bool is_static_heuristic(const Tree& tree) noexcept {
+  return !tree.uses_terminal(Terminal::kQcov) &&
+         !tree.uses_terminal(Terminal::kBres);
+}
+
+/// Wraps a tree (copied) as a greedy scoring function.
+[[nodiscard]] inline cover::ScoreFunction make_score_function(Tree tree) {
+  return [t = std::move(tree)](const cover::BundleFeatures& f) {
+    const auto arr = features_to_array(f);
+    return t.evaluate(std::span<const double, kNumTerminals>(arr));
+  };
+}
+
+}  // namespace carbon::gp

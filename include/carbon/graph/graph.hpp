@@ -1,0 +1,70 @@
+// Directed-graph substrate with shortest paths.
+//
+// Built for the toll-setting domain (the first application area the paper's
+// related-work section lists): the follower there is a shortest-path
+// computation over leader-priced arcs. Kept generic — adjacency lists,
+// non-negative arc weights, Dijkstra with predecessor extraction.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace carbon::graph {
+
+using NodeId = std::uint32_t;
+using ArcId = std::uint32_t;
+
+inline constexpr double kUnreachable = std::numeric_limits<double>::infinity();
+
+struct Arc {
+  NodeId from = 0;
+  NodeId to = 0;
+  double weight = 0.0;  ///< must be >= 0 for Dijkstra
+};
+
+class Digraph {
+ public:
+  explicit Digraph(std::size_t num_nodes = 0) : out_(num_nodes) {}
+
+  [[nodiscard]] std::size_t num_nodes() const noexcept { return out_.size(); }
+  [[nodiscard]] std::size_t num_arcs() const noexcept { return arcs_.size(); }
+
+  /// Adds an arc and returns its id. Throws on bad endpoints or negative
+  /// weight.
+  ArcId add_arc(NodeId from, NodeId to, double weight);
+
+  [[nodiscard]] const Arc& arc(ArcId a) const { return arcs_[a]; }
+  [[nodiscard]] std::span<const ArcId> out_arcs(NodeId n) const {
+    return out_[n];
+  }
+
+  /// Updates an arc's weight (>= 0). Used by the toll leader.
+  void set_weight(ArcId a, double weight);
+
+ private:
+  std::vector<Arc> arcs_;
+  std::vector<std::vector<ArcId>> out_;
+};
+
+/// Single-source shortest paths (Dijkstra, binary heap).
+struct ShortestPaths {
+  std::vector<double> distance;     ///< kUnreachable when no path
+  std::vector<ArcId> incoming_arc;  ///< arc used to reach each node
+  static constexpr ArcId kNoArc = std::numeric_limits<ArcId>::max();
+
+  [[nodiscard]] bool reachable(NodeId n) const {
+    return distance[n] != kUnreachable;
+  }
+};
+
+[[nodiscard]] ShortestPaths dijkstra(const Digraph& g, NodeId source);
+
+/// Arc ids of the shortest source->target path (empty when target equals
+/// source or is unreachable). `paths` must come from dijkstra(g, source).
+[[nodiscard]] std::vector<ArcId> extract_path(const ShortestPaths& paths,
+                                              const Digraph& g,
+                                              NodeId target);
+
+}  // namespace carbon::graph

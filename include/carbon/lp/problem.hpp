@@ -1,0 +1,77 @@
+// Linear program container:   min c'x   s.t.  A x {<=,=,>=} b,  l <= x <= u.
+//
+// Columns are stored explicitly (the simplex works column-wise and the
+// constraint counts are small). Infinite upper bounds are expressed with
+// `kInfinity`; every variable must have a finite lower bound, which covers
+// all LPs arising in this project (covering relaxations, tests, examples).
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace carbon::lp {
+
+inline constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+enum class RowSense : unsigned char {
+  kLessEqual,
+  kEqual,
+  kGreaterEqual,
+};
+
+struct Problem {
+  /// Objective coefficients, one per structural variable (minimization).
+  std::vector<double> objective;
+  /// Column-major constraint matrix: columns[j][i] = A(i, j).
+  std::vector<std::vector<double>> columns;
+  std::vector<double> rhs;
+  std::vector<RowSense> sense;
+  std::vector<double> lower;
+  std::vector<double> upper;
+
+  [[nodiscard]] std::size_t num_vars() const noexcept {
+    return objective.size();
+  }
+  [[nodiscard]] std::size_t num_rows() const noexcept { return rhs.size(); }
+
+  /// Appends a variable; returns its index.
+  std::size_t add_variable(double cost, double lo, double hi);
+  /// Appends a constraint with the given dense row; returns its index.
+  std::size_t add_constraint(const std::vector<double>& row, RowSense s,
+                             double b);
+
+  /// Validates dimensions and bound sanity; returns a diagnostic message or
+  /// an empty string when the problem is well-formed.
+  [[nodiscard]] std::string validate() const;
+};
+
+enum class SolveStatus : unsigned char {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterationLimit,
+  kNumericalFailure,
+};
+
+[[nodiscard]] const char* to_string(SolveStatus s) noexcept;
+
+struct Solution {
+  SolveStatus status = SolveStatus::kNumericalFailure;
+  double objective = 0.0;
+  /// Primal values for the structural variables.
+  std::vector<double> x;
+  /// Dual values (one per row). Sign convention: for a minimization problem,
+  /// duals of >= rows are >= 0, duals of <= rows are <= 0.
+  std::vector<double> duals;
+  /// Reduced costs for the structural variables.
+  std::vector<double> reduced_costs;
+  int iterations = 0;
+
+  [[nodiscard]] bool optimal() const noexcept {
+    return status == SolveStatus::kOptimal;
+  }
+};
+
+}  // namespace carbon::lp

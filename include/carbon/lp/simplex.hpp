@@ -1,0 +1,109 @@
+// Bounded-variable revised primal simplex.
+//
+// Two phases: Phase 1 drives artificial variables out of an all-artificial
+// start basis, Phase 2 optimizes the real objective. Variables carry explicit
+// [l, u] bounds so binary relaxations (x in [0,1]) never inflate the row
+// count — the basis stays m x m with m = #constraints, which is what makes
+// per-evaluation LP bounds affordable inside an evolutionary loop.
+//
+// The inverse basis is maintained densely with product-form pivot updates and
+// periodic refactorization (Gauss-Jordan with partial pivoting). Pricing is
+// Dantzig's rule with an automatic switch to Bland's rule after a stall
+// threshold, which guarantees termination.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "carbon/lp/dense_matrix.hpp"
+#include "carbon/lp/problem.hpp"
+
+namespace carbon::lp {
+
+struct SimplexOptions {
+  /// Hard cap on pivots across both phases; 0 means `50 * (rows + vars)`.
+  int max_iterations = 0;
+  /// Switch from Dantzig to Bland pricing after this many pivots in a phase.
+  int bland_threshold = 2000;
+  /// Refactorize the basis inverse every this many pivots.
+  int refactor_interval = 100;
+  double feasibility_tol = 1e-7;
+  double optimality_tol = 1e-7;
+  double pivot_tol = 1e-9;
+};
+
+/// An optimal basis snapshot usable to warm-start a subsequent solve of a
+/// problem with the SAME constraint matrix/rhs/bounds but possibly different
+/// objective coefficients (primal feasibility of the basis is preserved
+/// under cost changes). Statuses cover structural variables then slacks.
+struct Basis {
+  std::vector<unsigned char> status;      ///< 0 = at lower, 1 = at upper, 2 = basic
+  std::vector<std::size_t> basic_vars;    ///< one per row
+  [[nodiscard]] bool empty() const noexcept { return basic_vars.empty(); }
+};
+
+/// Solves `problem` (minimization). The problem must pass validate().
+/// When `warm` is non-null and holds a compatible basis, the solve starts
+/// from it (skipping Phase 1); on optimal exit the basis is written back.
+[[nodiscard]] Solution solve(const Problem& problem,
+                             const SimplexOptions& options = {},
+                             Basis* warm = nullptr);
+
+namespace detail {
+
+/// Internal solver exposed for white-box testing.
+class SimplexSolver {
+ public:
+  SimplexSolver(const Problem& problem, const SimplexOptions& options);
+  Solution run(Basis* warm = nullptr);
+
+ private:
+  enum class VarStatus : unsigned char { kAtLower, kAtUpper, kBasic };
+
+  // Column j of the full (structural + slack + artificial) matrix, densely.
+  void full_column(std::size_t j, std::vector<double>& out) const;
+  double column_dot(std::size_t j, const std::vector<double>& y) const;
+
+  void setup_phase1();
+  /// Tries an all-slack "crash" basis with structural variables parked at
+  /// their lower (or upper) bounds. Returns true and installs the basis when
+  /// it is primal-feasible, letting the solve skip Phase 1 entirely. This is
+  /// always possible for covering relaxations started at x = u.
+  bool try_crash_start(bool structural_at_upper);
+  /// Installs a caller-provided basis (refactorizes; rejects singular or
+  /// primal-infeasible bases). Returns success.
+  bool try_warm_start(const Basis& warm);
+  void save_basis(Basis& out) const;
+  void enter_phase2();
+  /// Returns final status of the phase iteration loop.
+  SolveStatus iterate(bool phase1);
+  bool refactorize();
+  void recompute_basic_values();
+  double nonbasic_value(std::size_t j) const;
+  /// Drives remaining basic artificials out (or pins redundant rows).
+  void purge_artificials();
+
+  const Problem& p_;
+  SimplexOptions opt_;
+
+  std::size_t n_struct_ = 0;  // structural variables
+  std::size_t m_ = 0;         // rows == slacks == artificials
+  std::size_t n_total_ = 0;   // struct + slack + artificial
+
+  std::vector<double> cost_;        // current phase objective (size n_total_)
+  std::vector<double> lower_;       // bounds for all variables
+  std::vector<double> upper_;
+  std::vector<double> slack_sign_;  // +1 for <=/=, -1 for >=
+  std::vector<double> art_sign_;    // chosen at phase-1 setup
+
+  std::vector<VarStatus> status_;
+  std::vector<std::size_t> basis_;  // basis_[i] = variable basic in row i
+  DenseMatrix binv_;
+  std::vector<double> xb_;          // values of basic variables
+
+  int iterations_ = 0;
+  bool numerical_failure_ = false;
+};
+
+}  // namespace detail
+}  // namespace carbon::lp

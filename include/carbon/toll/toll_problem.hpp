@@ -1,0 +1,116 @@
+// The toll-setting problem — the first application domain the paper's
+// related-work section cites for bi-level optimization (Brotcorne et al.'s
+// "bilevel model for toll optimization on a multicommodity transportation
+// network").
+//
+//   leader:   set tolls t_a in [0, cap_a] on the tollable arcs to maximize
+//             collected revenue  Σ_commodities Σ_{a in path} t_a * demand
+//   follower: each commodity routes its demand along a cheapest path under
+//             cost_a + t_a (rational, exactly computable via Dijkstra)
+//
+// Unlike the BCPOP, the follower here is solvable in polynomial time, so
+// this domain exercises the *exact* lower-level regime: bi-level feasibility
+// is free, and the optimistic/pessimistic distinction appears as tie-breaks
+// on equal-cost paths. We adopt the optimistic convention (ties resolved in
+// path order found by Dijkstra) as the paper does.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "carbon/common/rng.hpp"
+#include "carbon/ea/real_ops.hpp"
+#include "carbon/graph/graph.hpp"
+
+namespace carbon::toll {
+
+struct Commodity {
+  graph::NodeId origin = 0;
+  graph::NodeId destination = 0;
+  double demand = 1.0;  ///< travellers per unit time
+};
+
+class Problem {
+ public:
+  /// `base_costs` are the fixed travel costs per arc; `tollable` lists the
+  /// arcs the leader prices; `toll_cap` bounds every toll.
+  Problem(graph::Digraph network, std::vector<graph::ArcId> tollable,
+          std::vector<Commodity> commodities, double toll_cap);
+
+  [[nodiscard]] const graph::Digraph& network() const noexcept {
+    return network_;
+  }
+  [[nodiscard]] std::span<const graph::ArcId> tollable_arcs() const noexcept {
+    return tollable_;
+  }
+  [[nodiscard]] std::span<const Commodity> commodities() const noexcept {
+    return commodities_;
+  }
+  [[nodiscard]] std::span<const ea::Bounds> toll_bounds() const noexcept {
+    return bounds_;
+  }
+  [[nodiscard]] double toll_cap() const noexcept { return toll_cap_; }
+
+ private:
+  graph::Digraph network_;
+  std::vector<graph::ArcId> tollable_;
+  std::vector<Commodity> commodities_;
+  std::vector<ea::Bounds> bounds_;
+  double toll_cap_;
+};
+
+/// Outcome of evaluating one toll vector.
+struct Evaluation {
+  bool all_routable = false;   ///< every commodity found a path
+  double revenue = 0.0;        ///< leader objective (maximize)
+  double travel_cost = 0.0;    ///< total follower cost (incl. tolls paid)
+  /// Demand-weighted usage of each tollable arc.
+  std::vector<double> toll_arc_flow;
+};
+
+/// Evaluates tolls exactly: one Dijkstra per distinct origin.
+[[nodiscard]] Evaluation evaluate(const Problem& problem,
+                                  std::span<const double> tolls);
+
+/// Grid-network generator: an R x C road grid with bidirected arcs, random
+/// congestion costs, a random subset of tollable arcs and K commodities.
+struct GridConfig {
+  std::size_t rows = 5;
+  std::size_t cols = 5;
+  double min_cost = 1.0;
+  double max_cost = 10.0;
+  double tollable_fraction = 0.3;
+  std::size_t num_commodities = 4;
+  double min_demand = 1.0;
+  double max_demand = 10.0;
+  double toll_cap = 20.0;
+  std::uint64_t seed = 1;
+};
+
+[[nodiscard]] Problem make_grid_problem(const GridConfig& config);
+
+/// Nested GA over toll vectors (the follower is exact, so the NSQ scheme is
+/// the right tool here — every fitness evaluation embeds the true rational
+/// reaction).
+struct GaConfig {
+  std::size_t population_size = 40;
+  int generations = 60;
+  double crossover_prob = 0.85;
+  double mutation_prob = 0.10;
+  ea::SbxConfig sbx{};
+  ea::PolynomialMutationConfig mutation{};
+  std::uint64_t seed = 1;
+};
+
+struct GaResult {
+  std::vector<double> best_tolls;
+  Evaluation best_evaluation;
+  /// Best revenue per generation (for convergence inspection).
+  std::vector<double> history;
+};
+
+[[nodiscard]] GaResult solve_with_ga(const Problem& problem,
+                                     const GaConfig& config = {});
+
+}  // namespace carbon::toll

@@ -1,0 +1,56 @@
+#include "carbon/bcpop/instance.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "carbon/cover/generator.hpp"
+
+namespace carbon::bcpop {
+
+Instance::Instance(cover::Instance market, std::size_t num_owned,
+                   double price_cap_factor)
+    : market_(std::move(market)), num_owned_(num_owned) {
+  if (num_owned_ == 0 || num_owned_ >= market_.num_bundles()) {
+    throw std::invalid_argument(
+        "bcpop::Instance: need 1 <= num_owned < num_bundles");
+  }
+  if (price_cap_factor <= 0.0) {
+    throw std::invalid_argument("bcpop::Instance: price_cap_factor > 0");
+  }
+  double total = 0.0;
+  for (std::size_t j = num_owned_; j < market_.num_bundles(); ++j) {
+    total += market_.cost(j);
+  }
+  mean_competitor_price_ =
+      total / static_cast<double>(market_.num_bundles() - num_owned_);
+  price_bounds_.assign(num_owned_,
+                       ea::Bounds{0.0, price_cap_factor * mean_competitor_price_});
+}
+
+cover::Instance Instance::lower_level_instance(
+    std::span<const double> pricing) const {
+  assert(pricing.size() == num_owned_);
+  cover::Instance ll = market_;
+  for (std::size_t j = 0; j < num_owned_; ++j) {
+    ll.set_cost(j, pricing[j]);
+  }
+  return ll;
+}
+
+double Instance::leader_revenue(std::span<const double> pricing,
+                                std::span<const std::uint8_t> selection) const {
+  assert(pricing.size() == num_owned_);
+  double revenue = 0.0;
+  for (std::size_t j = 0; j < num_owned_ && j < selection.size(); ++j) {
+    if (selection[j]) revenue += pricing[j];
+  }
+  return revenue;
+}
+
+Instance make_paper_bcpop(std::size_t class_index, std::uint64_t run) {
+  cover::Instance market = cover::make_paper_instance(class_index, run);
+  const std::size_t owned = std::max<std::size_t>(1, market.num_bundles() / 10);
+  return Instance(std::move(market), owned);
+}
+
+}  // namespace carbon::bcpop

@@ -1,0 +1,16 @@
+#include "carbon/bilevel/gap.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace carbon::bilevel {
+
+double percent_gap(double achieved, double lower_bound) noexcept {
+  const double denom = std::max(std::abs(lower_bound), 1.0);
+  const double gap = 100.0 * (achieved - lower_bound) / denom;
+  // An algorithm can't genuinely beat a valid lower bound; tiny negatives are
+  // LP rounding noise.
+  return std::max(gap, 0.0);
+}
+
+}  // namespace carbon::bilevel

@@ -1,0 +1,92 @@
+#include "carbon/bilevel/linear.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace carbon::bilevel {
+
+std::optional<Interval> follower_feasible_interval(const LinearBilevel& p,
+                                                   double x) {
+  double lo = p.y_min;
+  double hi = p.y_max;
+  for (const auto& c : p.lower) {
+    // c.a*x + c.b*y <= rhs
+    if (c.b > 0.0) {
+      hi = std::min(hi, (c.rhs - c.a * x) / c.b);
+    } else if (c.b < 0.0) {
+      lo = std::max(lo, (c.rhs - c.a * x) / c.b);
+    } else if (c.a * x > c.rhs + 1e-9) {
+      return std::nullopt;  // constraint on x alone, violated
+    }
+  }
+  if (lo > hi + 1e-9) return std::nullopt;
+  return Interval{lo, std::max(lo, hi)};
+}
+
+std::optional<double> rational_reaction(const LinearBilevel& p, double x) {
+  const auto interval = follower_feasible_interval(p, x);
+  if (!interval) return std::nullopt;
+  if (p.lower_cost_y > 0.0) return interval->lo;
+  if (p.lower_cost_y < 0.0) return interval->hi;
+  // Indifferent follower: optimistic convention, pick the endpoint that is
+  // better for the leader.
+  const double f_lo = p.upper_objective(x, interval->lo);
+  const double f_hi = p.upper_objective(x, interval->hi);
+  return f_lo <= f_hi ? interval->lo : interval->hi;
+}
+
+bool upper_feasible(const LinearBilevel& p, double x, double y) {
+  if (x < p.x_min - 1e-9 || x > p.x_max + 1e-9) return false;
+  if (y < p.y_min - 1e-9 || y > p.y_max + 1e-9) return false;
+  return std::all_of(p.upper.begin(), p.upper.end(),
+                     [&](const LinearConstraint& c) { return c.satisfied(x, y); });
+}
+
+GridSolveResult solve_by_grid(const LinearBilevel& p, std::size_t resolution) {
+  GridSolveResult out;
+  if (resolution < 2) resolution = 2;
+  double best_value = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < resolution; ++i) {
+    const double x = p.x_min + (p.x_max - p.x_min) * static_cast<double>(i) /
+                                   static_cast<double>(resolution - 1);
+    const auto y = rational_reaction(p, x);
+    if (!y) {
+      ++out.empty_points;
+      continue;
+    }
+    if (!upper_feasible(p, x, *y)) {
+      ++out.infeasible_points;
+      continue;
+    }
+    ++out.feasible_points;
+    const double value = p.upper_objective(x, *y);
+    if (value < best_value) {
+      best_value = value;
+      out.best = BilevelPoint{x, *y, value};
+    }
+  }
+  return out;
+}
+
+LinearBilevel program3() {
+  LinearBilevel p;
+  p.upper_cost_x = -1.0;
+  p.upper_cost_y = -2.0;
+  // 2x - 3y >= -12  <=>  -2x + 3y <= 12
+  p.upper.push_back({-2.0, 3.0, 12.0});
+  // x + y <= 14
+  p.upper.push_back({1.0, 1.0, 14.0});
+  p.lower_cost_y = -1.0;  // min -y  (follower maximizes y)
+  // -3x + y <= -3
+  p.lower.push_back({-3.0, 1.0, -3.0});
+  // 3x + y <= 30
+  p.lower.push_back({3.0, 1.0, 30.0});
+  p.x_min = 0.0;
+  p.x_max = 14.0;
+  p.y_min = 0.0;
+  p.y_max = 30.0;
+  return p;
+}
+
+}  // namespace carbon::bilevel

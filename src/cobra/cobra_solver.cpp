@@ -1,0 +1,245 @@
+#include "carbon/cobra/cobra_solver.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "carbon/common/statistics.hpp"
+#include "carbon/ea/archive.hpp"
+
+namespace carbon::cobra {
+
+namespace {
+
+struct ArchivedSolution {
+  bcpop::Pricing pricing;
+  std::vector<std::uint8_t> basket;
+  bcpop::Evaluation evaluation;
+};
+
+using Basket = std::vector<std::uint8_t>;
+
+}  // namespace
+
+namespace {
+
+void validate_config(const CobraConfig& cfg) {
+  if (cfg.ul_population_size < 2 || cfg.ll_population_size < 2) {
+    throw std::invalid_argument("CobraSolver: population sizes must be >= 2");
+  }
+  if (cfg.upper_phase_generations < 1 || cfg.lower_phase_generations < 1) {
+    throw std::invalid_argument("CobraSolver: phase generations must be >= 1");
+  }
+}
+
+}  // namespace
+
+CobraSolver::CobraSolver(const bcpop::Instance& instance, CobraConfig config)
+    : inst_(&instance), cfg_(std::move(config)) {
+  validate_config(cfg_);
+}
+
+CobraSolver::CobraSolver(bcpop::EvaluatorInterface& evaluator,
+                         CobraConfig config)
+    : external_(&evaluator), cfg_(std::move(config)) {
+  validate_config(cfg_);
+}
+
+core::RunResult CobraSolver::run() {
+  if (external_ != nullptr) return run_with(*external_);
+  bcpop::Evaluator own(*inst_);
+  return run_with(own);
+}
+
+core::RunResult CobraSolver::run_with(bcpop::EvaluatorInterface& eval) {
+  common::Rng rng(cfg_.seed);
+  const auto bounds = eval.price_bounds();
+  const std::size_t num_bundles = eval.genome_length();
+  const long long ul_start = eval.ul_evaluations();
+  const long long ll_start = eval.ll_evaluations();
+
+  // --- Initial populations (Algorithm 1 lines 1-3) ---
+  std::vector<bcpop::Pricing> ul_pop;
+  for (std::size_t i = 0; i < cfg_.ul_population_size; ++i) {
+    ul_pop.push_back(ea::random_real_vector(rng, bounds));
+  }
+  std::vector<Basket> ll_pop;
+  for (std::size_t i = 0; i < cfg_.ll_population_size; ++i) {
+    ll_pop.push_back(
+        ea::random_binary_vector(rng, num_bundles, cfg_.ll_init_density));
+  }
+
+  // Upper archive keyed by F (max); lower archive keyed by f (min) — the
+  // paper extracts results from the lower archive.
+  ea::Archive<ArchivedSolution> upper_archive(cfg_.ul_archive_size, true);
+  ea::Archive<ArchivedSolution> lower_archive(cfg_.ll_archive_size, false);
+
+  core::RunResult result;
+  result.best_gap = std::numeric_limits<double>::infinity();
+  result.best_ul_objective = -std::numeric_limits<double>::infinity();
+
+  std::vector<double> ul_fitness(ul_pop.size(), 0.0);
+  std::vector<double> ll_fitness(ll_pop.size(), 0.0);
+
+  // Current champions used for pairing across levels.
+  Basket paired_basket = ll_pop[0];
+  bcpop::Pricing paired_pricing = ul_pop[0];
+
+  const auto note_solution = [&](const bcpop::Pricing& x, const Basket& y,
+                                 const bcpop::Evaluation& e) {
+    upper_archive.add({x, y, e}, e.ul_objective);
+    lower_archive.add({x, y, e}, e.ll_objective);
+    if (e.ll_feasible) {
+      result.best_gap = std::min(result.best_gap, e.gap_percent);
+      if (e.ul_objective > result.best_ul_objective) {
+        result.best_ul_objective = e.ul_objective;
+        result.best_pricing = x;
+        result.best_evaluation = e;
+      }
+    }
+  };
+
+  const auto budget_left = [&] {
+    return eval.ul_evaluations() - ul_start < cfg_.ul_eval_budget &&
+           eval.ll_evaluations() - ll_start < cfg_.ll_eval_budget;
+  };
+
+  const auto record = [&](int generation, const char* phase,
+                          double current_best_ul, double current_mean_gap) {
+    if (!cfg_.record_convergence) return;
+    core::ConvergencePoint pt;
+    pt.generation = generation;
+    pt.ul_evaluations = eval.ul_evaluations() - ul_start;
+    pt.ll_evaluations = eval.ll_evaluations() - ll_start;
+    pt.best_ul_so_far = result.best_ul_objective;
+    pt.best_gap_so_far = result.best_gap;
+    pt.current_best_ul = current_best_ul;
+    pt.current_mean_gap = current_mean_gap;
+    pt.phase = phase;
+    result.convergence.push_back(std::move(pt));
+  };
+
+  int generation = 0;
+  while (budget_left()) {
+    // ================= Upper improvement phase =================
+    for (int g = 0; g < cfg_.upper_phase_generations && budget_left(); ++g) {
+      double cur_best = -std::numeric_limits<double>::infinity();
+      common::RunningStats gaps;
+      for (std::size_t i = 0; i < ul_pop.size(); ++i) {
+        const bcpop::Evaluation e =
+            eval.evaluate_with_selection(ul_pop[i], paired_basket);
+        ul_fitness[i] = e.ul_objective;
+        cur_best = std::max(cur_best, e.ul_objective);
+        gaps.add(e.gap_percent);
+        note_solution(ul_pop[i], paired_basket, e);
+      }
+      record(generation, "upper", cur_best, gaps.mean());
+      ++generation;
+
+      // Selection + variation (same GA as CARBON's upper level).
+      std::vector<bcpop::Pricing> next;
+      next.reserve(ul_pop.size());
+      while (next.size() < ul_pop.size()) {
+        const std::size_t ia = ea::binary_tournament(rng, ul_fitness, true);
+        const std::size_t ib = ea::binary_tournament(rng, ul_fitness, true);
+        bcpop::Pricing a = ul_pop[ia];
+        bcpop::Pricing b = ul_pop[ib];
+        if (rng.chance(cfg_.ul_crossover_prob)) {
+          ea::sbx_crossover(rng, a, b, bounds, cfg_.sbx);
+        }
+        if (rng.chance(cfg_.ul_mutation_prob)) {
+          ea::polynomial_mutation(rng, a, bounds, cfg_.mutation);
+        }
+        if (rng.chance(cfg_.ul_mutation_prob)) {
+          ea::polynomial_mutation(rng, b, bounds, cfg_.mutation);
+        }
+        next.push_back(std::move(a));
+        if (next.size() < ul_pop.size()) next.push_back(std::move(b));
+      }
+      ul_pop = std::move(next);
+    }
+    // Champion pricing for the lower phase.
+    if (!upper_archive.empty()) {
+      paired_pricing = upper_archive.best().item.pricing;
+    }
+
+    // ================= Lower improvement phase =================
+    for (int g = 0; g < cfg_.lower_phase_generations && budget_left(); ++g) {
+      double cur_best = -std::numeric_limits<double>::infinity();
+      common::RunningStats gaps;
+      for (std::size_t i = 0; i < ll_pop.size(); ++i) {
+        const bcpop::Evaluation e =
+            eval.evaluate_with_selection(paired_pricing, ll_pop[i]);
+        ll_fitness[i] = e.ll_objective;  // minimize customer cost
+        cur_best = std::max(cur_best, e.ul_objective);
+        gaps.add(e.gap_percent);
+        note_solution(paired_pricing, ll_pop[i], e);
+      }
+      record(generation, "lower", cur_best, gaps.mean());
+      ++generation;
+
+      std::vector<Basket> next;
+      next.reserve(ll_pop.size());
+      while (next.size() < ll_pop.size()) {
+        const std::size_t ia = ea::binary_tournament(rng, ll_fitness, false);
+        const std::size_t ib = ea::binary_tournament(rng, ll_fitness, false);
+        Basket a = ll_pop[ia];
+        Basket b = ll_pop[ib];
+        if (rng.chance(cfg_.ll_crossover_prob)) {
+          ea::two_point_crossover(rng, a, b);
+        }
+        ea::swap_mutation(rng, a, cfg_.ll_mutation_prob);
+        ea::swap_mutation(rng, b, cfg_.ll_mutation_prob);
+        next.push_back(std::move(a));
+        if (next.size() < ll_pop.size()) next.push_back(std::move(b));
+      }
+      ll_pop = std::move(next);
+    }
+    // Champion basket for the next upper phase.
+    if (!lower_archive.empty()) {
+      paired_basket = lower_archive.best().item.basket;
+    }
+
+    // ================= Coevolution operator =================
+    if (budget_left()) {
+      double cur_best = -std::numeric_limits<double>::infinity();
+      common::RunningStats gaps;
+      for (std::size_t p = 0; p < cfg_.coevolution_pairs && budget_left();
+           ++p) {
+        const bcpop::Pricing& x = ul_pop[rng.below(ul_pop.size())];
+        const Basket& y = ll_pop[rng.below(ll_pop.size())];
+        const bcpop::Evaluation e = eval.evaluate_with_selection(x, y);
+        cur_best = std::max(cur_best, e.ul_objective);
+        gaps.add(e.gap_percent);
+        note_solution(x, y, e);
+      }
+      record(generation, "coevolution", cur_best, gaps.mean());
+      ++generation;
+    }
+
+    // ================= Archive re-injection (line 9) =================
+    const std::size_t ru =
+        std::min({cfg_.archive_reinjection, upper_archive.size(),
+                  ul_pop.size()});
+    for (std::size_t r = 0; r < ru; ++r) {
+      ul_pop[ul_pop.size() - 1 - r] = upper_archive.at(r).item.pricing;
+    }
+    const std::size_t rl =
+        std::min({cfg_.archive_reinjection, lower_archive.size(),
+                  ll_pop.size()});
+    for (std::size_t r = 0; r < rl; ++r) {
+      ll_pop[ll_pop.size() - 1 - r] = lower_archive.at(r).item.basket;
+    }
+  }
+
+  result.generations = generation;
+  result.ul_evaluations = eval.ul_evaluations() - ul_start;
+  result.ll_evaluations = eval.ll_evaluations() - ll_start;
+  if (!std::isfinite(result.best_ul_objective)) result.best_ul_objective = 0.0;
+  if (!std::isfinite(result.best_gap)) result.best_gap = 1e9;
+  return result;
+}
+
+}  // namespace carbon::cobra

@@ -1,0 +1,55 @@
+#include "carbon/common/csv.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace carbon::common {
+
+bool CsvWriter::needs_quoting(std::string_view v) {
+  return v.find_first_of(",\"\n\r") != std::string_view::npos;
+}
+
+std::string CsvWriter::quoted(std::string_view v) {
+  std::string out;
+  out.reserve(v.size() + 2);
+  out.push_back('"');
+  for (char c : v) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+void CsvWriter::header(const std::vector<std::string>& names) {
+  for (const auto& n : names) field(n);
+  end_row();
+}
+
+CsvWriter& CsvWriter::field(std::string_view value) {
+  row_.emplace_back(needs_quoting(value) ? quoted(value) : std::string(value));
+  return *this;
+}
+
+CsvWriter& CsvWriter::number(double value, int precision) {
+  std::ostringstream ss;
+  ss << std::setprecision(precision) << value;
+  row_.push_back(ss.str());
+  return *this;
+}
+
+CsvWriter& CsvWriter::integer(long long value) {
+  row_.push_back(std::to_string(value));
+  return *this;
+}
+
+void CsvWriter::end_row() {
+  for (std::size_t i = 0; i < row_.size(); ++i) {
+    if (i) *out_ << ',';
+    *out_ << row_[i];
+  }
+  *out_ << '\n';
+  row_.clear();
+}
+
+}  // namespace carbon::common

@@ -1,0 +1,39 @@
+#include "carbon/common/rng.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace carbon::common {
+
+std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {
+  if (k > n) throw std::invalid_argument("sample_indices: k > n");
+  std::vector<std::size_t> out;
+  out.reserve(k);
+  if (k * 3 >= n) {
+    // Selection sampling (Knuth 3.4.2 algorithm S): O(n), uniform.
+    std::size_t seen = 0;
+    std::size_t chosen = 0;
+    for (std::size_t i = 0; i < n && chosen < k; ++i) {
+      const auto remaining_pool = static_cast<double>(n - seen);
+      const auto remaining_need = static_cast<double>(k - chosen);
+      if (uniform() * remaining_pool < remaining_need) {
+        out.push_back(i);
+        ++chosen;
+      }
+      ++seen;
+    }
+    return out;
+  }
+  // Sparse case: rejection with a hash set.
+  std::unordered_set<std::size_t> picked;
+  picked.reserve(k * 2);
+  while (picked.size() < k) {
+    picked.insert(static_cast<std::size_t>(below(n)));
+  }
+  out.assign(picked.begin(), picked.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace carbon::common

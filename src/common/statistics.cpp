@@ -1,0 +1,148 @@
+#include "carbon/common/statistics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace carbon::common {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double quantile_sorted(std::span<const double> sorted, double q) {
+  if (sorted.empty()) throw std::invalid_argument("quantile of empty sample");
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+Summary summarize(std::span<const double> xs) {
+  Summary s;
+  s.n = xs.size();
+  if (xs.empty()) return s;
+  std::vector<double> v(xs.begin(), xs.end());
+  std::sort(v.begin(), v.end());
+  RunningStats rs;
+  for (double x : v) rs.add(x);
+  s.mean = rs.mean();
+  s.stddev = rs.stddev();
+  s.min = v.front();
+  s.max = v.back();
+  s.q1 = quantile_sorted(v, 0.25);
+  s.median = quantile_sorted(v, 0.5);
+  s.q3 = quantile_sorted(v, 0.75);
+  return s;
+}
+
+double normal_cdf(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+
+RankSumResult rank_sum_test(std::span<const double> a,
+                            std::span<const double> b) {
+  RankSumResult out;
+  const std::size_t na = a.size();
+  const std::size_t nb = b.size();
+  if (na == 0 || nb == 0) return out;
+
+  struct Tagged {
+    double value;
+    bool from_a;
+  };
+  std::vector<Tagged> all;
+  all.reserve(na + nb);
+  for (double x : a) all.push_back({x, true});
+  for (double x : b) all.push_back({x, false});
+  std::sort(all.begin(), all.end(),
+            [](const Tagged& l, const Tagged& r) { return l.value < r.value; });
+
+  // Midranks with tie bookkeeping for the variance correction.
+  const std::size_t n = all.size();
+  std::vector<double> ranks(n);
+  double tie_correction = 0.0;
+  for (std::size_t i = 0; i < n;) {
+    std::size_t j = i;
+    while (j + 1 < n && all[j + 1].value == all[i].value) ++j;
+    const double midrank =
+        (static_cast<double>(i + 1) + static_cast<double>(j + 1)) / 2.0;
+    for (std::size_t k = i; k <= j; ++k) ranks[k] = midrank;
+    const double t = static_cast<double>(j - i + 1);
+    tie_correction += t * t * t - t;
+    i = j + 1;
+  }
+
+  double rank_sum_a = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (all[i].from_a) rank_sum_a += ranks[i];
+  }
+
+  const double dn_a = static_cast<double>(na);
+  const double dn_b = static_cast<double>(nb);
+  const double u_a = rank_sum_a - dn_a * (dn_a + 1.0) / 2.0;
+  out.u_statistic = u_a;
+
+  const double mu = dn_a * dn_b / 2.0;
+  const double dn = dn_a + dn_b;
+  double sigma2 = dn_a * dn_b / 12.0 *
+                  ((dn + 1.0) - tie_correction / (dn * (dn - 1.0)));
+  if (sigma2 <= 0.0) {
+    // All observations tied: no evidence either way.
+    out.z = 0.0;
+    out.p_value = 1.0;
+    out.rank_biserial = 0.0;
+    return out;
+  }
+  const double sigma = std::sqrt(sigma2);
+  // Continuity correction toward the mean.
+  double num = u_a - mu;
+  if (num > 0.5) {
+    num -= 0.5;
+  } else if (num < -0.5) {
+    num += 0.5;
+  } else {
+    num = 0.0;
+  }
+  out.z = num / sigma;
+  out.p_value = 2.0 * (1.0 - normal_cdf(std::abs(out.z)));
+  out.p_value = std::clamp(out.p_value, 0.0, 1.0);
+  out.rank_biserial = 2.0 * u_a / (dn_a * dn_b) - 1.0;
+  return out;
+}
+
+}  // namespace carbon::common

@@ -1,0 +1,265 @@
+#include "carbon/core/carbon_solver.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "carbon/common/statistics.hpp"
+#include "carbon/ea/archive.hpp"
+#include "carbon/gp/generate.hpp"
+#include "carbon/gp/population_stats.hpp"
+
+namespace carbon::core {
+
+namespace {
+
+/// A complete bi-level solution held in the archive.
+struct ArchivedSolution {
+  bcpop::Pricing pricing;
+  bcpop::Evaluation evaluation;
+};
+
+}  // namespace
+
+namespace {
+
+void validate_config(const CarbonConfig& cfg) {
+  if (cfg.ul_population_size < 2 || cfg.gp_population_size < 2) {
+    throw std::invalid_argument("CarbonSolver: population sizes must be >= 2");
+  }
+  if (cfg.heuristic_sample_size < 1) {
+    throw std::invalid_argument("CarbonSolver: heuristic_sample_size >= 1");
+  }
+}
+
+}  // namespace
+
+CarbonSolver::CarbonSolver(const bcpop::Instance& instance,
+                           CarbonConfig config)
+    : inst_(&instance), cfg_(std::move(config)) {
+  validate_config(cfg_);
+}
+
+CarbonSolver::CarbonSolver(bcpop::EvaluatorInterface& evaluator,
+                           CarbonConfig config)
+    : external_(&evaluator), cfg_(std::move(config)) {
+  validate_config(cfg_);
+}
+
+CarbonResult CarbonSolver::run() {
+  if (external_ != nullptr) return run_with(*external_);
+  bcpop::Evaluator own(*inst_);
+  own.set_polish(cfg_.memetic_polish);
+  return run_with(own);
+}
+
+CarbonResult CarbonSolver::run_with(bcpop::EvaluatorInterface& eval) {
+  common::Rng rng(cfg_.seed);
+  const auto bounds = eval.price_bounds();
+  const long long ul_start = eval.ul_evaluations();
+  const long long ll_start = eval.ll_evaluations();
+
+  // --- Initial populations ---
+  std::vector<bcpop::Pricing> ul_pop;
+  ul_pop.reserve(cfg_.ul_population_size);
+  for (std::size_t i = 0; i < cfg_.ul_population_size; ++i) {
+    ul_pop.push_back(ea::random_real_vector(rng, bounds));
+  }
+
+  std::vector<gp::Tree> gp_pop;
+  gp_pop.reserve(cfg_.gp_population_size);
+  for (std::size_t i = 0; i < cfg_.gp_population_size; ++i) {
+    gp_pop.push_back(gp::generate_ramped(rng, cfg_.gp_ops.generate));
+  }
+
+  ea::Archive<ArchivedSolution> solution_archive(cfg_.ul_archive_size,
+                                                 /*maximize=*/true);
+  ea::Archive<gp::Tree> heuristic_archive(cfg_.gp_archive_size,
+                                          /*maximize=*/false);
+
+  CarbonResult result;
+  result.best_gap = std::numeric_limits<double>::infinity();
+  result.best_ul_objective = -std::numeric_limits<double>::infinity();
+
+  std::vector<double> ul_fitness(cfg_.ul_population_size, 0.0);
+  std::vector<double> gp_fitness(cfg_.gp_population_size, 0.0);
+
+  int generation = 0;
+  while (eval.ul_evaluations() - ul_start < cfg_.ul_eval_budget &&
+         eval.ll_evaluations() - ll_start < cfg_.ll_eval_budget) {
+    // ---- 1. Competition sample: pricings the predators must solve well ----
+    std::vector<const bcpop::Pricing*> sample;
+    sample.reserve(cfg_.heuristic_sample_size);
+    for (std::size_t s = 0; s < cfg_.heuristic_sample_size; ++s) {
+      // Mix current prey with archived elites once the archive has content.
+      if (!solution_archive.empty() && rng.chance(0.3)) {
+        sample.push_back(&solution_archive.sample(rng).item.pricing);
+      } else {
+        sample.push_back(&ul_pop[rng.below(ul_pop.size())]);
+      }
+    }
+
+    // ---- 2. Predator evaluation: mean %-gap over the sample ----
+    common::RunningStats generation_gap;
+    for (std::size_t h = 0; h < gp_pop.size(); ++h) {
+      common::RunningStats gaps;
+      for (const bcpop::Pricing* x : sample) {
+        const bcpop::Evaluation e = eval.evaluate_with_heuristic(
+            *x, gp_pop[h], bcpop::EvalPurpose::kLowerOnly);
+        gaps.add(cfg_.predator_fitness == PredatorFitness::kGap
+                     ? e.gap_percent
+                     : e.ll_objective);
+      }
+      gp_fitness[h] = gaps.mean();
+      generation_gap.add(gp_fitness[h]);
+      heuristic_archive.add(gp_pop[h], gp_fitness[h]);
+    }
+    const std::size_t champion_idx = static_cast<std::size_t>(
+        std::min_element(gp_fitness.begin(), gp_fitness.end()) -
+        gp_fitness.begin());
+    // The follower model: the best heuristic known overall (archive head).
+    const gp::Tree& follower_model = heuristic_archive.best().item;
+
+    // ---- 3. Prey evaluation: leader revenue under the follower model ----
+    // Optimistic stance: the single best model speaks for the follower.
+    // Pessimistic stance: consult the top-E archived models and keep the
+    // least favourable revenue (paper §II's pessimistic position).
+    const std::size_t ensemble =
+        cfg_.stance == Stance::kPessimistic
+            ? std::max<std::size_t>(
+                  1, std::min(cfg_.follower_ensemble,
+                              heuristic_archive.size()))
+            : 1;
+    double current_best_ul = -std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < ul_pop.size(); ++i) {
+      bcpop::Evaluation e = eval.evaluate_with_heuristic(ul_pop[i],
+                                                         follower_model);
+      for (std::size_t h = 1; h < ensemble; ++h) {
+        bcpop::Evaluation alt = eval.evaluate_with_heuristic(
+            ul_pop[i], heuristic_archive.at(h).item,
+            bcpop::EvalPurpose::kLowerOnly);
+        if (alt.ll_feasible && alt.ul_objective < e.ul_objective) {
+          e = std::move(alt);
+        }
+      }
+      ul_fitness[i] = e.ul_objective;
+      current_best_ul = std::max(current_best_ul, e.ul_objective);
+      if (e.ll_feasible) {
+        result.best_gap = std::min(result.best_gap, e.gap_percent);
+        if (e.ul_objective > result.best_ul_objective) {
+          result.best_ul_objective = e.ul_objective;
+          result.best_pricing = ul_pop[i];
+          result.best_evaluation = e;
+        }
+      }
+      solution_archive.add({ul_pop[i], std::move(e)}, ul_fitness[i]);
+    }
+
+    // ---- 4. Convergence trace ----
+    if (cfg_.record_convergence) {
+      ConvergencePoint pt;
+      pt.generation = generation;
+      pt.ul_evaluations = eval.ul_evaluations() - ul_start;
+      pt.ll_evaluations = eval.ll_evaluations() - ll_start;
+      pt.best_ul_so_far = result.best_ul_objective;
+      pt.best_gap_so_far = result.best_gap;
+      pt.current_best_ul = current_best_ul;
+      pt.current_mean_gap = generation_gap.mean();
+      const gp::PopulationStats pop_stats = gp::analyze_population(gp_pop);
+      pt.gp_unique_fraction =
+          static_cast<double>(pop_stats.unique_structures) /
+          static_cast<double>(std::max<std::size_t>(1, pop_stats.population));
+      pt.gp_mean_tree_size = pop_stats.mean_size;
+      pt.phase = "carbon";
+      result.convergence.push_back(std::move(pt));
+    }
+
+    // ---- 5. Breed prey (GA: tournament + SBX + polynomial mutation) ----
+    {
+      std::vector<bcpop::Pricing> next;
+      next.reserve(ul_pop.size());
+      while (next.size() < ul_pop.size()) {
+        const std::size_t ia =
+            ea::binary_tournament(rng, ul_fitness, /*maximize=*/true);
+        const std::size_t ib =
+            ea::binary_tournament(rng, ul_fitness, /*maximize=*/true);
+        bcpop::Pricing a = ul_pop[ia];
+        bcpop::Pricing b = ul_pop[ib];
+        if (rng.chance(cfg_.ul_crossover_prob)) {
+          ea::sbx_crossover(rng, a, b, bounds, cfg_.sbx);
+        }
+        if (rng.chance(cfg_.ul_mutation_prob)) {
+          ea::polynomial_mutation(rng, a, bounds, cfg_.mutation);
+        }
+        if (rng.chance(cfg_.ul_mutation_prob)) {
+          ea::polynomial_mutation(rng, b, bounds, cfg_.mutation);
+        }
+        next.push_back(std::move(a));
+        if (next.size() < ul_pop.size()) next.push_back(std::move(b));
+      }
+      // Elitist re-injection from the archive (Algorithm 1 line 9 analogue).
+      const std::size_t reinject =
+          std::min(cfg_.archive_reinjection, solution_archive.size());
+      for (std::size_t r = 0; r < reinject && r < next.size(); ++r) {
+        next[next.size() - 1 - r] = solution_archive.at(r).item.pricing;
+      }
+      ul_pop = std::move(next);
+    }
+
+    // ---- 6. Breed predators (GP: tournament + subtree xover + mutation +
+    //         reproduction) ----
+    {
+      std::vector<gp::Tree> next;
+      next.reserve(gp_pop.size());
+      // Elitism: keep the champion so the follower model never regresses.
+      next.push_back(gp_pop[champion_idx]);
+      while (next.size() < gp_pop.size()) {
+        const double op = rng.uniform();
+        if (op < cfg_.gp_reproduction_prob) {
+          const std::size_t i = ea::tournament_select(
+              rng, gp_fitness, cfg_.gp_tournament_size, /*maximize=*/false);
+          next.push_back(gp_pop[i]);
+        } else if (op < cfg_.gp_reproduction_prob + cfg_.gp_crossover_prob) {
+          const std::size_t ia = ea::tournament_select(
+              rng, gp_fitness, cfg_.gp_tournament_size, /*maximize=*/false);
+          const std::size_t ib = ea::tournament_select(
+              rng, gp_fitness, cfg_.gp_tournament_size, /*maximize=*/false);
+          auto [ca, cb] =
+              gp::subtree_crossover(rng, gp_pop[ia], gp_pop[ib], cfg_.gp_ops);
+          next.push_back(std::move(ca));
+          if (next.size() < gp_pop.size()) next.push_back(std::move(cb));
+        } else {
+          const std::size_t i = ea::tournament_select(
+              rng, gp_fitness, cfg_.gp_tournament_size, /*maximize=*/false);
+          next.push_back(gp::uniform_mutation(rng, gp_pop[i], cfg_.gp_ops));
+        }
+      }
+      // Independent mutation sweep at the configured rate.
+      for (std::size_t i = 1; i < next.size(); ++i) {
+        if (rng.chance(cfg_.gp_mutation_prob)) {
+          next[i] = gp::uniform_mutation(rng, next[i], cfg_.gp_ops);
+        }
+      }
+      gp_pop = std::move(next);
+    }
+
+    ++generation;
+  }
+
+  result.generations = generation;
+  result.ul_evaluations = eval.ul_evaluations() - ul_start;
+  result.ll_evaluations = eval.ll_evaluations() - ll_start;
+  if (!heuristic_archive.empty()) {
+    result.best_heuristic = heuristic_archive.best().item;
+    result.best_heuristic_gap = heuristic_archive.best().fitness;
+  }
+  if (!std::isfinite(result.best_ul_objective)) {
+    result.best_ul_objective = 0.0;  // nothing feasible was found
+  }
+  if (!std::isfinite(result.best_gap)) result.best_gap = 1e9;
+  return result;
+}
+
+}  // namespace carbon::core

@@ -1,0 +1,188 @@
+#include "carbon/core/experiment.hpp"
+
+#include <mutex>
+#include <stdexcept>
+
+#include "carbon/baselines/biga.hpp"
+#include "carbon/baselines/codba.hpp"
+#include "carbon/baselines/nested_ga.hpp"
+#include "carbon/cobra/cobra_solver.hpp"
+#include "carbon/common/stopwatch.hpp"
+#include "carbon/common/thread_pool.hpp"
+#include "carbon/core/carbon_solver.hpp"
+
+namespace carbon::core {
+
+const char* to_string(Algorithm a) noexcept {
+  switch (a) {
+    case Algorithm::kCarbon:
+      return "CARBON";
+    case Algorithm::kCobra:
+      return "COBRA";
+    case Algorithm::kNestedGa:
+      return "NESTED-GA";
+    case Algorithm::kCarbonValueFitness:
+      return "CARBON-VALUE";
+    case Algorithm::kCarbonMemetic:
+      return "CARBON-MEMETIC";
+    case Algorithm::kBiga:
+      return "BIGA";
+    case Algorithm::kCodba:
+      return "CODBA";
+  }
+  return "?";
+}
+
+ExperimentConfig ExperimentConfig::paper_scale() {
+  ExperimentConfig cfg;
+  cfg.runs = 30;
+  cfg.population_size = 100;
+  cfg.archive_size = 100;
+  cfg.ul_eval_budget = 50'000;
+  cfg.ll_eval_budget = 50'000;
+  cfg.heuristic_sample_size = 5;
+  return cfg;
+}
+
+namespace {
+
+RunResult dispatch(const bcpop::Instance& instance, Algorithm algorithm,
+                   const ExperimentConfig& cfg, std::uint64_t seed) {
+  switch (algorithm) {
+    case Algorithm::kCarbon:
+    case Algorithm::kCarbonValueFitness:
+    case Algorithm::kCarbonMemetic: {
+      CarbonConfig c;
+      c.ul_population_size = cfg.population_size;
+      c.gp_population_size = cfg.population_size;
+      c.ul_archive_size = cfg.archive_size;
+      c.gp_archive_size = cfg.archive_size;
+      c.ul_eval_budget = cfg.ul_eval_budget;
+      c.ll_eval_budget = cfg.ll_eval_budget;
+      c.heuristic_sample_size = cfg.heuristic_sample_size;
+      c.record_convergence = cfg.record_convergence;
+      c.seed = seed;
+      if (algorithm == Algorithm::kCarbonValueFitness) {
+        c.predator_fitness = PredatorFitness::kValue;
+      }
+      if (algorithm == Algorithm::kCarbonMemetic) {
+        c.memetic_polish = true;
+      }
+      return CarbonSolver(instance, c).run();
+    }
+    case Algorithm::kCobra: {
+      cobra::CobraConfig c;
+      c.ul_population_size = cfg.population_size;
+      c.ll_population_size = cfg.population_size;
+      c.ul_archive_size = cfg.archive_size;
+      c.ll_archive_size = cfg.archive_size;
+      c.ul_eval_budget = cfg.ul_eval_budget;
+      c.ll_eval_budget = cfg.ll_eval_budget;
+      c.record_convergence = cfg.record_convergence;
+      c.seed = seed;
+      return cobra::CobraSolver(instance, c).run();
+    }
+    case Algorithm::kBiga: {
+      baselines::BigaConfig c;
+      c.population_size = cfg.population_size;
+      c.archive_size = cfg.archive_size;
+      c.ul_eval_budget = cfg.ul_eval_budget;
+      c.ll_eval_budget = cfg.ll_eval_budget;
+      c.record_convergence = cfg.record_convergence;
+      c.seed = seed;
+      return baselines::BigaSolver(instance, c).run();
+    }
+    case Algorithm::kCodba: {
+      baselines::CodbaConfig c;
+      c.ul_population_size = cfg.population_size;
+      c.archive_size = cfg.archive_size;
+      c.ul_eval_budget = cfg.ul_eval_budget;
+      c.ll_eval_budget = cfg.ll_eval_budget;
+      c.record_convergence = cfg.record_convergence;
+      c.seed = seed;
+      return baselines::CodbaSolver(instance, c).run();
+    }
+    case Algorithm::kNestedGa: {
+      baselines::NestedGaConfig c;
+      c.population_size = cfg.population_size;
+      c.archive_size = cfg.archive_size;
+      c.ul_eval_budget = cfg.ul_eval_budget;
+      c.ll_eval_budget = cfg.ll_eval_budget;
+      c.record_convergence = cfg.record_convergence;
+      c.seed = seed;
+      return baselines::NestedGaSolver(instance, c).run();
+    }
+  }
+  throw std::invalid_argument("run_cell: unknown algorithm");
+}
+
+}  // namespace
+
+CellResult run_cell(const bcpop::Instance& instance, Algorithm algorithm,
+                    const ExperimentConfig& config) {
+  if (config.runs == 0) {
+    throw std::invalid_argument("run_cell: runs must be >= 1");
+  }
+  common::Stopwatch sw;
+  CellResult cell;
+  cell.algorithm = algorithm;
+  cell.runs.resize(config.runs);
+
+  const auto one_run = [&](std::size_t r) {
+    cell.runs[r] =
+        dispatch(instance, algorithm, config, config.base_seed + r);
+  };
+
+  if (config.runs == 1 || config.threads == 1) {
+    for (std::size_t r = 0; r < config.runs; ++r) one_run(r);
+  } else {
+    common::ThreadPool pool(config.threads);
+    pool.parallel_for(config.runs, one_run);
+  }
+
+  std::vector<double> gaps;
+  std::vector<double> uls;
+  gaps.reserve(config.runs);
+  uls.reserve(config.runs);
+  for (const RunResult& r : cell.runs) {
+    gaps.push_back(r.best_gap);
+    uls.push_back(r.best_ul_objective);
+  }
+  cell.gap = common::summarize(gaps);
+  cell.ul_objective = common::summarize(uls);
+  cell.wall_seconds = sw.seconds();
+  return cell;
+}
+
+std::vector<ConvergencePoint> average_convergence(
+    const std::vector<RunResult>& runs) {
+  if (runs.empty()) return {};
+  std::size_t length = runs.front().convergence.size();
+  for (const RunResult& r : runs) {
+    length = std::min(length, r.convergence.size());
+  }
+  std::vector<ConvergencePoint> avg(length);
+  if (length == 0) return avg;
+  const double inv = 1.0 / static_cast<double>(runs.size());
+  for (std::size_t g = 0; g < length; ++g) {
+    ConvergencePoint& pt = avg[g];
+    pt.generation = static_cast<int>(g);
+    pt.phase = runs.front().convergence[g].phase;
+    for (const RunResult& r : runs) {
+      const ConvergencePoint& src = r.convergence[g];
+      pt.ul_evaluations += src.ul_evaluations;
+      pt.ll_evaluations += src.ll_evaluations;
+      pt.best_ul_so_far += src.best_ul_so_far * inv;
+      pt.best_gap_so_far += src.best_gap_so_far * inv;
+      pt.current_best_ul += src.current_best_ul * inv;
+      pt.current_mean_gap += src.current_mean_gap * inv;
+      pt.gp_unique_fraction += src.gp_unique_fraction * inv;
+      pt.gp_mean_tree_size += src.gp_mean_tree_size * inv;
+    }
+    pt.ul_evaluations /= static_cast<long long>(runs.size());
+    pt.ll_evaluations /= static_cast<long long>(runs.size());
+  }
+  return avg;
+}
+
+}  // namespace carbon::core

@@ -1,0 +1,125 @@
+#include "carbon/cover/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace carbon::cover {
+
+Instance generate(const GeneratorConfig& config) {
+  if (config.num_bundles == 0 || config.num_services == 0) {
+    throw std::invalid_argument("generate: empty instance requested");
+  }
+  if (config.tightness <= 0.0 || config.tightness > 1.0) {
+    throw std::invalid_argument("generate: tightness must be in (0, 1]");
+  }
+  common::Rng rng(config.seed);
+
+  const std::size_t m = config.num_bundles;
+  const std::size_t n = config.num_services;
+
+  std::vector<std::vector<int>> q(m, std::vector<int>(n, 0));
+  std::vector<long long> column_sum(n, 0);
+  for (std::size_t j = 0; j < m; ++j) {
+    for (std::size_t k = 0; k < n; ++k) {
+      if (!rng.chance(config.density)) continue;
+      const int v = static_cast<int>(rng.range(1, config.max_quantity));
+      q[j][k] = v;
+      column_sum[k] += v;
+    }
+  }
+  // Guarantee every service is supplied by at least two bundles so demands
+  // are always coverable and the greedy always has a choice.
+  for (std::size_t k = 0; k < n; ++k) {
+    std::size_t suppliers = 0;
+    for (std::size_t j = 0; j < m; ++j) suppliers += (q[j][k] > 0);
+    while (suppliers < 2) {
+      const auto j = static_cast<std::size_t>(rng.below(m));
+      if (q[j][k] > 0) continue;
+      const int v = static_cast<int>(rng.range(1, config.max_quantity));
+      q[j][k] = v;
+      column_sum[k] += v;
+      ++suppliers;
+    }
+  }
+
+  std::vector<int> demands(n, 0);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double target = config.tightness * static_cast<double>(column_sum[k]);
+    demands[k] = std::max(1, static_cast<int>(std::floor(target)));
+  }
+
+  std::vector<double> costs(m, 0.0);
+  for (std::size_t j = 0; j < m; ++j) {
+    double mass = 0.0;
+    for (std::size_t k = 0; k < n; ++k) mass += q[j][k];
+    costs[j] = config.cost_base +
+               config.cost_correlation * mass / static_cast<double>(n) +
+               config.cost_noise * rng.uniform();
+  }
+
+  Instance inst(std::move(costs), std::move(q), std::move(demands));
+  if (!inst.coverable()) {
+    throw std::logic_error("generate: produced uncoverable instance (bug)");
+  }
+  return inst;
+}
+
+const std::vector<PaperClass>& paper_classes() {
+  static const std::vector<PaperClass> kClasses = {
+      {100, 5}, {100, 10}, {100, 30},
+      {250, 5}, {250, 10}, {250, 30},
+      {500, 5}, {500, 10}, {500, 30},
+  };
+  return kClasses;
+}
+
+const std::vector<NamedFamily>& instance_families() {
+  static const std::vector<NamedFamily> kFamilies = [] {
+    std::vector<NamedFamily> fams;
+    GeneratorConfig base;
+    base.num_bundles = 120;
+    base.num_services = 8;
+    base.seed = 0xFA111E5;
+
+    NamedFamily loose{"loose", "tightness 0.10: shallow covers", base};
+    loose.config.tightness = 0.10;
+    NamedFamily tight{"tight", "tightness 0.60: most bundles needed", base};
+    tight.config.tightness = 0.60;
+    NamedFamily sparse{"sparse", "density 0.15: specialized bundles", base};
+    sparse.config.density = 0.15;
+    NamedFamily dense{"dense", "density 1.00: generalist bundles", base};
+    dense.config.density = 1.0;
+    NamedFamily correlated{
+        "correlated", "costs proportional to service mass", base};
+    correlated.config.cost_correlation = 2.0;
+    correlated.config.cost_noise = 50.0;
+    NamedFamily random_costs{
+        "random-costs", "costs independent of content", base};
+    random_costs.config.cost_correlation = 0.0;
+    random_costs.config.cost_noise = 1000.0;
+
+    fams.push_back(loose);
+    fams.push_back(tight);
+    fams.push_back(sparse);
+    fams.push_back(dense);
+    fams.push_back(correlated);
+    fams.push_back(random_costs);
+    return fams;
+  }();
+  return kFamilies;
+}
+
+Instance make_paper_instance(std::size_t class_index, std::uint64_t run) {
+  const auto& classes = paper_classes();
+  if (class_index >= classes.size()) {
+    throw std::out_of_range("make_paper_instance: class index 0..8");
+  }
+  GeneratorConfig cfg;
+  cfg.num_bundles = classes[class_index].num_bundles;
+  cfg.num_services = classes[class_index].num_services;
+  cfg.seed = 0x5EEDULL + 1000 * class_index + run;
+  return generate(cfg);
+}
+
+}  // namespace carbon::cover

@@ -1,0 +1,108 @@
+#include "carbon/cover/greedy.hpp"
+
+#include <stdexcept>
+
+namespace carbon::cover {
+
+SolveResult greedy_solve_static(const Instance& instance,
+                                std::span<const double> scores,
+                                const GreedyOptions& options) {
+  const std::size_t m = instance.num_bundles();
+  const std::size_t n = instance.num_services();
+  if (scores.size() != m) {
+    throw std::invalid_argument("greedy_solve_static: one score per bundle");
+  }
+
+  // Stable order: score descending, index ascending — matches the argmax
+  // tie-breaking of greedy_solve_with exactly.
+  std::vector<std::size_t> order(m);
+  for (std::size_t j = 0; j < m; ++j) order[j] = j;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     const double sa = detail::sanitize_score(scores[a]);
+                     const double sb = detail::sanitize_score(scores[b]);
+                     return sa > sb;
+                   });
+
+  SolveResult result;
+  result.selection.assign(m, 0);
+  std::vector<int> residual(instance.demands().begin(),
+                            instance.demands().end());
+  long long outstanding =
+      std::accumulate(residual.begin(), residual.end(), 0LL);
+
+  for (std::size_t rank = 0; rank < m && outstanding > 0; ++rank) {
+    const std::size_t j = order[rank];
+    const auto row = instance.bundle(j);
+    long long useful = 0;
+    for (std::size_t k = 0; k < n; ++k) {
+      if (residual[k] > 0 && row[k] > 0) {
+        useful += std::min(row[k], residual[k]);
+      }
+    }
+    if (useful <= 0) continue;
+    result.selection[j] = 1;
+    for (std::size_t k = 0; k < n; ++k) {
+      if (residual[k] > 0 && row[k] > 0) {
+        const int used = std::min(row[k], residual[k]);
+        residual[k] -= used;
+        outstanding -= used;
+      }
+    }
+  }
+
+  if (outstanding > 0) {
+    result.feasible = false;
+    result.value = instance.selection_cost(result.selection);
+    return result;
+  }
+
+  if (options.eliminate_redundancy) {
+    std::vector<long long> covered(n, 0);
+    for (std::size_t j = 0; j < m; ++j) {
+      if (!result.selection[j]) continue;
+      const auto row = instance.bundle(j);
+      for (std::size_t k = 0; k < n; ++k) covered[k] += row[k];
+    }
+    std::vector<std::size_t> chosen;
+    for (std::size_t j = 0; j < m; ++j) {
+      if (result.selection[j]) chosen.push_back(j);
+    }
+    std::sort(chosen.begin(), chosen.end(),
+              [&](std::size_t a, std::size_t b) {
+                return instance.cost(a) > instance.cost(b);
+              });
+    for (std::size_t j : chosen) {
+      const auto row = instance.bundle(j);
+      bool droppable = true;
+      for (std::size_t k = 0; k < n; ++k) {
+        if (covered[k] - row[k] < instance.demand(k)) {
+          droppable = false;
+          break;
+        }
+      }
+      if (!droppable) continue;
+      result.selection[j] = 0;
+      for (std::size_t k = 0; k < n; ++k) covered[k] -= row[k];
+    }
+  }
+
+  result.feasible = true;
+  result.value = instance.selection_cost(result.selection);
+  return result;
+}
+
+double cost_effectiveness_score(const BundleFeatures& f) {
+  return f.qcov / std::max(f.cost, 1e-9);
+}
+
+double dual_score(const BundleFeatures& f) { return f.dual - f.cost; }
+
+SolveResult greedy_solve(const Instance& instance, const ScoreFunction& score,
+                         std::span<const double> duals,
+                         std::span<const double> relaxed_x,
+                         const GreedyOptions& options) {
+  return greedy_solve_with(instance, score, duals, relaxed_x, options);
+}
+
+}  // namespace carbon::cover

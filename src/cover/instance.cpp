@@ -1,0 +1,112 @@
+#include "carbon/cover/instance.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace carbon::cover {
+
+Instance::Instance(std::vector<double> costs, std::vector<std::vector<int>> q,
+                   std::vector<int> demands)
+    : costs_(std::move(costs)), demands_(std::move(demands)) {
+  if (q.size() != costs_.size()) {
+    throw std::invalid_argument("Instance: q rows must match costs size");
+  }
+  const std::size_t n = demands_.size();
+  q_.reserve(q.size() * n);
+  for (const auto& row : q) {
+    if (row.size() != n) {
+      throw std::invalid_argument("Instance: bundle row size mismatch");
+    }
+    for (int v : row) {
+      if (v < 0) throw std::invalid_argument("Instance: negative quantity");
+      q_.push_back(v);
+    }
+  }
+  for (int d : demands_) {
+    if (d < 0) throw std::invalid_argument("Instance: negative demand");
+  }
+  build_supplier_index();
+}
+
+void Instance::build_supplier_index() {
+  const std::size_t m = num_bundles();
+  const std::size_t n = num_services();
+  supplier_start_.assign(n + 1, 0);
+  for (std::size_t j = 0; j < m; ++j) {
+    for (std::size_t k = 0; k < n; ++k) {
+      if (quantity(j, k) > 0) ++supplier_start_[k + 1];
+    }
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    supplier_start_[k + 1] += supplier_start_[k];
+  }
+  supplier_idx_.resize(supplier_start_[n]);
+  supplier_q_.resize(supplier_start_[n]);
+  std::vector<std::size_t> cursor(supplier_start_.begin(),
+                                  supplier_start_.end() - 1);
+  for (std::size_t j = 0; j < m; ++j) {
+    for (std::size_t k = 0; k < n; ++k) {
+      const int q = quantity(j, k);
+      if (q <= 0) continue;
+      supplier_idx_[cursor[k]] = static_cast<std::uint32_t>(j);
+      supplier_q_[cursor[k]] = q;
+      ++cursor[k];
+    }
+  }
+}
+
+long long Instance::total_supply(std::size_t k) const noexcept {
+  long long total = 0;
+  for (std::size_t j = 0; j < num_bundles(); ++j) total += quantity(j, k);
+  return total;
+}
+
+bool Instance::coverable() const noexcept {
+  for (std::size_t k = 0; k < num_services(); ++k) {
+    if (total_supply(k) < demands_[k]) return false;
+  }
+  return true;
+}
+
+bool Instance::feasible(std::span<const std::uint8_t> selection) const {
+  if (selection.size() != num_bundles()) return false;
+  for (std::size_t k = 0; k < num_services(); ++k) {
+    long long covered = 0;
+    for (std::size_t j = 0; j < num_bundles(); ++j) {
+      if (selection[j]) covered += quantity(j, k);
+    }
+    if (covered < demands_[k]) return false;
+  }
+  return true;
+}
+
+double Instance::selection_cost(std::span<const std::uint8_t> selection) const {
+  double total = 0.0;
+  for (std::size_t j = 0; j < num_bundles() && j < selection.size(); ++j) {
+    if (selection[j]) total += costs_[j];
+  }
+  return total;
+}
+
+std::vector<int> Instance::residual_demand(
+    std::span<const std::uint8_t> selection) const {
+  std::vector<int> residual(demands_.begin(), demands_.end());
+  for (std::size_t j = 0; j < num_bundles() && j < selection.size(); ++j) {
+    if (!selection[j]) continue;
+    for (std::size_t k = 0; k < num_services(); ++k) {
+      residual[k] = std::max(0, residual[k] - quantity(j, k));
+    }
+  }
+  return residual;
+}
+
+std::string Instance::describe() const {
+  std::ostringstream ss;
+  ss << "cover instance: " << num_bundles() << " bundles x " << num_services()
+     << " services";
+  return ss.str();
+}
+
+}  // namespace carbon::cover

@@ -1,0 +1,118 @@
+#include "carbon/cover/local_search.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace carbon::cover {
+
+namespace {
+
+/// Coverage per service of the current selection.
+std::vector<long long> coverage_of(const Instance& inst,
+                                   std::span<const std::uint8_t> selection) {
+  std::vector<long long> covered(inst.num_services(), 0);
+  for (std::size_t j = 0; j < inst.num_bundles(); ++j) {
+    if (!selection[j]) continue;
+    const auto row = inst.bundle(j);
+    for (std::size_t k = 0; k < inst.num_services(); ++k) {
+      covered[k] += row[k];
+    }
+  }
+  return covered;
+}
+
+bool removable(const Instance& inst, std::span<const long long> covered,
+               std::size_t j) {
+  const auto row = inst.bundle(j);
+  for (std::size_t k = 0; k < inst.num_services(); ++k) {
+    if (covered[k] - row[k] < inst.demand(k)) return false;
+  }
+  return true;
+}
+
+bool swappable(const Instance& inst, std::span<const long long> covered,
+               std::size_t out, std::size_t in) {
+  const auto row_out = inst.bundle(out);
+  const auto row_in = inst.bundle(in);
+  for (std::size_t k = 0; k < inst.num_services(); ++k) {
+    if (covered[k] - row_out[k] + row_in[k] < inst.demand(k)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+LocalSearchResult local_search(const Instance& instance,
+                               std::vector<std::uint8_t>& selection,
+                               const LocalSearchOptions& options) {
+  if (selection.size() != instance.num_bundles() ||
+      !instance.feasible(selection)) {
+    throw std::invalid_argument("local_search: need a feasible cover");
+  }
+
+  LocalSearchResult result;
+  std::vector<long long> covered = coverage_of(instance, selection);
+  const std::size_t m = instance.num_bundles();
+  const auto moves_left = [&] {
+    return options.max_moves == 0 ||
+           result.drops + result.swaps < options.max_moves;
+  };
+
+  bool improved = true;
+  while (improved && moves_left()) {
+    improved = false;
+
+    if (options.enable_drop) {
+      // Most expensive first: dropping a pricey redundant bundle may keep a
+      // cheap one feasible, never the other way around.
+      std::vector<std::size_t> chosen;
+      for (std::size_t j = 0; j < m; ++j) {
+        if (selection[j]) chosen.push_back(j);
+      }
+      std::sort(chosen.begin(), chosen.end(),
+                [&](std::size_t a, std::size_t b) {
+                  return instance.cost(a) > instance.cost(b);
+                });
+      for (std::size_t j : chosen) {
+        if (!moves_left()) break;
+        if (instance.cost(j) <= 0.0) continue;
+        if (!removable(instance, covered, j)) continue;
+        selection[j] = 0;
+        const auto row = instance.bundle(j);
+        for (std::size_t k = 0; k < instance.num_services(); ++k) {
+          covered[k] -= row[k];
+        }
+        ++result.drops;
+        improved = true;
+      }
+    }
+
+    if (options.enable_swap) {
+      for (std::size_t out = 0; out < m && moves_left(); ++out) {
+        if (!selection[out]) continue;
+        for (std::size_t in = 0; in < m; ++in) {
+          if (selection[in] || instance.cost(in) >= instance.cost(out)) {
+            continue;
+          }
+          if (!swappable(instance, covered, out, in)) continue;
+          selection[out] = 0;
+          selection[in] = 1;
+          const auto row_out = instance.bundle(out);
+          const auto row_in = instance.bundle(in);
+          for (std::size_t k = 0; k < instance.num_services(); ++k) {
+            covered[k] += row_in[k] - row_out[k];
+          }
+          ++result.swaps;
+          improved = true;
+          break;  // `out` is gone; move to the next selected bundle
+        }
+      }
+    }
+  }
+
+  result.value = instance.selection_cost(selection);
+  return result;
+}
+
+}  // namespace carbon::cover

@@ -1,0 +1,74 @@
+#include "carbon/cover/orlib_io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace carbon::cover {
+
+void write_orlib(std::ostream& out, const Instance& instance) {
+  const std::size_t m = instance.num_bundles();
+  const std::size_t n = instance.num_services();
+  out << m << ' ' << n << '\n';
+  out << std::setprecision(17);
+  for (std::size_t j = 0; j < m; ++j) {
+    out << instance.cost(j) << (j + 1 == m ? '\n' : ' ');
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t j = 0; j < m; ++j) {
+      out << instance.quantity(j, k) << (j + 1 == m ? '\n' : ' ');
+    }
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    out << instance.demand(k) << (k + 1 == n ? '\n' : ' ');
+  }
+  if (!out) throw std::ios_base::failure("write_orlib: stream error");
+}
+
+Instance read_orlib(std::istream& in) {
+  std::size_t m = 0;
+  std::size_t n = 0;
+  if (!(in >> m >> n)) {
+    throw std::runtime_error("read_orlib: missing header");
+  }
+  if (m == 0 || n == 0 || m > 10'000'000 || n > 10'000'000) {
+    throw std::runtime_error("read_orlib: implausible dimensions");
+  }
+  std::vector<double> costs(m);
+  for (auto& c : costs) {
+    if (!(in >> c)) throw std::runtime_error("read_orlib: truncated costs");
+  }
+  std::vector<std::vector<int>> q(m, std::vector<int>(n));
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t j = 0; j < m; ++j) {
+      if (!(in >> q[j][k])) {
+        throw std::runtime_error("read_orlib: truncated matrix");
+      }
+      if (q[j][k] < 0) {
+        throw std::runtime_error("read_orlib: negative coefficient");
+      }
+    }
+  }
+  std::vector<int> demands(n);
+  for (auto& b : demands) {
+    if (!(in >> b)) throw std::runtime_error("read_orlib: truncated demands");
+    if (b < 0) throw std::runtime_error("read_orlib: negative demand");
+  }
+  return Instance(std::move(costs), std::move(q), std::move(demands));
+}
+
+void save_orlib(const std::string& path, const Instance& instance) {
+  std::ofstream f(path);
+  if (!f) throw std::ios_base::failure("save_orlib: cannot open " + path);
+  write_orlib(f, instance);
+}
+
+Instance load_orlib(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::ios_base::failure("load_orlib: cannot open " + path);
+  return read_orlib(f);
+}
+
+}  // namespace carbon::cover

@@ -1,0 +1,50 @@
+#include "carbon/cover/relaxation.hpp"
+
+#include <stdexcept>
+
+#include "carbon/lp/simplex.hpp"
+
+namespace carbon::cover {
+
+lp::Problem build_relaxation_lp(const Instance& instance) {
+  const std::size_t m = instance.num_bundles();
+  const std::size_t n = instance.num_services();
+  lp::Problem p;
+  p.objective.reserve(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    p.add_variable(instance.cost(j), 0.0, 1.0);
+  }
+  std::vector<double> row(m);
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t j = 0; j < m; ++j) {
+      row[j] = static_cast<double>(instance.quantity(j, k));
+    }
+    p.add_constraint(row, lp::RowSense::kGreaterEqual,
+                     static_cast<double>(instance.demand(k)));
+  }
+  return p;
+}
+
+Relaxation relax(const Instance& instance) {
+  const lp::Problem p = build_relaxation_lp(instance);
+  const lp::Solution sol = lp::solve(p);
+
+  Relaxation out;
+  switch (sol.status) {
+    case lp::SolveStatus::kOptimal:
+      out.feasible = true;
+      out.lower_bound = sol.objective;
+      out.duals = sol.duals;
+      out.relaxed_x = sol.x;
+      return out;
+    case lp::SolveStatus::kInfeasible:
+      out.feasible = false;
+      return out;
+    default:
+      throw std::runtime_error(
+          std::string("cover::relax: LP solver failed with status ") +
+          lp::to_string(sol.status));
+  }
+}
+
+}  // namespace carbon::cover

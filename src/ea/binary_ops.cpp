@@ -1,0 +1,53 @@
+#include "carbon/ea/binary_ops.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace carbon::ea {
+
+std::vector<std::uint8_t> random_binary_vector(common::Rng& rng,
+                                               std::size_t size,
+                                               double density) {
+  std::vector<std::uint8_t> out(size);
+  for (auto& g : out) g = rng.chance(density) ? 1 : 0;
+  return out;
+}
+
+void two_point_crossover(common::Rng& rng, std::span<std::uint8_t> a,
+                         std::span<std::uint8_t> b) {
+  assert(a.size() == b.size());
+  const std::size_t n = a.size();
+  if (n < 2) return;
+  std::size_t p1 = rng.below(n);
+  std::size_t p2 = rng.below(n);
+  if (p1 > p2) std::swap(p1, p2);
+  for (std::size_t i = p1; i <= p2; ++i) std::swap(a[i], b[i]);
+}
+
+void swap_mutation(common::Rng& rng, std::span<std::uint8_t> genome,
+                   double per_gene_probability) {
+  const std::size_t n = genome.size();
+  if (n < 2) return;
+  const double p = per_gene_probability >= 0.0
+                       ? per_gene_probability
+                       : 1.0 / static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!rng.chance(p)) continue;
+    const std::size_t j = rng.below(n);
+    std::swap(genome[i], genome[j]);
+  }
+}
+
+void flip_mutation(common::Rng& rng, std::span<std::uint8_t> genome,
+                   double per_gene_probability) {
+  const std::size_t n = genome.size();
+  if (n == 0) return;
+  const double p = per_gene_probability >= 0.0
+                       ? per_gene_probability
+                       : 1.0 / static_cast<double>(n);
+  for (auto& g : genome) {
+    if (rng.chance(p)) g = static_cast<std::uint8_t>(1 - g);
+  }
+}
+
+}  // namespace carbon::ea

@@ -1,0 +1,117 @@
+#include "carbon/ea/real_ops.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace carbon::ea {
+
+std::vector<double> random_real_vector(common::Rng& rng,
+                                       std::span<const Bounds> bounds) {
+  std::vector<double> out(bounds.size());
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    out[i] = rng.uniform(bounds[i].lo, bounds[i].hi);
+  }
+  return out;
+}
+
+void clamp_to_bounds(std::span<double> genome, std::span<const Bounds> bounds) {
+  assert(genome.size() == bounds.size());
+  for (std::size_t i = 0; i < genome.size(); ++i) {
+    genome[i] = std::clamp(genome[i], bounds[i].lo, bounds[i].hi);
+  }
+}
+
+void sbx_crossover(common::Rng& rng, std::span<double> a, std::span<double> b,
+                   std::span<const Bounds> bounds, const SbxConfig& cfg) {
+  assert(a.size() == b.size() && a.size() == bounds.size());
+  constexpr double kEps = 1e-14;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!rng.chance(cfg.per_gene_probability)) continue;
+    double x1 = a[i];
+    double x2 = b[i];
+    if (std::abs(x1 - x2) < kEps) continue;
+    if (x1 > x2) std::swap(x1, x2);
+
+    const double lo = bounds[i].lo;
+    const double hi = bounds[i].hi;
+    const double u = rng.uniform();
+
+    // Bounded SBX (Deb & Agrawal 1995, with the boundary-respecting beta).
+    const auto child = [&](double beta_bound) {
+      const double alpha = 2.0 - std::pow(beta_bound, -(cfg.eta + 1.0));
+      double betaq;
+      if (u <= 1.0 / alpha) {
+        betaq = std::pow(u * alpha, 1.0 / (cfg.eta + 1.0));
+      } else {
+        betaq = std::pow(1.0 / (2.0 - u * alpha), 1.0 / (cfg.eta + 1.0));
+      }
+      return betaq;
+    };
+
+    const double dist = x2 - x1;
+    const double beta1 = 1.0 + 2.0 * (x1 - lo) / dist;
+    const double beta2 = 1.0 + 2.0 * (hi - x2) / dist;
+    const double betaq1 = child(beta1);
+    const double betaq2 = child(beta2);
+
+    double c1 = 0.5 * ((x1 + x2) - betaq1 * dist);
+    double c2 = 0.5 * ((x1 + x2) + betaq2 * dist);
+    c1 = std::clamp(c1, lo, hi);
+    c2 = std::clamp(c2, lo, hi);
+    if (rng.chance(0.5)) std::swap(c1, c2);
+    a[i] = c1;
+    b[i] = c2;
+  }
+}
+
+void polynomial_mutation(common::Rng& rng, std::span<double> genome,
+                         std::span<const Bounds> bounds,
+                         const PolynomialMutationConfig& cfg) {
+  assert(genome.size() == bounds.size());
+  if (genome.empty()) return;
+  const double p = cfg.per_gene_probability >= 0.0
+                       ? cfg.per_gene_probability
+                       : 1.0 / static_cast<double>(genome.size());
+  for (std::size_t i = 0; i < genome.size(); ++i) {
+    if (!rng.chance(p)) continue;
+    const double lo = bounds[i].lo;
+    const double hi = bounds[i].hi;
+    const double range = hi - lo;
+    if (range <= 0.0) continue;
+    const double x = genome[i];
+    const double d1 = (x - lo) / range;
+    const double d2 = (hi - x) / range;
+    const double u = rng.uniform();
+    const double mut_pow = 1.0 / (cfg.eta + 1.0);
+    double deltaq;
+    if (u < 0.5) {
+      const double xy = 1.0 - d1;
+      const double val =
+          2.0 * u + (1.0 - 2.0 * u) * std::pow(xy, cfg.eta + 1.0);
+      deltaq = std::pow(val, mut_pow) - 1.0;
+    } else {
+      const double xy = 1.0 - d2;
+      const double val = 2.0 * (1.0 - u) +
+                         2.0 * (u - 0.5) * std::pow(xy, cfg.eta + 1.0);
+      deltaq = 1.0 - std::pow(val, mut_pow);
+    }
+    genome[i] = std::clamp(x + deltaq * range, lo, hi);
+  }
+}
+
+std::size_t tournament_select(common::Rng& rng,
+                              std::span<const double> fitness, std::size_t k,
+                              bool maximize) {
+  assert(!fitness.empty() && k >= 1);
+  std::size_t best = rng.below(fitness.size());
+  for (std::size_t i = 1; i < k; ++i) {
+    const std::size_t challenger = rng.below(fitness.size());
+    const bool better = maximize ? fitness[challenger] > fitness[best]
+                                 : fitness[challenger] < fitness[best];
+    if (better) best = challenger;
+  }
+  return best;
+}
+
+}  // namespace carbon::ea

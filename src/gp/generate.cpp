@@ -1,0 +1,78 @@
+#include "carbon/gp/generate.hpp"
+
+#include <stdexcept>
+
+namespace carbon::gp {
+
+namespace {
+
+constexpr OpCode kOperators[] = {OpCode::kAdd, OpCode::kSub, OpCode::kMul,
+                                 OpCode::kDiv, OpCode::kMod};
+constexpr std::size_t kNumOperators = std::size(kOperators);
+
+Node random_terminal_node(common::Rng& rng, const GenerateConfig& cfg) {
+  Node n;
+  // With constants enabled, draw a constant 1 time in (kNumTerminals + 1).
+  if (cfg.use_constants && rng.below(kNumTerminals + 1) == kNumTerminals) {
+    n.op = OpCode::kConst;
+    n.value = rng.uniform(cfg.constant_min, cfg.constant_max);
+  } else {
+    n.op = OpCode::kTerminal;
+    n.terminal = static_cast<std::uint8_t>(rng.below(kNumTerminals));
+  }
+  return n;
+}
+
+Node random_operator_node(common::Rng& rng) {
+  Node n;
+  n.op = kOperators[rng.below(kNumOperators)];
+  return n;
+}
+
+void build(common::Rng& rng, const GenerateConfig& cfg, int remaining,
+           bool full, std::vector<Node>& out) {
+  const bool force_terminal = remaining <= 1;
+  const bool choose_terminal =
+      force_terminal ||
+      (!full && rng.chance(cfg.terminal_probability));
+  if (choose_terminal) {
+    out.push_back(random_terminal_node(rng, cfg));
+    return;
+  }
+  out.push_back(random_operator_node(rng));
+  build(rng, cfg, remaining - 1, full, out);
+  build(rng, cfg, remaining - 1, full, out);
+}
+
+}  // namespace
+
+Tree random_leaf(common::Rng& rng, const GenerateConfig& cfg) {
+  return Tree({random_terminal_node(rng, cfg)});
+}
+
+Tree generate_full(common::Rng& rng, int depth, const GenerateConfig& cfg) {
+  if (depth < 1) throw std::invalid_argument("generate_full: depth >= 1");
+  std::vector<Node> nodes;
+  nodes.reserve(static_cast<std::size_t>(1) << std::min(depth, 20));
+  build(rng, cfg, depth, /*full=*/true, nodes);
+  return Tree(std::move(nodes));
+}
+
+Tree generate_grow(common::Rng& rng, int depth, const GenerateConfig& cfg) {
+  if (depth < 1) throw std::invalid_argument("generate_grow: depth >= 1");
+  std::vector<Node> nodes;
+  build(rng, cfg, depth, /*full=*/false, nodes);
+  return Tree(std::move(nodes));
+}
+
+Tree generate_ramped(common::Rng& rng, const GenerateConfig& cfg) {
+  if (cfg.min_depth < 1 || cfg.max_depth < cfg.min_depth) {
+    throw std::invalid_argument("generate_ramped: bad depth range");
+  }
+  const int depth =
+      static_cast<int>(rng.range(cfg.min_depth, cfg.max_depth));
+  return rng.chance(0.5) ? generate_full(rng, depth, cfg)
+                         : generate_grow(rng, depth, cfg);
+}
+
+}  // namespace carbon::gp

@@ -1,0 +1,70 @@
+#include "carbon/gp/operators.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace carbon::gp {
+
+std::size_t pick_node(common::Rng& rng, const Tree& tree,
+                      double internal_bias) {
+  const auto& nodes = tree.nodes();
+  if (nodes.size() == 1) return 0;
+
+  std::vector<std::size_t> internal;
+  std::vector<std::size_t> leaves;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    (nodes[i].is_leaf() ? leaves : internal).push_back(i);
+  }
+  const bool pick_internal =
+      !internal.empty() && (leaves.empty() || rng.chance(internal_bias));
+  const auto& pool = pick_internal ? internal : leaves;
+  return pool[rng.below(pool.size())];
+}
+
+std::pair<Tree, Tree> subtree_crossover(common::Rng& rng, const Tree& a,
+                                        const Tree& b,
+                                        const OperatorConfig& cfg) {
+  const std::size_t pa = pick_node(rng, a, cfg.internal_bias);
+  const std::size_t pb = pick_node(rng, b, cfg.internal_bias);
+
+  Tree child_a = a;
+  Tree child_b = b;
+  child_a.replace_subtree(pa, b.subtree(pb));
+  child_b.replace_subtree(pb, a.subtree(pa));
+
+  if (child_a.depth() > cfg.max_depth) child_a = a;
+  if (child_b.depth() > cfg.max_depth) child_b = b;
+  return {std::move(child_a), std::move(child_b)};
+}
+
+Tree uniform_mutation(common::Rng& rng, const Tree& tree,
+                      const OperatorConfig& cfg) {
+  const std::size_t pos = pick_node(rng, tree, cfg.internal_bias);
+  const int depth = static_cast<int>(
+      rng.range(cfg.mutation_min_depth, cfg.mutation_max_depth));
+  const Tree fresh = generate_grow(rng, depth, cfg.generate);
+
+  Tree child = tree;
+  child.replace_subtree(pos, fresh);
+  if (child.depth() > cfg.max_depth) return tree;
+  return child;
+}
+
+Tree point_mutation(common::Rng& rng, const Tree& tree,
+                    const OperatorConfig& cfg) {
+  Tree child = tree;
+  auto nodes = child.nodes();  // copy
+  const std::size_t pos = rng.below(nodes.size());
+  Node& n = nodes[pos];
+  if (n.is_leaf()) {
+    const Tree leaf = random_leaf(rng, cfg.generate);
+    n = leaf.nodes()[0];
+  } else {
+    static constexpr OpCode kOps[] = {OpCode::kAdd, OpCode::kSub, OpCode::kMul,
+                                      OpCode::kDiv, OpCode::kMod};
+    n.op = kOps[rng.below(std::size(kOps))];
+  }
+  return Tree(std::move(nodes));
+}
+
+}  // namespace carbon::gp

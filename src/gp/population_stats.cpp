@@ -1,0 +1,70 @@
+#include "carbon/gp/population_stats.hpp"
+
+#include <algorithm>
+#include <tuple>
+#include <set>
+#include <vector>
+
+namespace carbon::gp {
+
+namespace {
+
+bool uses_dynamic(const Tree& t) {
+  return t.uses_terminal(Terminal::kQcov) || t.uses_terminal(Terminal::kBres);
+}
+
+}  // namespace
+
+PopulationStats analyze_population(std::span<const Tree> trees) {
+  PopulationStats stats;
+  stats.population = trees.size();
+  if (trees.empty()) return stats;
+
+  double total_size = 0.0;
+  double total_depth = 0.0;
+  std::size_t static_count = 0;
+
+  // Exact structural dedup via sorted views of node sequences.
+  std::vector<const Tree*> sorted;
+  sorted.reserve(trees.size());
+  for (const Tree& t : trees) {
+    total_size += static_cast<double>(t.size());
+    stats.max_size = std::max(stats.max_size, t.size());
+    const int d = t.depth();
+    total_depth += d;
+    stats.max_depth = std::max(stats.max_depth, d);
+    if (!uses_dynamic(t)) ++static_count;
+    for (std::size_t term = 0; term < kNumTerminals; ++term) {
+      if (t.uses_terminal(static_cast<Terminal>(term))) {
+        stats.terminal_usage[term] += 1.0;
+      }
+    }
+    sorted.push_back(&t);
+  }
+
+  const auto node_key = [](const Node& n) {
+    return std::make_tuple(static_cast<int>(n.op), static_cast<int>(n.terminal),
+                      n.value);
+  };
+  std::sort(sorted.begin(), sorted.end(),
+            [&](const Tree* a, const Tree* b) {
+              return std::lexicographical_compare(
+                  a->nodes().begin(), a->nodes().end(), b->nodes().begin(),
+                  b->nodes().end(), [&](const Node& x, const Node& y) {
+                    return node_key(x) < node_key(y);
+                  });
+            });
+  stats.unique_structures = 1;
+  for (std::size_t i = 1; i < sorted.size(); ++i) {
+    if (!(*sorted[i] == *sorted[i - 1])) ++stats.unique_structures;
+  }
+
+  const double n = static_cast<double>(trees.size());
+  stats.mean_size = total_size / n;
+  stats.mean_depth = total_depth / n;
+  stats.static_fraction = static_cast<double>(static_count) / n;
+  for (double& u : stats.terminal_usage) u /= n;
+  return stats;
+}
+
+}  // namespace carbon::gp

@@ -1,0 +1,77 @@
+#include "carbon/graph/graph.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace carbon::graph {
+
+ArcId Digraph::add_arc(NodeId from, NodeId to, double weight) {
+  if (from >= num_nodes() || to >= num_nodes()) {
+    throw std::invalid_argument("Digraph::add_arc: endpoint out of range");
+  }
+  if (weight < 0.0) {
+    throw std::invalid_argument("Digraph::add_arc: negative weight");
+  }
+  const auto id = static_cast<ArcId>(arcs_.size());
+  arcs_.push_back({from, to, weight});
+  out_[from].push_back(id);
+  return id;
+}
+
+void Digraph::set_weight(ArcId a, double weight) {
+  if (a >= arcs_.size()) {
+    throw std::out_of_range("Digraph::set_weight: bad arc id");
+  }
+  if (weight < 0.0) {
+    throw std::invalid_argument("Digraph::set_weight: negative weight");
+  }
+  arcs_[a].weight = weight;
+}
+
+ShortestPaths dijkstra(const Digraph& g, NodeId source) {
+  if (source >= g.num_nodes()) {
+    throw std::invalid_argument("dijkstra: source out of range");
+  }
+  ShortestPaths out;
+  out.distance.assign(g.num_nodes(), kUnreachable);
+  out.incoming_arc.assign(g.num_nodes(), ShortestPaths::kNoArc);
+  out.distance[source] = 0.0;
+
+  using Entry = std::pair<double, NodeId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  heap.push({0.0, source});
+  while (!heap.empty()) {
+    const auto [dist, node] = heap.top();
+    heap.pop();
+    if (dist > out.distance[node]) continue;  // stale entry
+    for (const ArcId a : g.out_arcs(node)) {
+      const Arc& arc = g.arc(a);
+      const double candidate = dist + arc.weight;
+      if (candidate < out.distance[arc.to]) {
+        out.distance[arc.to] = candidate;
+        out.incoming_arc[arc.to] = a;
+        heap.push({candidate, arc.to});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<ArcId> extract_path(const ShortestPaths& paths, const Digraph& g,
+                                NodeId target) {
+  std::vector<ArcId> path;
+  if (target >= paths.distance.size() || !paths.reachable(target)) {
+    return path;
+  }
+  NodeId node = target;
+  while (paths.incoming_arc[node] != ShortestPaths::kNoArc) {
+    const ArcId a = paths.incoming_arc[node];
+    path.push_back(a);
+    node = g.arc(a).from;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace carbon::graph

@@ -1,0 +1,77 @@
+#include "carbon/lp/dense_matrix.hpp"
+
+#include <cmath>
+#include <numeric>
+
+namespace carbon::lp {
+
+void DenseMatrix::multiply(std::span<const double> v,
+                           std::span<double> out) const {
+  assert(v.size() == cols_ && out.size() == rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* row_ptr = data_.data() + r * cols_;
+    double acc = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) acc += row_ptr[c] * v[c];
+    out[r] = acc;
+  }
+}
+
+void DenseMatrix::multiply_transposed(std::span<const double> v,
+                                      std::span<double> out) const {
+  assert(v.size() == rows_ && out.size() == cols_);
+  std::fill(out.begin(), out.end(), 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double vr = v[r];
+    if (vr == 0.0) continue;
+    const double* row_ptr = data_.data() + r * cols_;
+    for (std::size_t c = 0; c < cols_; ++c) out[c] += vr * row_ptr[c];
+  }
+}
+
+bool DenseMatrix::invert(double pivot_tolerance) {
+  assert(rows_ == cols_);
+  const std::size_t n = rows_;
+  DenseMatrix inv = identity(n);
+  DenseMatrix work = *this;
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivoting: pick the largest |entry| in this column.
+    std::size_t pivot_row = col;
+    double best = std::abs(work(col, col));
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double cand = std::abs(work(r, col));
+      if (cand > best) {
+        best = cand;
+        pivot_row = r;
+      }
+    }
+    if (best < pivot_tolerance) return false;
+
+    if (pivot_row != col) {
+      for (std::size_t c = 0; c < n; ++c) {
+        std::swap(work(pivot_row, c), work(col, c));
+        std::swap(inv(pivot_row, c), inv(col, c));
+      }
+    }
+
+    const double pivot = work(col, col);
+    const double inv_pivot = 1.0 / pivot;
+    for (std::size_t c = 0; c < n; ++c) {
+      work(col, c) *= inv_pivot;
+      inv(col, c) *= inv_pivot;
+    }
+    for (std::size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const double factor = work(r, col);
+      if (factor == 0.0) continue;
+      for (std::size_t c = 0; c < n; ++c) {
+        work(r, c) -= factor * work(col, c);
+        inv(r, c) -= factor * inv(col, c);
+      }
+    }
+  }
+  *this = std::move(inv);
+  return true;
+}
+
+}  // namespace carbon::lp

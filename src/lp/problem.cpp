@@ -1,0 +1,82 @@
+#include "carbon/lp/problem.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace carbon::lp {
+
+std::size_t Problem::add_variable(double cost, double lo, double hi) {
+  objective.push_back(cost);
+  lower.push_back(lo);
+  upper.push_back(hi);
+  columns.emplace_back(num_rows(), 0.0);
+  return num_vars() - 1;
+}
+
+std::size_t Problem::add_constraint(const std::vector<double>& row,
+                                    RowSense s, double b) {
+  for (std::size_t j = 0; j < num_vars(); ++j) {
+    columns[j].push_back(j < row.size() ? row[j] : 0.0);
+  }
+  rhs.push_back(b);
+  sense.push_back(s);
+  return num_rows() - 1;
+}
+
+std::string Problem::validate() const {
+  std::ostringstream err;
+  const std::size_t n = num_vars();
+  const std::size_t m = num_rows();
+  if (lower.size() != n || upper.size() != n) {
+    err << "bounds arrays must match num_vars";
+    return err.str();
+  }
+  if (sense.size() != m) {
+    err << "sense array must match num_rows";
+    return err.str();
+  }
+  if (columns.size() != n) {
+    err << "columns array must match num_vars";
+    return err.str();
+  }
+  for (std::size_t j = 0; j < n; ++j) {
+    if (columns[j].size() != m) {
+      err << "column " << j << " has " << columns[j].size() << " rows, want "
+          << m;
+      return err.str();
+    }
+    if (!std::isfinite(lower[j])) {
+      err << "variable " << j << " must have a finite lower bound";
+      return err.str();
+    }
+    if (upper[j] < lower[j]) {
+      err << "variable " << j << " has upper < lower";
+      return err.str();
+    }
+  }
+  for (std::size_t i = 0; i < m; ++i) {
+    if (!std::isfinite(rhs[i])) {
+      err << "rhs " << i << " is not finite";
+      return err.str();
+    }
+  }
+  return {};
+}
+
+const char* to_string(SolveStatus s) noexcept {
+  switch (s) {
+    case SolveStatus::kOptimal:
+      return "optimal";
+    case SolveStatus::kInfeasible:
+      return "infeasible";
+    case SolveStatus::kUnbounded:
+      return "unbounded";
+    case SolveStatus::kIterationLimit:
+      return "iteration-limit";
+    case SolveStatus::kNumericalFailure:
+      return "numerical-failure";
+  }
+  return "unknown";
+}
+
+}  // namespace carbon::lp

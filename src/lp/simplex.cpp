@@ -1,0 +1,571 @@
+#include "carbon/lp/simplex.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace carbon::lp {
+
+Solution solve(const Problem& problem, const SimplexOptions& options,
+               Basis* warm) {
+  const std::string err = problem.validate();
+  if (!err.empty()) {
+    throw std::invalid_argument("lp::solve: malformed problem: " + err);
+  }
+  detail::SimplexSolver solver(problem, options);
+  return solver.run(warm);
+}
+
+namespace detail {
+
+SimplexSolver::SimplexSolver(const Problem& problem,
+                             const SimplexOptions& options)
+    : p_(problem), opt_(options) {
+  n_struct_ = p_.num_vars();
+  m_ = p_.num_rows();
+  n_total_ = n_struct_ + 2 * m_;
+  if (opt_.max_iterations <= 0) {
+    opt_.max_iterations = 50 * static_cast<int>(m_ + n_total_) + 200;
+  }
+
+  lower_.assign(n_total_, 0.0);
+  upper_.assign(n_total_, kInfinity);
+  slack_sign_.assign(m_, 1.0);
+  art_sign_.assign(m_, 1.0);
+
+  for (std::size_t j = 0; j < n_struct_; ++j) {
+    lower_[j] = p_.lower[j];
+    upper_[j] = p_.upper[j];
+  }
+  for (std::size_t i = 0; i < m_; ++i) {
+    const std::size_t sj = n_struct_ + i;
+    switch (p_.sense[i]) {
+      case RowSense::kLessEqual:
+        slack_sign_[i] = 1.0;
+        lower_[sj] = 0.0;
+        upper_[sj] = kInfinity;
+        break;
+      case RowSense::kGreaterEqual:
+        slack_sign_[i] = -1.0;
+        lower_[sj] = 0.0;
+        upper_[sj] = kInfinity;
+        break;
+      case RowSense::kEqual:
+        slack_sign_[i] = 1.0;
+        lower_[sj] = 0.0;
+        upper_[sj] = 0.0;  // fixed slack: row is an equality
+        break;
+    }
+  }
+}
+
+void SimplexSolver::full_column(std::size_t j, std::vector<double>& out) const {
+  out.assign(m_, 0.0);
+  if (j < n_struct_) {
+    const auto& col = p_.columns[j];
+    std::copy(col.begin(), col.end(), out.begin());
+  } else if (j < n_struct_ + m_) {
+    out[j - n_struct_] = slack_sign_[j - n_struct_];
+  } else {
+    out[j - n_struct_ - m_] = art_sign_[j - n_struct_ - m_];
+  }
+}
+
+double SimplexSolver::column_dot(std::size_t j,
+                                 const std::vector<double>& y) const {
+  if (j < n_struct_) {
+    const auto& col = p_.columns[j];
+    double acc = 0.0;
+    for (std::size_t i = 0; i < m_; ++i) acc += col[i] * y[i];
+    return acc;
+  }
+  if (j < n_struct_ + m_) {
+    return slack_sign_[j - n_struct_] * y[j - n_struct_];
+  }
+  return art_sign_[j - n_struct_ - m_] * y[j - n_struct_ - m_];
+}
+
+double SimplexSolver::nonbasic_value(std::size_t j) const {
+  return status_[j] == VarStatus::kAtUpper ? upper_[j] : lower_[j];
+}
+
+void SimplexSolver::setup_phase1() {
+  status_.assign(n_total_, VarStatus::kAtLower);
+  // Variables with infinite "lower preference" do not occur (finite lower
+  // bounds are enforced by Problem::validate); start everything at lower.
+  // Fixed slacks (equality rows) also sit at their lower (= upper = 0).
+
+  // Residual of each row at the nonbasic point.
+  std::vector<double> residual(p_.rhs);
+  for (std::size_t j = 0; j < n_struct_ + m_; ++j) {
+    const double v = nonbasic_value(j);
+    if (v == 0.0) continue;
+    if (j < n_struct_) {
+      const auto& col = p_.columns[j];
+      for (std::size_t i = 0; i < m_; ++i) residual[i] -= col[i] * v;
+    } else {
+      residual[j - n_struct_] -= slack_sign_[j - n_struct_] * v;
+    }
+  }
+
+  basis_.resize(m_);
+  xb_.assign(m_, 0.0);
+  binv_ = DenseMatrix::identity(m_);
+  for (std::size_t i = 0; i < m_; ++i) {
+    art_sign_[i] = residual[i] >= 0.0 ? 1.0 : -1.0;
+    const std::size_t aj = n_struct_ + m_ + i;
+    basis_[i] = aj;
+    status_[aj] = VarStatus::kBasic;
+    xb_[i] = std::abs(residual[i]);
+    binv_(i, i) = art_sign_[i];  // inverse of diag(+-1) is itself
+  }
+
+  cost_.assign(n_total_, 0.0);
+  for (std::size_t i = 0; i < m_; ++i) cost_[n_struct_ + m_ + i] = 1.0;
+}
+
+bool SimplexSolver::try_warm_start(const Basis& warm) {
+  if (warm.basic_vars.size() != m_ ||
+      warm.status.size() != n_struct_ + m_) {
+    return false;
+  }
+  std::vector<VarStatus> status(n_total_, VarStatus::kAtLower);
+  std::vector<bool> is_basic(n_total_, false);
+  for (std::size_t i = 0; i < m_; ++i) {
+    const std::size_t bj = warm.basic_vars[i];
+    if (bj >= n_struct_ + m_ || is_basic[bj]) return false;
+    is_basic[bj] = true;
+  }
+  for (std::size_t j = 0; j < n_struct_ + m_; ++j) {
+    switch (warm.status[j]) {
+      case 0:
+        status[j] = VarStatus::kAtLower;
+        break;
+      case 1:
+        if (!std::isfinite(upper_[j])) return false;
+        status[j] = VarStatus::kAtUpper;
+        break;
+      case 2:
+        if (!is_basic[j]) return false;
+        status[j] = VarStatus::kBasic;
+        break;
+      default:
+        return false;
+    }
+    if (is_basic[j] && status[j] != VarStatus::kBasic) return false;
+  }
+
+  status_ = std::move(status);
+  basis_.assign(warm.basic_vars.begin(), warm.basic_vars.end());
+  xb_.assign(m_, 0.0);
+  binv_ = DenseMatrix::identity(m_);
+  if (!refactorize()) return false;
+  // Cost changes keep the basis primal-feasible, but verify anyway (the
+  // caller may hand us a basis from a different problem by mistake).
+  for (std::size_t i = 0; i < m_; ++i) {
+    const std::size_t bj = basis_[i];
+    const double scale = 1.0 + std::abs(xb_[i]);
+    if (xb_[i] < lower_[bj] - opt_.feasibility_tol * scale) return false;
+    if (std::isfinite(upper_[bj]) &&
+        xb_[i] > upper_[bj] + opt_.feasibility_tol * scale) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void SimplexSolver::save_basis(Basis& out) const {
+  out.status.assign(n_struct_ + m_, 0);
+  for (std::size_t j = 0; j < n_struct_ + m_; ++j) {
+    switch (status_[j]) {
+      case VarStatus::kAtLower:
+        out.status[j] = 0;
+        break;
+      case VarStatus::kAtUpper:
+        out.status[j] = 1;
+        break;
+      case VarStatus::kBasic:
+        out.status[j] = 2;
+        break;
+    }
+  }
+  out.basic_vars.assign(basis_.begin(), basis_.end());
+}
+
+bool SimplexSolver::try_crash_start(bool structural_at_upper) {
+  std::vector<VarStatus> status(n_total_, VarStatus::kAtLower);
+  if (structural_at_upper) {
+    for (std::size_t j = 0; j < n_struct_; ++j) {
+      if (std::isfinite(upper_[j])) status[j] = VarStatus::kAtUpper;
+    }
+  }
+
+  // Row activity at the candidate nonbasic point.
+  std::vector<double> activity(m_, 0.0);
+  for (std::size_t j = 0; j < n_struct_; ++j) {
+    const double v =
+        status[j] == VarStatus::kAtUpper ? upper_[j] : lower_[j];
+    if (v == 0.0) continue;
+    const auto& col = p_.columns[j];
+    for (std::size_t i = 0; i < m_; ++i) activity[i] += col[i] * v;
+  }
+
+  // Slack i value solving (Ax)_i + sign_i * s_i = b_i.
+  std::vector<double> slack(m_, 0.0);
+  for (std::size_t i = 0; i < m_; ++i) {
+    const double s = slack_sign_[i] * (p_.rhs[i] - activity[i]);
+    const std::size_t sj = n_struct_ + i;
+    const double scale = 1.0 + std::abs(p_.rhs[i]);
+    if (s < lower_[sj] - opt_.feasibility_tol * scale ||
+        s > upper_[sj] + opt_.feasibility_tol * scale) {
+      return false;
+    }
+    slack[i] = s;
+  }
+
+  status_ = std::move(status);
+  basis_.resize(m_);
+  xb_.resize(m_);
+  binv_ = DenseMatrix::identity(m_);
+  for (std::size_t i = 0; i < m_; ++i) {
+    basis_[i] = n_struct_ + i;
+    status_[n_struct_ + i] = VarStatus::kBasic;
+    xb_[i] = slack[i];
+    binv_(i, i) = slack_sign_[i];  // inverse of diag(+-1) is itself
+  }
+  return true;
+}
+
+void SimplexSolver::enter_phase2() {
+  cost_.assign(n_total_, 0.0);
+  for (std::size_t j = 0; j < n_struct_; ++j) cost_[j] = p_.objective[j];
+  // Artificials must never re-enter: pin them to zero.
+  for (std::size_t i = 0; i < m_; ++i) {
+    const std::size_t aj = n_struct_ + m_ + i;
+    lower_[aj] = 0.0;
+    upper_[aj] = 0.0;
+    if (status_[aj] != VarStatus::kBasic) status_[aj] = VarStatus::kAtLower;
+  }
+}
+
+bool SimplexSolver::refactorize() {
+  DenseMatrix b(m_, m_);
+  std::vector<double> col;
+  for (std::size_t i = 0; i < m_; ++i) {
+    full_column(basis_[i], col);
+    for (std::size_t r = 0; r < m_; ++r) b(r, i) = col[r];
+  }
+  if (!b.invert(opt_.pivot_tol)) return false;
+  binv_ = std::move(b);
+  recompute_basic_values();
+  return true;
+}
+
+void SimplexSolver::recompute_basic_values() {
+  // xB = B^-1 (b - N xN)
+  std::vector<double> rhs(p_.rhs);
+  std::vector<double> col;
+  for (std::size_t j = 0; j < n_total_; ++j) {
+    if (status_[j] == VarStatus::kBasic) continue;
+    const double v = nonbasic_value(j);
+    if (v == 0.0) continue;
+    if (j < n_struct_) {
+      const auto& c = p_.columns[j];
+      for (std::size_t i = 0; i < m_; ++i) rhs[i] -= c[i] * v;
+    } else if (j < n_struct_ + m_) {
+      rhs[j - n_struct_] -= slack_sign_[j - n_struct_] * v;
+    } else {
+      rhs[j - n_struct_ - m_] -= art_sign_[j - n_struct_ - m_] * v;
+    }
+  }
+  for (std::size_t i = 0; i < m_; ++i) {
+    double acc = 0.0;
+    for (std::size_t r = 0; r < m_; ++r) acc += binv_(i, r) * rhs[r];
+    xb_[i] = acc;
+  }
+}
+
+SolveStatus SimplexSolver::iterate(bool phase1) {
+  std::vector<double> y(m_);
+  std::vector<double> alpha(m_);
+  std::vector<double> col;
+  int phase_iterations = 0;
+
+  for (;;) {
+    if (iterations_ >= opt_.max_iterations) {
+      return SolveStatus::kIterationLimit;
+    }
+    if (opt_.refactor_interval > 0 && iterations_ > 0 &&
+        iterations_ % opt_.refactor_interval == 0) {
+      if (!refactorize()) return SolveStatus::kNumericalFailure;
+    }
+
+    // Duals: y^T = cB^T B^-1.
+    for (std::size_t i = 0; i < m_; ++i) {
+      double acc = 0.0;
+      for (std::size_t r = 0; r < m_; ++r) {
+        acc += cost_[basis_[r]] * binv_(r, i);
+      }
+      y[i] = acc;
+    }
+
+    // Pricing. Entering direction sigma: +1 when increasing from lower,
+    // -1 when decreasing from upper.
+    const bool bland = phase_iterations >= opt_.bland_threshold;
+    std::size_t entering = n_total_;
+    double entering_sigma = 0.0;
+    double best_score = opt_.optimality_tol;
+    for (std::size_t j = 0; j < n_total_; ++j) {
+      if (status_[j] == VarStatus::kBasic) continue;
+      if (lower_[j] == upper_[j]) continue;  // fixed variable
+      const double d = cost_[j] - column_dot(j, y);
+      double score = 0.0;
+      double sigma = 0.0;
+      if (status_[j] == VarStatus::kAtLower && d < -opt_.optimality_tol) {
+        score = -d;
+        sigma = 1.0;
+      } else if (status_[j] == VarStatus::kAtUpper &&
+                 d > opt_.optimality_tol) {
+        score = d;
+        sigma = -1.0;
+      } else {
+        continue;
+      }
+      if (bland) {  // first eligible index
+        entering = j;
+        entering_sigma = sigma;
+        break;
+      }
+      if (score > best_score) {
+        best_score = score;
+        entering = j;
+        entering_sigma = sigma;
+      }
+    }
+    if (entering == n_total_) {
+      return SolveStatus::kOptimal;  // no improving direction
+    }
+
+    // FTRAN: alpha = B^-1 A_entering.
+    full_column(entering, col);
+    for (std::size_t i = 0; i < m_; ++i) {
+      double acc = 0.0;
+      for (std::size_t r = 0; r < m_; ++r) acc += binv_(i, r) * col[r];
+      alpha[i] = acc;
+    }
+
+    // Ratio test. Basic value change: xB_i -= sigma * alpha_i * t, t >= 0.
+    double t_max = upper_[entering] - lower_[entering];  // bound flip
+    std::size_t leaving_row = m_;   // m_ => bound flip
+    bool leaving_to_upper = false;  // where the leaving basic variable lands
+    for (std::size_t i = 0; i < m_; ++i) {
+      const double rate = -entering_sigma * alpha[i];  // d(xB_i)/dt
+      const std::size_t bj = basis_[i];
+      if (rate < -opt_.pivot_tol) {
+        // Basic variable decreases toward its lower bound.
+        if (lower_[bj] == -kInfinity) continue;
+        const double room = xb_[i] - lower_[bj];
+        const double t = std::max(0.0, room) / (-rate);
+        if (t < t_max - opt_.pivot_tol ||
+            (bland && t <= t_max + opt_.pivot_tol && leaving_row != m_ &&
+             bj < basis_[leaving_row])) {
+          t_max = t;
+          leaving_row = i;
+          leaving_to_upper = false;
+        }
+      } else if (rate > opt_.pivot_tol) {
+        // Basic variable increases toward its upper bound.
+        if (upper_[bj] == kInfinity) continue;
+        const double room = upper_[bj] - xb_[i];
+        const double t = std::max(0.0, room) / rate;
+        if (t < t_max - opt_.pivot_tol ||
+            (bland && t <= t_max + opt_.pivot_tol && leaving_row != m_ &&
+             bj < basis_[leaving_row])) {
+          t_max = t;
+          leaving_row = i;
+          leaving_to_upper = true;
+        }
+      }
+    }
+
+    if (t_max == kInfinity || !std::isfinite(t_max)) {
+      return phase1 ? SolveStatus::kNumericalFailure : SolveStatus::kUnbounded;
+    }
+
+    ++iterations_;
+    ++phase_iterations;
+
+    if (leaving_row == m_) {
+      // Bound flip: the entering variable crosses to its opposite bound.
+      for (std::size_t i = 0; i < m_; ++i) {
+        xb_[i] -= entering_sigma * alpha[i] * t_max;
+      }
+      status_[entering] = entering_sigma > 0.0 ? VarStatus::kAtUpper
+                                               : VarStatus::kAtLower;
+      continue;
+    }
+
+    const double pivot = alpha[leaving_row];
+    if (std::abs(pivot) < opt_.pivot_tol) {
+      // Retry from a fresh factorization once; otherwise give up.
+      if (!refactorize()) return SolveStatus::kNumericalFailure;
+      if (numerical_failure_) return SolveStatus::kNumericalFailure;
+      numerical_failure_ = true;
+      continue;
+    }
+    numerical_failure_ = false;
+
+    // Update basic values.
+    for (std::size_t i = 0; i < m_; ++i) {
+      if (i == leaving_row) continue;
+      xb_[i] -= entering_sigma * alpha[i] * t_max;
+    }
+    const std::size_t leaving_var = basis_[leaving_row];
+    status_[leaving_var] =
+        leaving_to_upper ? VarStatus::kAtUpper : VarStatus::kAtLower;
+    xb_[leaving_row] = nonbasic_value(entering) + entering_sigma * t_max;
+    basis_[leaving_row] = entering;
+    status_[entering] = VarStatus::kBasic;
+
+    // Product-form update of B^-1.
+    const double inv_pivot = 1.0 / pivot;
+    for (std::size_t c = 0; c < m_; ++c) binv_(leaving_row, c) *= inv_pivot;
+    for (std::size_t i = 0; i < m_; ++i) {
+      if (i == leaving_row) continue;
+      const double factor = alpha[i];
+      if (factor == 0.0) continue;
+      for (std::size_t c = 0; c < m_; ++c) {
+        binv_(i, c) -= factor * binv_(leaving_row, c);
+      }
+    }
+  }
+}
+
+void SimplexSolver::purge_artificials() {
+  std::vector<double> alpha(m_);
+  std::vector<double> col;
+  for (std::size_t i = 0; i < m_; ++i) {
+    if (basis_[i] < n_struct_ + m_) continue;  // not artificial
+    // Degenerate pivot: replace the artificial with any non-artificial column
+    // that has a nonzero entry in this row of the simplex tableau.
+    bool replaced = false;
+    for (std::size_t j = 0; j < n_struct_ + m_ && !replaced; ++j) {
+      if (status_[j] == VarStatus::kBasic) continue;
+      full_column(j, col);
+      double entry = 0.0;
+      for (std::size_t r = 0; r < m_; ++r) entry += binv_(i, r) * col[r];
+      if (std::abs(entry) < 1e-7) continue;
+      // t = 0 pivot (the artificial is at value 0, so nothing moves).
+      const std::size_t art = basis_[i];
+      status_[art] = VarStatus::kAtLower;
+      basis_[i] = j;
+      status_[j] = VarStatus::kBasic;
+      const double inv_pivot = 1.0 / entry;
+      // alpha = B^-1 A_j for the binv update.
+      for (std::size_t r = 0; r < m_; ++r) {
+        double acc = 0.0;
+        for (std::size_t c = 0; c < m_; ++c) acc += binv_(r, c) * col[c];
+        alpha[r] = acc;
+      }
+      for (std::size_t c = 0; c < m_; ++c) binv_(i, c) *= inv_pivot;
+      for (std::size_t r = 0; r < m_; ++r) {
+        if (r == i) continue;
+        const double factor = alpha[r];
+        if (factor == 0.0) continue;
+        for (std::size_t c = 0; c < m_; ++c) {
+          binv_(r, c) -= factor * binv_(i, c);
+        }
+      }
+      recompute_basic_values();
+      replaced = true;
+    }
+    // If no replacement exists the row is redundant; the artificial stays
+    // basic, pinned at zero by its [0,0] bounds in phase 2.
+  }
+}
+
+Solution SimplexSolver::run(Basis* warm) {
+  Solution sol;
+
+  bool started = warm != nullptr && !warm->empty() && try_warm_start(*warm);
+  if (!started) {
+    started = try_crash_start(/*structural_at_upper=*/false) ||
+              try_crash_start(/*structural_at_upper=*/true);
+  }
+  if (!started) {
+    setup_phase1();
+    SolveStatus phase1_status = iterate(/*phase1=*/true);
+    if (phase1_status == SolveStatus::kIterationLimit ||
+        phase1_status == SolveStatus::kNumericalFailure) {
+      sol.status = phase1_status;
+      sol.iterations = iterations_;
+      return sol;
+    }
+    // Phase-1 objective = sum of artificial values.
+    double infeas = 0.0;
+    for (std::size_t i = 0; i < m_; ++i) {
+      if (basis_[i] >= n_struct_ + m_) infeas += std::abs(xb_[i]);
+    }
+    if (infeas > opt_.feasibility_tol * (1.0 + std::abs(infeas))) {
+      sol.status = SolveStatus::kInfeasible;
+      sol.iterations = iterations_;
+      return sol;
+    }
+    purge_artificials();
+  }
+
+  enter_phase2();
+  SolveStatus st;
+  recompute_basic_values();
+  st = iterate(/*phase1=*/false);
+  sol.status = st;
+  sol.iterations = iterations_;
+  if (st != SolveStatus::kOptimal) return sol;
+
+  // Extract the primal point.
+  sol.x.assign(n_struct_, 0.0);
+  for (std::size_t j = 0; j < n_struct_; ++j) {
+    if (status_[j] != VarStatus::kBasic) sol.x[j] = nonbasic_value(j);
+  }
+  for (std::size_t i = 0; i < m_; ++i) {
+    if (basis_[i] < n_struct_) {
+      // Clamp tiny bound violations from accumulated rounding.
+      const std::size_t j = basis_[i];
+      sol.x[j] = std::clamp(xb_[i], lower_[j],
+                            std::isfinite(upper_[j]) ? upper_[j] : xb_[i]);
+    }
+  }
+
+  sol.objective = 0.0;
+  for (std::size_t j = 0; j < n_struct_; ++j) {
+    sol.objective += p_.objective[j] * sol.x[j];
+  }
+
+  // Duals and reduced costs.
+  sol.duals.assign(m_, 0.0);
+  for (std::size_t i = 0; i < m_; ++i) {
+    double acc = 0.0;
+    for (std::size_t r = 0; r < m_; ++r) {
+      acc += cost_[basis_[r]] * binv_(r, i);
+    }
+    sol.duals[i] = acc;
+  }
+  sol.reduced_costs.assign(n_struct_, 0.0);
+  for (std::size_t j = 0; j < n_struct_; ++j) {
+    sol.reduced_costs[j] = p_.objective[j] - column_dot(j, sol.duals);
+  }
+  // Basis contains no artificials here unless a redundant row pinned one;
+  // such a basis still warm-starts correctly (the artificial is fixed at 0),
+  // but we only export clean bases to keep the contract simple.
+  if (warm != nullptr) {
+    const bool clean = std::all_of(basis_.begin(), basis_.end(),
+                                   [&](std::size_t b) { return b < n_struct_ + m_; });
+    if (clean) save_basis(*warm);
+  }
+  return sol;
+}
+
+}  // namespace detail
+}  // namespace carbon::lp

@@ -1,0 +1,184 @@
+#include "carbon/toll/toll_problem.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace carbon::toll {
+
+Problem::Problem(graph::Digraph network, std::vector<graph::ArcId> tollable,
+                 std::vector<Commodity> commodities, double toll_cap)
+    : network_(std::move(network)),
+      tollable_(std::move(tollable)),
+      commodities_(std::move(commodities)),
+      toll_cap_(toll_cap) {
+  if (toll_cap_ < 0.0) {
+    throw std::invalid_argument("toll::Problem: toll_cap must be >= 0");
+  }
+  for (const graph::ArcId a : tollable_) {
+    if (a >= network_.num_arcs()) {
+      throw std::invalid_argument("toll::Problem: tollable arc out of range");
+    }
+  }
+  for (const Commodity& c : commodities_) {
+    if (c.origin >= network_.num_nodes() ||
+        c.destination >= network_.num_nodes()) {
+      throw std::invalid_argument("toll::Problem: commodity endpoint bad");
+    }
+    if (c.demand <= 0.0) {
+      throw std::invalid_argument("toll::Problem: demand must be > 0");
+    }
+  }
+  bounds_.assign(tollable_.size(), ea::Bounds{0.0, toll_cap_});
+}
+
+Evaluation evaluate(const Problem& problem, std::span<const double> tolls) {
+  if (tolls.size() != problem.tollable_arcs().size()) {
+    throw std::invalid_argument("toll::evaluate: one toll per tollable arc");
+  }
+
+  // Tolled copy of the network. (Networks are small; copying keeps the
+  // evaluation const-correct and thread-safe per caller.)
+  graph::Digraph net = problem.network();
+  std::unordered_map<graph::ArcId, std::size_t> toll_index;
+  for (std::size_t i = 0; i < tolls.size(); ++i) {
+    const graph::ArcId a = problem.tollable_arcs()[i];
+    if (tolls[i] < 0.0) {
+      throw std::invalid_argument("toll::evaluate: negative toll");
+    }
+    net.set_weight(a, problem.network().arc(a).weight + tolls[i]);
+    toll_index.emplace(a, i);
+  }
+
+  Evaluation out;
+  out.toll_arc_flow.assign(tolls.size(), 0.0);
+  out.all_routable = true;
+
+  // One Dijkstra per distinct origin (commodities often share origins).
+  std::map<graph::NodeId, graph::ShortestPaths> by_origin;
+  for (const Commodity& c : problem.commodities()) {
+    auto it = by_origin.find(c.origin);
+    if (it == by_origin.end()) {
+      it = by_origin.emplace(c.origin, graph::dijkstra(net, c.origin)).first;
+    }
+    const graph::ShortestPaths& paths = it->second;
+    if (!paths.reachable(c.destination)) {
+      out.all_routable = false;
+      continue;
+    }
+    out.travel_cost += c.demand * paths.distance[c.destination];
+    for (const graph::ArcId a :
+         graph::extract_path(paths, net, c.destination)) {
+      const auto toll_it = toll_index.find(a);
+      if (toll_it == toll_index.end()) continue;
+      const std::size_t i = toll_it->second;
+      out.revenue += c.demand * tolls[i];
+      out.toll_arc_flow[i] += c.demand;
+    }
+  }
+  return out;
+}
+
+Problem make_grid_problem(const GridConfig& config) {
+  if (config.rows < 2 || config.cols < 2) {
+    throw std::invalid_argument("make_grid_problem: grid at least 2x2");
+  }
+  common::Rng rng(config.seed);
+  const std::size_t n = config.rows * config.cols;
+  graph::Digraph g(n);
+  const auto id = [&](std::size_t r, std::size_t c) {
+    return static_cast<graph::NodeId>(r * config.cols + c);
+  };
+
+  std::vector<graph::ArcId> all_arcs;
+  const auto connect = [&](graph::NodeId a, graph::NodeId b) {
+    const double w1 = rng.uniform(config.min_cost, config.max_cost);
+    const double w2 = rng.uniform(config.min_cost, config.max_cost);
+    all_arcs.push_back(g.add_arc(a, b, w1));
+    all_arcs.push_back(g.add_arc(b, a, w2));
+  };
+  for (std::size_t r = 0; r < config.rows; ++r) {
+    for (std::size_t c = 0; c < config.cols; ++c) {
+      if (c + 1 < config.cols) connect(id(r, c), id(r, c + 1));
+      if (r + 1 < config.rows) connect(id(r, c), id(r + 1, c));
+    }
+  }
+
+  // Tollable subset (at least one arc).
+  std::vector<graph::ArcId> tollable;
+  for (const graph::ArcId a : all_arcs) {
+    if (rng.chance(config.tollable_fraction)) tollable.push_back(a);
+  }
+  if (tollable.empty()) tollable.push_back(all_arcs.front());
+
+  // Commodities with distinct random endpoints.
+  std::vector<Commodity> commodities;
+  for (std::size_t k = 0; k < config.num_commodities; ++k) {
+    Commodity c;
+    c.origin = static_cast<graph::NodeId>(rng.below(n));
+    do {
+      c.destination = static_cast<graph::NodeId>(rng.below(n));
+    } while (c.destination == c.origin);
+    c.demand = rng.uniform(config.min_demand, config.max_demand);
+    commodities.push_back(c);
+  }
+
+  return Problem(std::move(g), std::move(tollable), std::move(commodities),
+                 config.toll_cap);
+}
+
+GaResult solve_with_ga(const Problem& problem, const GaConfig& config) {
+  if (config.population_size < 2) {
+    throw std::invalid_argument("toll::solve_with_ga: population >= 2");
+  }
+  common::Rng rng(config.seed);
+  const auto bounds = problem.toll_bounds();
+
+  std::vector<std::vector<double>> pop;
+  for (std::size_t i = 0; i < config.population_size; ++i) {
+    pop.push_back(ea::random_real_vector(rng, bounds));
+  }
+  std::vector<double> fitness(pop.size(), 0.0);
+
+  GaResult result;
+  double best_revenue = -1.0;
+  for (int gen = 0; gen < config.generations; ++gen) {
+    for (std::size_t i = 0; i < pop.size(); ++i) {
+      const Evaluation e = evaluate(problem, pop[i]);
+      fitness[i] = e.revenue;
+      if (e.revenue > best_revenue) {
+        best_revenue = e.revenue;
+        result.best_tolls = pop[i];
+        result.best_evaluation = e;
+      }
+    }
+    result.history.push_back(best_revenue);
+
+    std::vector<std::vector<double>> next;
+    next.reserve(pop.size());
+    next.push_back(result.best_tolls);  // elitism
+    while (next.size() < pop.size()) {
+      const std::size_t ia = ea::binary_tournament(rng, fitness, true);
+      const std::size_t ib = ea::binary_tournament(rng, fitness, true);
+      std::vector<double> a = pop[ia];
+      std::vector<double> b = pop[ib];
+      if (rng.chance(config.crossover_prob)) {
+        ea::sbx_crossover(rng, a, b, bounds, config.sbx);
+      }
+      if (rng.chance(config.mutation_prob)) {
+        ea::polynomial_mutation(rng, a, bounds, config.mutation);
+      }
+      if (rng.chance(config.mutation_prob)) {
+        ea::polynomial_mutation(rng, b, bounds, config.mutation);
+      }
+      next.push_back(std::move(a));
+      if (next.size() < pop.size()) next.push_back(std::move(b));
+    }
+    pop = std::move(next);
+  }
+  return result;
+}
+
+}  // namespace carbon::toll

@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include "carbon/baselines/biga.hpp"
+#include "carbon/baselines/codba.hpp"
+#include "carbon/bcpop/multi_follower.hpp"
+#include "carbon/core/experiment.hpp"
+#include "carbon/cover/generator.hpp"
+
+namespace carbon::baselines {
+namespace {
+
+bcpop::Instance small_instance() {
+  cover::GeneratorConfig cfg;
+  cfg.num_bundles = 25;
+  cfg.num_services = 3;
+  cfg.seed = 31;
+  return bcpop::Instance(cover::generate(cfg), 3);
+}
+
+TEST(Biga, SmokeFeasibleAndDeterministic) {
+  const bcpop::Instance inst = small_instance();
+  BigaConfig cfg;
+  cfg.population_size = 10;
+  cfg.archive_size = 10;
+  cfg.ul_eval_budget = 150;
+  cfg.ll_eval_budget = 150;
+  cfg.seed = 3;
+  const core::RunResult a = BigaSolver(inst, cfg).run();
+  const core::RunResult b = BigaSolver(inst, cfg).run();
+  ASSERT_TRUE(a.best_evaluation.ll_feasible);
+  EXPECT_GT(a.best_ul_objective, 0.0);
+  EXPECT_DOUBLE_EQ(a.best_ul_objective, b.best_ul_objective);
+  EXPECT_DOUBLE_EQ(a.best_gap, b.best_gap);
+}
+
+TEST(Biga, RespectsBudgets) {
+  const bcpop::Instance inst = small_instance();
+  BigaConfig cfg;
+  cfg.population_size = 10;
+  cfg.ul_eval_budget = 100;
+  cfg.ll_eval_budget = 100;
+  cfg.seed = 3;
+  const core::RunResult r = BigaSolver(inst, cfg).run();
+  EXPECT_LE(r.ul_evaluations, 100 + 10);
+  EXPECT_LE(r.ll_evaluations, 100 + 10);
+  EXPECT_GT(r.generations, 0);
+}
+
+TEST(Biga, TracePhaseLabeled) {
+  const bcpop::Instance inst = small_instance();
+  BigaConfig cfg;
+  cfg.population_size = 8;
+  cfg.ul_eval_budget = 60;
+  cfg.ll_eval_budget = 60;
+  cfg.seed = 3;
+  const core::RunResult r = BigaSolver(inst, cfg).run();
+  ASSERT_FALSE(r.convergence.empty());
+  EXPECT_EQ(r.convergence.front().phase, "biga");
+}
+
+TEST(Biga, InvalidConfigThrows) {
+  const bcpop::Instance inst = small_instance();
+  BigaConfig cfg;
+  cfg.population_size = 1;
+  EXPECT_THROW(BigaSolver(inst, cfg), std::invalid_argument);
+}
+
+TEST(Codba, SmokeFeasibleAndDeterministic) {
+  const bcpop::Instance inst = small_instance();
+  CodbaConfig cfg;
+  cfg.ul_population_size = 10;
+  cfg.archive_size = 10;
+  cfg.decomposition_width = 3;
+  cfg.ll_subpopulation_size = 6;
+  cfg.ll_subpopulation_generations = 2;
+  cfg.ul_eval_budget = 300;
+  cfg.ll_eval_budget = 300;
+  cfg.seed = 5;
+  const core::RunResult a = CodbaSolver(inst, cfg).run();
+  const core::RunResult b = CodbaSolver(inst, cfg).run();
+  ASSERT_TRUE(a.best_evaluation.ll_feasible);
+  EXPECT_GT(a.best_ul_objective, 0.0);
+  EXPECT_DOUBLE_EQ(a.best_ul_objective, b.best_ul_objective);
+}
+
+TEST(Codba, BudgetStopsSubpopulations) {
+  const bcpop::Instance inst = small_instance();
+  CodbaConfig cfg;
+  cfg.ul_population_size = 10;
+  cfg.decomposition_width = 5;
+  cfg.ll_subpopulation_size = 8;
+  cfg.ll_subpopulation_generations = 4;
+  cfg.ul_eval_budget = 10'000;
+  cfg.ll_eval_budget = 120;  // LL budget binds
+  cfg.seed = 5;
+  const core::RunResult r = CodbaSolver(inst, cfg).run();
+  // Overshoot bounded by one subpopulation generation.
+  EXPECT_LE(r.ll_evaluations, 120 + 8);
+}
+
+TEST(Codba, InvalidConfigsThrow) {
+  const bcpop::Instance inst = small_instance();
+  CodbaConfig cfg;
+  cfg.ll_subpopulation_size = 1;
+  EXPECT_THROW(CodbaSolver(inst, cfg), std::invalid_argument);
+  cfg = CodbaConfig{};
+  cfg.decomposition_width = 0;
+  EXPECT_THROW(CodbaSolver(inst, cfg), std::invalid_argument);
+}
+
+TEST(Baselines, RunOnMultiFollowerMarkets) {
+  const auto problem =
+      bcpop::make_multi_follower(small_instance(), 2, /*seed=*/4);
+  {
+    bcpop::MultiFollowerEvaluator eval(problem);
+    BigaConfig cfg;
+    cfg.population_size = 8;
+    cfg.ul_eval_budget = 60;
+    cfg.ll_eval_budget = 240;
+    const auto r = BigaSolver(eval, cfg).run();
+    EXPECT_TRUE(r.best_evaluation.ll_feasible);
+  }
+  {
+    bcpop::MultiFollowerEvaluator eval(problem);
+    CodbaConfig cfg;
+    cfg.ul_population_size = 8;
+    cfg.decomposition_width = 2;
+    cfg.ll_subpopulation_size = 4;
+    cfg.ul_eval_budget = 60;
+    cfg.ll_eval_budget = 240;
+    const auto r = CodbaSolver(eval, cfg).run();
+    EXPECT_TRUE(r.best_evaluation.ll_feasible);
+  }
+}
+
+TEST(ExperimentDispatch, NewAlgorithmsAreWired) {
+  const bcpop::Instance inst = small_instance();
+  core::ExperimentConfig cfg;
+  cfg.runs = 1;
+  cfg.population_size = 8;
+  cfg.archive_size = 8;
+  cfg.ul_eval_budget = 60;
+  cfg.ll_eval_budget = 200;
+  cfg.heuristic_sample_size = 2;
+  for (const auto a :
+       {core::Algorithm::kBiga, core::Algorithm::kCodba,
+        core::Algorithm::kCarbonMemetic}) {
+    const auto cell = core::run_cell(inst, a, cfg);
+    EXPECT_TRUE(cell.runs[0].best_evaluation.ll_feasible)
+        << core::to_string(a);
+  }
+  EXPECT_STREQ(core::to_string(core::Algorithm::kBiga), "BIGA");
+  EXPECT_STREQ(core::to_string(core::Algorithm::kCodba), "CODBA");
+  EXPECT_STREQ(core::to_string(core::Algorithm::kCarbonMemetic),
+               "CARBON-MEMETIC");
+}
+
+TEST(MemeticCarbon, PolishNeverWorsensTheGap) {
+  const bcpop::Instance inst = small_instance();
+  core::ExperimentConfig cfg;
+  cfg.runs = 2;
+  cfg.population_size = 10;
+  cfg.archive_size = 10;
+  cfg.ul_eval_budget = 100;
+  cfg.ll_eval_budget = 400;
+  cfg.heuristic_sample_size = 2;
+  const auto plain = core::run_cell(inst, core::Algorithm::kCarbon, cfg);
+  const auto memetic =
+      core::run_cell(inst, core::Algorithm::kCarbonMemetic, cfg);
+  // Polish changes trajectories, so strict dominance is not guaranteed —
+  // but the memetic variant must stay in the same quality league.
+  EXPECT_LE(memetic.gap.mean, 2.0 * plain.gap.mean + 1.0);
+}
+
+}  // namespace
+}  // namespace carbon::baselines

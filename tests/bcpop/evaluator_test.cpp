@@ -1,0 +1,186 @@
+#include "carbon/bcpop/evaluator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "carbon/bilevel/gap.hpp"
+#include "carbon/cover/generator.hpp"
+#include "carbon/ea/binary_ops.hpp"
+#include "carbon/gp/generate.hpp"
+#include "carbon/gp/scoring.hpp"
+
+namespace carbon::bcpop {
+namespace {
+
+Instance make_instance() {
+  cover::GeneratorConfig cfg;
+  cfg.num_bundles = 30;
+  cfg.num_services = 4;
+  cfg.seed = 17;
+  return Instance(cover::generate(cfg), /*num_owned=*/3);
+}
+
+Pricing mid_pricing(const Instance& inst) {
+  Pricing p;
+  for (const auto& b : inst.price_bounds()) p.push_back(0.5 * (b.lo + b.hi));
+  return p;
+}
+
+gp::Tree cost_effectiveness_tree() {
+  // QCOV / COST, the classic greedy, as a GP tree.
+  return gp::Tree::apply(gp::OpCode::kDiv,
+                         gp::Tree::terminal(gp::Terminal::kQcov),
+                         gp::Tree::terminal(gp::Terminal::kCost));
+}
+
+TEST(Evaluator, HeuristicEvaluationIsFeasibleAndConsistent) {
+  const Instance inst = make_instance();
+  Evaluator eval(inst);
+  const Pricing pricing = mid_pricing(inst);
+  const Evaluation e =
+      eval.evaluate_with_heuristic(pricing, cost_effectiveness_tree());
+  ASSERT_TRUE(e.ll_feasible);
+  // The customer basket covers demand under the priced instance.
+  const cover::Instance ll = inst.lower_level_instance(pricing);
+  EXPECT_TRUE(ll.feasible(e.selection));
+  // Objectives consistent with the selection.
+  EXPECT_NEAR(e.ll_objective, ll.selection_cost(e.selection), 1e-9);
+  EXPECT_NEAR(e.ul_objective, inst.leader_revenue(pricing, e.selection),
+              1e-9);
+  // Gap consistent with Eq. (1).
+  EXPECT_NEAR(e.gap_percent,
+              bilevel::percent_gap(e.ll_objective, e.lower_bound), 1e-9);
+  EXPECT_GE(e.ll_objective, e.lower_bound - 1e-6);
+}
+
+TEST(Evaluator, TreeAndScoreFunctionPathsAgree) {
+  const Instance inst = make_instance();
+  Evaluator eval(inst);
+  const Pricing pricing = mid_pricing(inst);
+  const gp::Tree tree = cost_effectiveness_tree();
+  const Evaluation via_tree = eval.evaluate_with_heuristic(pricing, tree);
+  const Evaluation via_fn =
+      eval.evaluate_with_score(pricing, gp::make_score_function(tree));
+  EXPECT_EQ(via_tree.selection, via_fn.selection);
+  EXPECT_DOUBLE_EQ(via_tree.ll_objective, via_fn.ll_objective);
+  EXPECT_DOUBLE_EQ(via_tree.gap_percent, via_fn.gap_percent);
+}
+
+TEST(Evaluator, SelectionRepairAchievesFeasibility) {
+  const Instance inst = make_instance();
+  Evaluator eval(inst);
+  const Pricing pricing = mid_pricing(inst);
+  common::Rng rng(3);
+  for (int rep = 0; rep < 20; ++rep) {
+    const auto basket =
+        ea::random_binary_vector(rng, inst.num_bundles(), 0.1);
+    const Evaluation e = eval.evaluate_with_selection(pricing, basket);
+    ASSERT_TRUE(e.ll_feasible);
+    const cover::Instance ll = inst.lower_level_instance(pricing);
+    ASSERT_TRUE(ll.feasible(e.selection));
+    // Repair only adds bundles: everything selected stays selected.
+    for (std::size_t j = 0; j < basket.size(); ++j) {
+      if (basket[j]) {
+        ASSERT_EQ(e.selection[j], 1);
+      }
+    }
+  }
+}
+
+TEST(Evaluator, AlreadyFeasibleSelectionUntouched) {
+  const Instance inst = make_instance();
+  Evaluator eval(inst);
+  const Pricing pricing = mid_pricing(inst);
+  const std::vector<std::uint8_t> everything(inst.num_bundles(), 1);
+  const Evaluation e = eval.evaluate_with_selection(pricing, everything);
+  ASSERT_TRUE(e.ll_feasible);
+  EXPECT_EQ(e.selection, everything);
+}
+
+TEST(Evaluator, CountsEvaluationsByPurpose) {
+  const Instance inst = make_instance();
+  Evaluator eval(inst);
+  const Pricing pricing = mid_pricing(inst);
+  const gp::Tree tree = cost_effectiveness_tree();
+
+  EXPECT_EQ(eval.ul_evaluations(), 0);
+  EXPECT_EQ(eval.ll_evaluations(), 0);
+
+  (void)eval.evaluate_with_heuristic(pricing, tree, EvalPurpose::kLowerOnly);
+  EXPECT_EQ(eval.ul_evaluations(), 0);
+  EXPECT_EQ(eval.ll_evaluations(), 1);
+
+  (void)eval.evaluate_with_heuristic(pricing, tree, EvalPurpose::kBoth);
+  EXPECT_EQ(eval.ul_evaluations(), 1);
+  EXPECT_EQ(eval.ll_evaluations(), 2);
+}
+
+TEST(Evaluator, RelaxationIsMemoized) {
+  const Instance inst = make_instance();
+  Evaluator eval(inst);
+  const Pricing pricing = mid_pricing(inst);
+  (void)eval.relaxation(pricing);
+  const long long solved_once = eval.relaxations_solved();
+  (void)eval.relaxation(pricing);
+  (void)eval.relaxation(pricing);
+  EXPECT_EQ(eval.relaxations_solved(), solved_once);
+  EXPECT_EQ(eval.relaxation_cache_hits(), 2);
+
+  Pricing other = pricing;
+  other[0] += 1.0;
+  (void)eval.relaxation(other);
+  EXPECT_EQ(eval.relaxations_solved(), solved_once + 1);
+}
+
+TEST(Evaluator, CacheEvictionStillCorrect) {
+  const Instance inst = make_instance();
+  Evaluator eval(inst, /*relaxation_cache_capacity=*/2);
+  common::Rng rng(5);
+  const Pricing base = mid_pricing(inst);
+  const double lb0 = eval.relaxation(base).lower_bound;
+  for (int i = 0; i < 10; ++i) {
+    Pricing p = base;
+    p[0] = rng.uniform(0.0, 100.0);
+    (void)eval.relaxation(p);
+  }
+  // Recomputed after eviction: same value.
+  EXPECT_NEAR(eval.relaxation(base).lower_bound, lb0, 1e-6);
+}
+
+TEST(Evaluator, LowerBoundRespondsToLeaderPrices) {
+  const Instance inst = make_instance();
+  Evaluator eval(inst);
+  Pricing cheap(inst.num_owned(), 0.0);
+  Pricing expensive;
+  for (const auto& b : inst.price_bounds()) expensive.push_back(b.hi);
+  const double lb_cheap = eval.relaxation(cheap).lower_bound;
+  const double lb_expensive = eval.relaxation(expensive).lower_bound;
+  // Raising our prices can only raise (or keep) the customer's optimum.
+  EXPECT_LE(lb_cheap, lb_expensive + 1e-9);
+}
+
+TEST(Evaluator, ZeroPricedOwnedBundlesAreIrresistible) {
+  const Instance inst = make_instance();
+  Evaluator eval(inst);
+  const Pricing freebies(inst.num_owned(), 0.0);
+  const Evaluation e =
+      eval.evaluate_with_heuristic(freebies, cost_effectiveness_tree());
+  ASSERT_TRUE(e.ll_feasible);
+  // Free bundles generate zero revenue no matter what.
+  EXPECT_DOUBLE_EQ(e.ul_objective, 0.0);
+}
+
+TEST(Evaluator, GapIsNonNegativeAcrossRandomHeuristics) {
+  const Instance inst = make_instance();
+  Evaluator eval(inst);
+  common::Rng rng(11);
+  const Pricing pricing = mid_pricing(inst);
+  for (int rep = 0; rep < 25; ++rep) {
+    const gp::Tree tree = gp::generate_ramped(rng);
+    const Evaluation e = eval.evaluate_with_heuristic(pricing, tree);
+    ASSERT_TRUE(e.ll_feasible);
+    ASSERT_GE(e.gap_percent, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace carbon::bcpop

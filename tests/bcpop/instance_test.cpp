@@ -1,0 +1,100 @@
+#include "carbon/bcpop/instance.hpp"
+
+#include <gtest/gtest.h>
+
+#include "carbon/cover/generator.hpp"
+
+namespace carbon::bcpop {
+namespace {
+
+Instance make(std::size_t owned = 3, double cap = 2.0) {
+  cover::GeneratorConfig cfg;
+  cfg.num_bundles = 20;
+  cfg.num_services = 4;
+  cfg.seed = 5;
+  return Instance(cover::generate(cfg), owned, cap);
+}
+
+TEST(BcpopInstance, BasicShape) {
+  const Instance inst = make();
+  EXPECT_EQ(inst.num_bundles(), 20u);
+  EXPECT_EQ(inst.num_services(), 4u);
+  EXPECT_EQ(inst.num_owned(), 3u);
+  EXPECT_EQ(inst.price_bounds().size(), 3u);
+}
+
+TEST(BcpopInstance, PriceBoundsFollowCompetitorMean) {
+  const Instance inst = make(3, 2.0);
+  const double cap = 2.0 * inst.mean_competitor_price();
+  for (const auto& b : inst.price_bounds()) {
+    EXPECT_DOUBLE_EQ(b.lo, 0.0);
+    EXPECT_DOUBLE_EQ(b.hi, cap);
+  }
+}
+
+TEST(BcpopInstance, MeanCompetitorPriceExcludesOwned) {
+  cover::GeneratorConfig cfg;
+  cfg.num_bundles = 4;
+  cfg.num_services = 2;
+  cfg.seed = 1;
+  cover::Instance market = cover::generate(cfg);
+  market.set_cost(0, 1000.0);  // owned: must not affect the mean
+  market.set_cost(1, 10.0);
+  market.set_cost(2, 20.0);
+  market.set_cost(3, 30.0);
+  const Instance inst(std::move(market), 1);
+  EXPECT_DOUBLE_EQ(inst.mean_competitor_price(), 20.0);
+}
+
+TEST(BcpopInstance, LowerLevelInstanceSubstitutesLeaderPrices) {
+  const Instance inst = make();
+  const Pricing pricing = {1.0, 2.0, 3.0};
+  const cover::Instance ll = inst.lower_level_instance(pricing);
+  EXPECT_DOUBLE_EQ(ll.cost(0), 1.0);
+  EXPECT_DOUBLE_EQ(ll.cost(1), 2.0);
+  EXPECT_DOUBLE_EQ(ll.cost(2), 3.0);
+  // Competitor prices untouched.
+  EXPECT_DOUBLE_EQ(ll.cost(3), inst.market().cost(3));
+  // Quantities untouched.
+  EXPECT_EQ(ll.quantity(0, 0), inst.market().quantity(0, 0));
+}
+
+TEST(BcpopInstance, LeaderRevenueCountsOnlyOwnedPurchases) {
+  const Instance inst = make();
+  const Pricing pricing = {10.0, 20.0, 30.0};
+  std::vector<std::uint8_t> sel(inst.num_bundles(), 0);
+  sel[0] = 1;        // owned
+  sel[2] = 1;        // owned
+  sel[5] = 1;        // competitor
+  sel[10] = 1;       // competitor
+  EXPECT_DOUBLE_EQ(inst.leader_revenue(pricing, sel), 40.0);
+}
+
+TEST(BcpopInstance, NoPurchasesNoRevenue) {
+  const Instance inst = make();
+  const Pricing pricing = {10.0, 20.0, 30.0};
+  const std::vector<std::uint8_t> sel(inst.num_bundles(), 0);
+  EXPECT_DOUBLE_EQ(inst.leader_revenue(pricing, sel), 0.0);
+}
+
+TEST(BcpopInstance, ConstructorValidation) {
+  cover::GeneratorConfig cfg;
+  cfg.num_bundles = 10;
+  cfg.num_services = 2;
+  EXPECT_THROW(Instance(cover::generate(cfg), 0), std::invalid_argument);
+  EXPECT_THROW(Instance(cover::generate(cfg), 10), std::invalid_argument);
+  EXPECT_THROW(Instance(cover::generate(cfg), 3, -1.0),
+               std::invalid_argument);
+}
+
+TEST(BcpopInstance, PaperFactorySetsTenPercentOwnership) {
+  const Instance inst = make_paper_bcpop(0);
+  EXPECT_EQ(inst.num_bundles(), 100u);
+  EXPECT_EQ(inst.num_owned(), 10u);
+  const Instance big = make_paper_bcpop(8);
+  EXPECT_EQ(big.num_bundles(), 500u);
+  EXPECT_EQ(big.num_owned(), 50u);
+}
+
+}  // namespace
+}  // namespace carbon::bcpop

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "carbon/bilevel/gap.hpp"
+#include "carbon/bilevel/linear.hpp"
+
+namespace carbon::bilevel {
+namespace {
+
+// ---- Eq. (1): %-gap ----
+
+TEST(Gap, BasicFormula) {
+  EXPECT_DOUBLE_EQ(percent_gap(110.0, 100.0), 10.0);
+  EXPECT_DOUBLE_EQ(percent_gap(100.0, 100.0), 0.0);
+  EXPECT_DOUBLE_EQ(percent_gap(150.0, 100.0), 50.0);
+}
+
+TEST(Gap, GuardsAgainstTinyLowerBound) {
+  // Denominator floored at 1.0: no division blow-up.
+  EXPECT_DOUBLE_EQ(percent_gap(0.5, 0.0), 50.0);
+  EXPECT_DOUBLE_EQ(percent_gap(0.0, 0.0), 0.0);
+}
+
+TEST(Gap, ClampsNumericalNegatives) {
+  EXPECT_DOUBLE_EQ(percent_gap(99.9999999, 100.0), 0.0);
+}
+
+// ---- Program 3 / Mersha-Dempe ----
+
+TEST(Program3, FollowerFeasibleInterval) {
+  const LinearBilevel p = program3();
+  // y <= 3x - 3 and y <= 30 - 3x, y >= 0.
+  const auto at2 = follower_feasible_interval(p, 2.0);
+  ASSERT_TRUE(at2.has_value());
+  EXPECT_DOUBLE_EQ(at2->lo, 0.0);
+  EXPECT_DOUBLE_EQ(at2->hi, 3.0);
+
+  const auto at6 = follower_feasible_interval(p, 6.0);
+  ASSERT_TRUE(at6.has_value());
+  EXPECT_DOUBLE_EQ(at6->hi, 12.0);
+
+  // x = 0: y <= -3 impossible with y >= 0.
+  EXPECT_FALSE(follower_feasible_interval(p, 0.0).has_value());
+}
+
+TEST(Program3, RationalReactionMatchesPaper) {
+  const LinearBilevel p = program3();
+  // Paper: x=2 -> y=3; x=6 -> y=12.
+  EXPECT_DOUBLE_EQ(*rational_reaction(p, 2.0), 3.0);
+  EXPECT_DOUBLE_EQ(*rational_reaction(p, 6.0), 12.0);
+}
+
+TEST(Program3, XSixIsAHoleInTheInducibleRegion) {
+  const LinearBilevel p = program3();
+  const double y = *rational_reaction(p, 6.0);
+  EXPECT_FALSE(upper_feasible(p, 6.0, y));
+  // The naive pairing (6, 8) IS upper-feasible — the trap the paper warns
+  // about: it is not a bi-level solution because y=8 is not rational.
+  EXPECT_TRUE(upper_feasible(p, 6.0, 8.0));
+}
+
+TEST(Program3, GridSolverFindsDiscontinuousRegion) {
+  const LinearBilevel p = program3();
+  const GridSolveResult r = solve_by_grid(p, 2801);
+  ASSERT_TRUE(r.best.has_value());
+  EXPECT_GT(r.infeasible_points, 0u);  // holes exist
+  EXPECT_GT(r.feasible_points, 0u);
+  EXPECT_GT(r.empty_points, 0u);  // x < 1 has no follower response
+  // Known optimum of this instance: x = 8, y = 6, F = -20.
+  EXPECT_NEAR(r.best->x, 8.0, 0.01);
+  EXPECT_NEAR(r.best->y, 6.0, 0.02);
+  EXPECT_NEAR(r.best->upper_value, -20.0, 0.05);
+}
+
+TEST(Program3, BestGridPointIsConsistent) {
+  const LinearBilevel p = program3();
+  const GridSolveResult r = solve_by_grid(p, 1001);
+  ASSERT_TRUE(r.best.has_value());
+  EXPECT_TRUE(upper_feasible(p, r.best->x, r.best->y));
+  EXPECT_NEAR(*rational_reaction(p, r.best->x), r.best->y, 1e-9);
+}
+
+TEST(LinearBilevel, IndifferentFollowerUsesOptimisticConvention) {
+  LinearBilevel p;
+  p.upper_cost_x = 0.0;
+  p.upper_cost_y = 1.0;  // leader prefers small y
+  p.lower_cost_y = 0.0;  // follower indifferent
+  p.lower.push_back({0.0, 1.0, 5.0});  // y <= 5
+  p.x_min = 0.0;
+  p.x_max = 1.0;
+  p.y_min = 0.0;
+  p.y_max = 10.0;
+  // Optimistic: follower breaks ties in the leader's favour -> y = 0.
+  EXPECT_DOUBLE_EQ(*rational_reaction(p, 0.5), 0.0);
+
+  p.upper_cost_y = -1.0;  // leader prefers large y
+  EXPECT_DOUBLE_EQ(*rational_reaction(p, 0.5), 5.0);
+}
+
+TEST(LinearBilevel, FollowerMinimizingPositiveCostPicksLowerEnd) {
+  LinearBilevel p;
+  p.lower_cost_y = 1.0;
+  p.lower.push_back({0.0, 1.0, 9.0});   // y <= 9
+  p.lower.push_back({0.0, -1.0, -2.0});  // y >= 2
+  p.y_min = 0.0;
+  p.y_max = 100.0;
+  p.x_min = 0.0;
+  p.x_max = 1.0;
+  EXPECT_DOUBLE_EQ(*rational_reaction(p, 0.0), 2.0);
+}
+
+TEST(LinearBilevel, ConstraintOnXAloneCanEmptyFollower) {
+  LinearBilevel p;
+  p.lower_cost_y = -1.0;
+  p.lower.push_back({1.0, 0.0, 3.0});  // x <= 3 (no y involvement)
+  p.x_min = 0.0;
+  p.x_max = 10.0;
+  p.y_min = 0.0;
+  p.y_max = 10.0;
+  EXPECT_TRUE(follower_feasible_interval(p, 2.0).has_value());
+  EXPECT_FALSE(follower_feasible_interval(p, 5.0).has_value());
+}
+
+TEST(LinearBilevel, GridHandlesAllInfeasible) {
+  LinearBilevel p;
+  p.lower_cost_y = 1.0;
+  p.lower.push_back({0.0, 1.0, -1.0});  // y <= -1 impossible with y >= 0
+  p.x_min = 0.0;
+  p.x_max = 1.0;
+  p.y_min = 0.0;
+  p.y_max = 1.0;
+  const GridSolveResult r = solve_by_grid(p, 11);
+  EXPECT_FALSE(r.best.has_value());
+  EXPECT_EQ(r.empty_points, 11u);
+}
+
+}  // namespace
+}  // namespace carbon::bilevel

@@ -1,0 +1,113 @@
+#include "carbon/cobra/cobra_solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "carbon/cover/generator.hpp"
+
+namespace carbon::cobra {
+namespace {
+
+bcpop::Instance small_instance() {
+  cover::GeneratorConfig cfg;
+  cfg.num_bundles = 30;
+  cfg.num_services = 4;
+  cfg.seed = 21;
+  return bcpop::Instance(cover::generate(cfg), /*num_owned=*/3);
+}
+
+CobraConfig small_config() {
+  CobraConfig cfg;
+  cfg.ul_population_size = 12;
+  cfg.ll_population_size = 12;
+  cfg.ul_archive_size = 12;
+  cfg.ll_archive_size = 12;
+  cfg.ul_eval_budget = 400;
+  cfg.ll_eval_budget = 400;
+  cfg.upper_phase_generations = 2;
+  cfg.lower_phase_generations = 2;
+  cfg.coevolution_pairs = 6;
+  cfg.seed = 4;
+  return cfg;
+}
+
+TEST(CobraSolver, ProducesFeasibleBestSolution) {
+  const bcpop::Instance inst = small_instance();
+  const core::RunResult r = CobraSolver(inst, small_config()).run();
+  ASSERT_FALSE(r.best_pricing.empty());
+  ASSERT_TRUE(r.best_evaluation.ll_feasible);
+  EXPECT_GT(r.best_ul_objective, 0.0);
+  EXPECT_GE(r.best_gap, 0.0);
+}
+
+TEST(CobraSolver, DeterministicForSeed) {
+  const bcpop::Instance inst = small_instance();
+  const core::RunResult a = CobraSolver(inst, small_config()).run();
+  const core::RunResult b = CobraSolver(inst, small_config()).run();
+  EXPECT_DOUBLE_EQ(a.best_ul_objective, b.best_ul_objective);
+  EXPECT_DOUBLE_EQ(a.best_gap, b.best_gap);
+  EXPECT_EQ(a.generations, b.generations);
+}
+
+TEST(CobraSolver, RespectsBudgets) {
+  const bcpop::Instance inst = small_instance();
+  const CobraConfig cfg = small_config();
+  const core::RunResult r = CobraSolver(inst, cfg).run();
+  // Overshoot bounded by one generation of either population.
+  const long long slack = static_cast<long long>(cfg.ul_population_size) +
+                          static_cast<long long>(cfg.ll_population_size);
+  EXPECT_LE(r.ul_evaluations, cfg.ul_eval_budget + slack);
+  EXPECT_LE(r.ll_evaluations, cfg.ll_eval_budget + slack);
+}
+
+TEST(CobraSolver, TraceContainsAllPhases) {
+  const bcpop::Instance inst = small_instance();
+  const core::RunResult r = CobraSolver(inst, small_config()).run();
+  ASSERT_FALSE(r.convergence.empty());
+  std::set<std::string> phases;
+  for (const auto& pt : r.convergence) phases.insert(pt.phase);
+  EXPECT_TRUE(phases.count("upper"));
+  EXPECT_TRUE(phases.count("lower"));
+  EXPECT_TRUE(phases.count("coevolution"));
+}
+
+TEST(CobraSolver, BestSoFarIsMonotone) {
+  const bcpop::Instance inst = small_instance();
+  const core::RunResult r = CobraSolver(inst, small_config()).run();
+  for (std::size_t g = 1; g < r.convergence.size(); ++g) {
+    ASSERT_GE(r.convergence[g].best_ul_so_far,
+              r.convergence[g - 1].best_ul_so_far);
+    ASSERT_LE(r.convergence[g].best_gap_so_far,
+              r.convergence[g - 1].best_gap_so_far);
+  }
+}
+
+TEST(CobraSolver, GenerationsAlternatePhasesInOrder) {
+  const bcpop::Instance inst = small_instance();
+  const core::RunResult r = CobraSolver(inst, small_config()).run();
+  // First phase recorded must be "upper" (Algorithm 1 runs upper first).
+  ASSERT_FALSE(r.convergence.empty());
+  EXPECT_EQ(r.convergence.front().phase, "upper");
+}
+
+TEST(CobraSolver, InvalidConfigsThrow) {
+  const bcpop::Instance inst = small_instance();
+  CobraConfig cfg = small_config();
+  cfg.ll_population_size = 1;
+  EXPECT_THROW(CobraSolver(inst, cfg), std::invalid_argument);
+  cfg = small_config();
+  cfg.upper_phase_generations = 0;
+  EXPECT_THROW(CobraSolver(inst, cfg), std::invalid_argument);
+}
+
+TEST(CobraSolver, ConvergenceCanBeDisabled) {
+  const bcpop::Instance inst = small_instance();
+  CobraConfig cfg = small_config();
+  cfg.record_convergence = false;
+  const core::RunResult r = CobraSolver(inst, cfg).run();
+  EXPECT_TRUE(r.convergence.empty());
+}
+
+}  // namespace
+}  // namespace carbon::cobra

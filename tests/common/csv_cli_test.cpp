@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "carbon/common/cli.hpp"
+#include "carbon/common/csv.hpp"
+
+namespace carbon::common {
+namespace {
+
+TEST(Csv, HeaderAndRows) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.header({"a", "b", "c"});
+  csv.field("x").number(1.5).integer(-7);
+  csv.end_row();
+  EXPECT_EQ(out.str(), "a,b,c\nx,1.5,-7\n");
+}
+
+TEST(Csv, QuotesFieldsWithSpecials) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.field("hello, world").field("quote\"inside").field("plain");
+  csv.end_row();
+  EXPECT_EQ(out.str(), "\"hello, world\",\"quote\"\"inside\",plain\n");
+}
+
+TEST(Csv, NumberPrecision) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.number(3.14159265358979, 3);
+  csv.end_row();
+  EXPECT_EQ(out.str(), "3.14\n");
+}
+
+TEST(Csv, EmptyRow) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.end_row();
+  EXPECT_EQ(out.str(), "\n");
+}
+
+class CliFixture : public ::testing::Test {
+ protected:
+  CliArgs parse(std::vector<const char*> argv) {
+    return CliArgs(static_cast<int>(argv.size()),
+                   const_cast<char**>(argv.data()));
+  }
+};
+
+TEST_F(CliFixture, FlagWithSeparateValue) {
+  const auto args = parse({"prog", "--runs", "30"});
+  EXPECT_EQ(args.get_int("runs", 0), 30);
+}
+
+TEST_F(CliFixture, FlagWithEqualsValue) {
+  const auto args = parse({"prog", "--seed=42"});
+  EXPECT_EQ(args.get_int("seed", 0), 42);
+}
+
+TEST_F(CliFixture, BooleanFlag) {
+  const auto args = parse({"prog", "--full"});
+  EXPECT_TRUE(args.get_bool("full"));
+  EXPECT_FALSE(args.get_bool("absent"));
+}
+
+TEST_F(CliFixture, BooleanBeforeAnotherFlag) {
+  const auto args = parse({"prog", "--full", "--runs", "5"});
+  EXPECT_TRUE(args.get_bool("full"));
+  EXPECT_EQ(args.get_int("runs", 0), 5);
+}
+
+TEST_F(CliFixture, DoubleAndStringAndFallbacks) {
+  const auto args = parse({"prog", "--alpha", "0.25", "--name", "x"});
+  EXPECT_DOUBLE_EQ(args.get_double("alpha", 0.0), 0.25);
+  EXPECT_EQ(args.get("name", ""), "x");
+  EXPECT_EQ(args.get("missing", "dflt"), "dflt");
+  EXPECT_DOUBLE_EQ(args.get_double("missing", 9.5), 9.5);
+}
+
+TEST_F(CliFixture, PositionalArguments) {
+  const auto args = parse({"prog", "input.txt", "--v", "1", "out.txt"});
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "input.txt");
+  EXPECT_EQ(args.positional()[1], "out.txt");
+  EXPECT_EQ(args.program(), "prog");
+}
+
+TEST_F(CliFixture, HasDetectsPresence) {
+  const auto args = parse({"prog", "--x", "1"});
+  EXPECT_TRUE(args.has("x"));
+  EXPECT_FALSE(args.has("y"));
+}
+
+}  // namespace
+}  // namespace carbon::common

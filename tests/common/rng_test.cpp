@@ -1,0 +1,169 @@
+#include "carbon/common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+namespace carbon::common {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a(), b());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    equal += (a() == b());
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, UniformInHalfOpenUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform(-3.5, 2.25);
+    ASSERT_GE(u, -3.5);
+    ASSERT_LT(u, 2.25);
+  }
+}
+
+TEST(Rng, UniformMeanIsCentered) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(5);
+  for (std::uint64_t n : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 1000; ++i) {
+      ASSERT_LT(rng.below(n), n);
+    }
+  }
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng rng(5);
+  constexpr std::uint64_t kBuckets = 10;
+  std::array<int, kBuckets> counts{};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.below(kBuckets)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, n / static_cast<int>(kBuckets), n / 100);
+  }
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(9);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.range(-2, 3);
+    ASSERT_GE(v, -2);
+    ASSERT_LE(v, 3);
+    saw_lo |= (v == -2);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_FALSE(rng.chance(0.0));
+    ASSERT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, GaussMoments) {
+  Rng rng(17);
+  const int n = 200000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.gauss();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.02);
+}
+
+TEST(Rng, SpawnStreamsAreIndependentAndDeterministic) {
+  Rng root(42);
+  Rng a1 = root.spawn(1);
+  Rng a2 = root.spawn(1);
+  Rng b = root.spawn(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a1();
+    ASSERT_EQ(va, a2());
+    equal += (va == b());
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(3);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto w = v;
+  rng.shuffle(w);
+  EXPECT_FALSE(std::equal(v.begin(), v.end(), w.begin()));
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+class SampleIndicesTest
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(SampleIndicesTest, ProducesKDistinctSortedInRange) {
+  const auto [n, k] = GetParam();
+  Rng rng(n * 1000 + k);
+  for (int rep = 0; rep < 20; ++rep) {
+    const auto idx = rng.sample_indices(n, k);
+    ASSERT_EQ(idx.size(), k);
+    std::set<std::size_t> unique(idx.begin(), idx.end());
+    ASSERT_EQ(unique.size(), k);
+    for (std::size_t i : idx) ASSERT_LT(i, n);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SampleIndicesTest,
+    ::testing::Values(std::pair<std::size_t, std::size_t>{10, 0},
+                      std::pair<std::size_t, std::size_t>{10, 1},
+                      std::pair<std::size_t, std::size_t>{10, 5},
+                      std::pair<std::size_t, std::size_t>{10, 10},
+                      std::pair<std::size_t, std::size_t>{1000, 3},
+                      std::pair<std::size_t, std::size_t>{1000, 999}));
+
+TEST(Rng, SampleIndicesRejectsOverdraw) {
+  Rng rng(1);
+  EXPECT_THROW((void)rng.sample_indices(5, 6), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace carbon::common

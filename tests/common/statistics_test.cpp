@@ -1,0 +1,156 @@
+#include "carbon/common/statistics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "carbon/common/rng.hpp"
+
+namespace carbon::common {
+namespace {
+
+TEST(RunningStats, KnownValues) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleSampleVarianceZero) {
+  RunningStats s;
+  s.add(3.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  Rng rng(4);
+  RunningStats all;
+  RunningStats left;
+  RunningStats right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.gauss(3.0, 2.0);
+    all.add(x);
+    (i < 400 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(left.min(), all.min());
+  EXPECT_EQ(left.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a;
+  a.add(1.0);
+  a.add(2.0);
+  RunningStats b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+}
+
+TEST(Summarize, QuartilesOfKnownSample) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.n, 9u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.median, 5.0);
+  EXPECT_DOUBLE_EQ(s.q1, 3.0);
+  EXPECT_DOUBLE_EQ(s.q3, 7.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+}
+
+TEST(Summarize, Empty) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.n, 0u);
+}
+
+TEST(Summarize, UnsortedInputHandled) {
+  const std::vector<double> xs = {9, 1, 5, 3, 7};
+  const Summary s = summarize(xs);
+  EXPECT_DOUBLE_EQ(s.median, 5.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+}
+
+TEST(QuantileSorted, InterpolatesLinearly) {
+  const std::vector<double> xs = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile_sorted(xs, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(xs, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(quantile_sorted(xs, 1.0), 10.0);
+}
+
+TEST(QuantileSorted, EmptyThrows) {
+  EXPECT_THROW((void)quantile_sorted({}, 0.5), std::invalid_argument);
+}
+
+TEST(NormalCdf, KnownValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.96), 0.975, 1e-3);
+  EXPECT_NEAR(normal_cdf(-1.96), 0.025, 1e-3);
+}
+
+TEST(RankSum, IdenticalSamplesNoEvidence) {
+  const std::vector<double> a = {1, 2, 3, 4, 5};
+  const auto r = rank_sum_test(a, a);
+  EXPECT_NEAR(r.p_value, 1.0, 0.05);
+  EXPECT_NEAR(r.rank_biserial, 0.0, 1e-9);
+}
+
+TEST(RankSum, DisjointSamplesStrongEvidence) {
+  const std::vector<double> lo = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  const std::vector<double> hi = {101, 102, 103, 104, 105,
+                                  106, 107, 108, 109, 110};
+  const auto r = rank_sum_test(lo, hi);
+  EXPECT_LT(r.p_value, 0.001);
+  EXPECT_NEAR(r.rank_biserial, -1.0, 1e-9);  // lo < hi
+}
+
+TEST(RankSum, DirectionOfEffect) {
+  const std::vector<double> hi = {10, 11, 12, 13, 14, 15, 16, 17};
+  const std::vector<double> lo = {1, 2, 3, 4, 5, 6, 7, 8};
+  const auto r = rank_sum_test(hi, lo);
+  EXPECT_GT(r.rank_biserial, 0.9);  // first sample larger
+}
+
+TEST(RankSum, AllTiedIsInconclusive) {
+  const std::vector<double> a = {5, 5, 5};
+  const std::vector<double> b = {5, 5, 5};
+  const auto r = rank_sum_test(a, b);
+  EXPECT_DOUBLE_EQ(r.p_value, 1.0);
+}
+
+TEST(RankSum, EmptySampleIsInconclusive) {
+  const std::vector<double> a = {1.0};
+  const auto r = rank_sum_test(a, {});
+  EXPECT_DOUBLE_EQ(r.p_value, 1.0);
+}
+
+TEST(RankSum, MatchesKnownUStatistic) {
+  // Classic textbook example: A = {1, 4, 5}, B = {2, 3, 6}.
+  // Ranks: 1->1, 2->2, 3->3, 4->4, 5->5, 6->6. Rank sum A = 1+4+5 = 10.
+  // U_A = 10 - 3*4/2 = 4.
+  const std::vector<double> a = {1, 4, 5};
+  const std::vector<double> b = {2, 3, 6};
+  const auto r = rank_sum_test(a, b);
+  EXPECT_DOUBLE_EQ(r.u_statistic, 4.0);
+}
+
+}  // namespace
+}  // namespace carbon::common

@@ -1,0 +1,44 @@
+#include "carbon/common/stopwatch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace carbon::common {
+namespace {
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double elapsed = sw.millis();
+  EXPECT_GE(elapsed, 15.0);
+  EXPECT_LT(elapsed, 2000.0);  // generous: CI machines stall
+}
+
+TEST(Stopwatch, SecondsAndMillisAgree) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const double s = sw.seconds();
+  const double ms = sw.millis();
+  EXPECT_NEAR(ms, s * 1000.0, 50.0);
+}
+
+TEST(Stopwatch, ResetRestarts) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  sw.reset();
+  EXPECT_LT(sw.millis(), 15.0);
+}
+
+TEST(Stopwatch, MonotoneNonDecreasing) {
+  Stopwatch sw;
+  double last = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    const double now = sw.seconds();
+    ASSERT_GE(now, last);
+    last = now;
+  }
+}
+
+}  // namespace
+}  // namespace carbon::common

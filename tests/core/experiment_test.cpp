@@ -1,0 +1,147 @@
+#include "carbon/core/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "carbon/baselines/nested_ga.hpp"
+#include "carbon/cover/generator.hpp"
+
+namespace carbon::core {
+namespace {
+
+bcpop::Instance small_instance() {
+  cover::GeneratorConfig cfg;
+  cfg.num_bundles = 25;
+  cfg.num_services = 3;
+  cfg.seed = 31;
+  return bcpop::Instance(cover::generate(cfg), 3);
+}
+
+ExperimentConfig tiny_config() {
+  ExperimentConfig cfg;
+  cfg.runs = 3;
+  cfg.population_size = 10;
+  cfg.archive_size = 10;
+  cfg.ul_eval_budget = 80;
+  cfg.ll_eval_budget = 300;
+  cfg.heuristic_sample_size = 2;
+  cfg.threads = 2;
+  return cfg;
+}
+
+TEST(Experiment, RunCellAggregatesAllRuns) {
+  const bcpop::Instance inst = small_instance();
+  const CellResult cell = run_cell(inst, Algorithm::kCarbon, tiny_config());
+  EXPECT_EQ(cell.runs.size(), 3u);
+  EXPECT_EQ(cell.gap.n, 3u);
+  EXPECT_EQ(cell.ul_objective.n, 3u);
+  EXPECT_GT(cell.wall_seconds, 0.0);
+  EXPECT_GE(cell.gap.min, 0.0);
+  EXPECT_LE(cell.gap.min, cell.gap.max);
+}
+
+TEST(Experiment, ParallelMatchesSequential) {
+  const bcpop::Instance inst = small_instance();
+  ExperimentConfig cfg = tiny_config();
+  cfg.threads = 1;
+  const CellResult seq = run_cell(inst, Algorithm::kCarbon, cfg);
+  cfg.threads = 3;
+  const CellResult par = run_cell(inst, Algorithm::kCarbon, cfg);
+  ASSERT_EQ(seq.runs.size(), par.runs.size());
+  for (std::size_t r = 0; r < seq.runs.size(); ++r) {
+    EXPECT_DOUBLE_EQ(seq.runs[r].best_gap, par.runs[r].best_gap);
+    EXPECT_DOUBLE_EQ(seq.runs[r].best_ul_objective,
+                     par.runs[r].best_ul_objective);
+  }
+}
+
+TEST(Experiment, AllAlgorithmsDispatch) {
+  const bcpop::Instance inst = small_instance();
+  ExperimentConfig cfg = tiny_config();
+  cfg.runs = 1;
+  for (const Algorithm a :
+       {Algorithm::kCarbon, Algorithm::kCobra, Algorithm::kNestedGa,
+        Algorithm::kCarbonValueFitness}) {
+    const CellResult cell = run_cell(inst, a, cfg);
+    EXPECT_EQ(cell.algorithm, a);
+    EXPECT_EQ(cell.runs.size(), 1u);
+    EXPECT_TRUE(cell.runs[0].best_evaluation.ll_feasible)
+        << to_string(a);
+  }
+}
+
+TEST(Experiment, ZeroRunsThrows) {
+  const bcpop::Instance inst = small_instance();
+  ExperimentConfig cfg = tiny_config();
+  cfg.runs = 0;
+  EXPECT_THROW((void)run_cell(inst, Algorithm::kCarbon, cfg),
+               std::invalid_argument);
+}
+
+TEST(Experiment, PaperScaleMatchesTableII) {
+  const ExperimentConfig cfg = ExperimentConfig::paper_scale();
+  EXPECT_EQ(cfg.runs, 30u);
+  EXPECT_EQ(cfg.population_size, 100u);
+  EXPECT_EQ(cfg.archive_size, 100u);
+  EXPECT_EQ(cfg.ul_eval_budget, 50'000);
+  EXPECT_EQ(cfg.ll_eval_budget, 50'000);
+}
+
+TEST(Experiment, AlgorithmNames) {
+  EXPECT_STREQ(to_string(Algorithm::kCarbon), "CARBON");
+  EXPECT_STREQ(to_string(Algorithm::kCobra), "COBRA");
+  EXPECT_STREQ(to_string(Algorithm::kNestedGa), "NESTED-GA");
+  EXPECT_STREQ(to_string(Algorithm::kCarbonValueFitness), "CARBON-VALUE");
+}
+
+TEST(Experiment, AverageConvergenceShapes) {
+  const bcpop::Instance inst = small_instance();
+  ExperimentConfig cfg = tiny_config();
+  cfg.record_convergence = true;
+  const CellResult cell = run_cell(inst, Algorithm::kCarbon, cfg);
+  const auto avg = average_convergence(cell.runs);
+  ASSERT_FALSE(avg.empty());
+  // Length = shortest run trace.
+  std::size_t min_len = cell.runs[0].convergence.size();
+  for (const auto& r : cell.runs) {
+    min_len = std::min(min_len, r.convergence.size());
+  }
+  EXPECT_EQ(avg.size(), min_len);
+  // Averaged best-so-far stays monotone (average of monotone series).
+  for (std::size_t g = 1; g < avg.size(); ++g) {
+    ASSERT_GE(avg[g].best_ul_so_far, avg[g - 1].best_ul_so_far - 1e-9);
+    ASSERT_LE(avg[g].best_gap_so_far, avg[g - 1].best_gap_so_far + 1e-9);
+  }
+}
+
+TEST(Experiment, AverageConvergenceEmptyInputs) {
+  EXPECT_TRUE(average_convergence({}).empty());
+  std::vector<RunResult> no_trace(2);
+  EXPECT_TRUE(average_convergence(no_trace).empty());
+}
+
+TEST(NestedGa, SmokeAndDeterminism) {
+  const bcpop::Instance inst = small_instance();
+  baselines::NestedGaConfig cfg;
+  cfg.population_size = 10;
+  cfg.archive_size = 10;
+  cfg.ul_eval_budget = 100;
+  cfg.ll_eval_budget = 100;
+  cfg.seed = 8;
+  const core::RunResult a = baselines::NestedGaSolver(inst, cfg).run();
+  const core::RunResult b = baselines::NestedGaSolver(inst, cfg).run();
+  EXPECT_TRUE(a.best_evaluation.ll_feasible);
+  EXPECT_DOUBLE_EQ(a.best_ul_objective, b.best_ul_objective);
+  EXPECT_GT(a.generations, 0);
+}
+
+TEST(NestedGa, InvalidConfigThrows) {
+  const bcpop::Instance inst = small_instance();
+  baselines::NestedGaConfig cfg;
+  cfg.population_size = 1;
+  EXPECT_THROW(baselines::NestedGaSolver(inst, cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace carbon::core

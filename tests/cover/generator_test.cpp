@@ -1,0 +1,144 @@
+#include "carbon/cover/generator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace carbon::cover {
+namespace {
+
+TEST(Generator, DeterministicForSeed) {
+  GeneratorConfig cfg;
+  cfg.num_bundles = 30;
+  cfg.num_services = 4;
+  cfg.seed = 9;
+  const Instance a = generate(cfg);
+  const Instance b = generate(cfg);
+  ASSERT_EQ(a.num_bundles(), b.num_bundles());
+  for (std::size_t j = 0; j < a.num_bundles(); ++j) {
+    ASSERT_DOUBLE_EQ(a.cost(j), b.cost(j));
+    for (std::size_t k = 0; k < a.num_services(); ++k) {
+      ASSERT_EQ(a.quantity(j, k), b.quantity(j, k));
+    }
+  }
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  GeneratorConfig cfg;
+  cfg.num_bundles = 30;
+  cfg.num_services = 4;
+  cfg.seed = 1;
+  const Instance a = generate(cfg);
+  cfg.seed = 2;
+  const Instance b = generate(cfg);
+  bool any_diff = false;
+  for (std::size_t j = 0; j < a.num_bundles() && !any_diff; ++j) {
+    any_diff = a.cost(j) != b.cost(j);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Generator, AlwaysCoverable) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    GeneratorConfig cfg;
+    cfg.num_bundles = 25;
+    cfg.num_services = 6;
+    cfg.density = 0.3;
+    cfg.seed = seed;
+    EXPECT_TRUE(generate(cfg).coverable()) << "seed " << seed;
+  }
+}
+
+TEST(Generator, QuantitiesWithinConfiguredRange) {
+  GeneratorConfig cfg;
+  cfg.num_bundles = 50;
+  cfg.num_services = 5;
+  cfg.max_quantity = 17;
+  const Instance inst = generate(cfg);
+  for (std::size_t j = 0; j < inst.num_bundles(); ++j) {
+    for (std::size_t k = 0; k < inst.num_services(); ++k) {
+      ASSERT_GE(inst.quantity(j, k), 0);
+      ASSERT_LE(inst.quantity(j, k), 17);
+    }
+  }
+}
+
+TEST(Generator, TightnessScalesDemand) {
+  GeneratorConfig loose;
+  loose.num_bundles = 60;
+  loose.num_services = 4;
+  loose.tightness = 0.1;
+  loose.seed = 5;
+  GeneratorConfig tight = loose;
+  tight.tightness = 0.6;
+  const Instance a = generate(loose);
+  const Instance b = generate(tight);
+  // Same supply (same seed), different demand scale.
+  long long da = 0;
+  long long db = 0;
+  for (std::size_t k = 0; k < a.num_services(); ++k) {
+    da += a.demand(k);
+    db += b.demand(k);
+  }
+  EXPECT_GT(db, 3 * da);
+}
+
+TEST(Generator, EveryServiceHasAtLeastTwoSuppliers) {
+  GeneratorConfig cfg;
+  cfg.num_bundles = 10;
+  cfg.num_services = 8;
+  cfg.density = 0.05;  // so sparse the backfill path must trigger
+  cfg.seed = 3;
+  const Instance inst = generate(cfg);
+  for (std::size_t k = 0; k < inst.num_services(); ++k) {
+    EXPECT_GE(inst.suppliers(k).size(), 2u) << "service " << k;
+  }
+}
+
+TEST(Generator, CostsArePositive) {
+  GeneratorConfig cfg;
+  cfg.num_bundles = 40;
+  cfg.num_services = 3;
+  const Instance inst = generate(cfg);
+  for (std::size_t j = 0; j < inst.num_bundles(); ++j) {
+    EXPECT_GT(inst.cost(j), 0.0);
+  }
+}
+
+TEST(Generator, RejectsBadConfig) {
+  GeneratorConfig cfg;
+  cfg.num_bundles = 0;
+  EXPECT_THROW((void)generate(cfg), std::invalid_argument);
+  cfg.num_bundles = 10;
+  cfg.tightness = 0.0;
+  EXPECT_THROW((void)generate(cfg), std::invalid_argument);
+  cfg.tightness = 1.5;
+  EXPECT_THROW((void)generate(cfg), std::invalid_argument);
+}
+
+TEST(Generator, PaperClassesMatchTheEvaluationSection) {
+  const auto& classes = paper_classes();
+  ASSERT_EQ(classes.size(), 9u);
+  EXPECT_EQ(classes[0].num_bundles, 100u);
+  EXPECT_EQ(classes[0].num_services, 5u);
+  EXPECT_EQ(classes[8].num_bundles, 500u);
+  EXPECT_EQ(classes[8].num_services, 30u);
+}
+
+TEST(Generator, MakePaperInstanceDimensions) {
+  const Instance inst = make_paper_instance(3);  // 250 x 5
+  EXPECT_EQ(inst.num_bundles(), 250u);
+  EXPECT_EQ(inst.num_services(), 5u);
+  EXPECT_THROW((void)make_paper_instance(9), std::out_of_range);
+}
+
+TEST(Generator, PaperInstanceRunsAreDistinct) {
+  const Instance a = make_paper_instance(0, 0);
+  const Instance b = make_paper_instance(0, 1);
+  bool differ = false;
+  for (std::size_t j = 0; j < a.num_bundles() && !differ; ++j) {
+    differ = a.cost(j) != b.cost(j);
+  }
+  EXPECT_TRUE(differ);
+}
+
+}  // namespace
+}  // namespace carbon::cover

@@ -1,0 +1,102 @@
+#include "carbon/cover/orlib_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "carbon/cover/generator.hpp"
+
+namespace carbon::cover {
+namespace {
+
+TEST(OrlibIo, RoundtripPreservesEverything) {
+  GeneratorConfig cfg;
+  cfg.num_bundles = 23;
+  cfg.num_services = 7;
+  cfg.seed = 77;
+  const Instance original = generate(cfg);
+
+  std::stringstream buffer;
+  write_orlib(buffer, original);
+  const Instance loaded = read_orlib(buffer);
+
+  ASSERT_EQ(loaded.num_bundles(), original.num_bundles());
+  ASSERT_EQ(loaded.num_services(), original.num_services());
+  for (std::size_t j = 0; j < original.num_bundles(); ++j) {
+    ASSERT_NEAR(loaded.cost(j), original.cost(j), 1e-9);
+    for (std::size_t k = 0; k < original.num_services(); ++k) {
+      ASSERT_EQ(loaded.quantity(j, k), original.quantity(j, k));
+    }
+  }
+  for (std::size_t k = 0; k < original.num_services(); ++k) {
+    ASSERT_EQ(loaded.demand(k), original.demand(k));
+  }
+}
+
+TEST(OrlibIo, ParsesHandWrittenFile) {
+  std::stringstream in(
+      "2 3\n"
+      "1.5 2.5\n"
+      "1 0\n"
+      "2 2\n"
+      "0 3\n"
+      "1 2 3\n");
+  const Instance inst = read_orlib(in);
+  EXPECT_EQ(inst.num_bundles(), 2u);
+  EXPECT_EQ(inst.num_services(), 3u);
+  EXPECT_DOUBLE_EQ(inst.cost(0), 1.5);
+  EXPECT_EQ(inst.quantity(0, 0), 1);  // service-major rows in the file
+  EXPECT_EQ(inst.quantity(1, 1), 2);
+  EXPECT_EQ(inst.quantity(1, 2), 3);
+  EXPECT_EQ(inst.demand(2), 3);
+}
+
+TEST(OrlibIo, MissingHeaderThrows) {
+  std::stringstream in("");
+  EXPECT_THROW((void)read_orlib(in), std::runtime_error);
+}
+
+TEST(OrlibIo, TruncatedCostsThrows) {
+  std::stringstream in("3 2\n1.0 2.0\n");
+  EXPECT_THROW((void)read_orlib(in), std::runtime_error);
+}
+
+TEST(OrlibIo, TruncatedMatrixThrows) {
+  std::stringstream in("2 2\n1 2\n1 1\n");
+  EXPECT_THROW((void)read_orlib(in), std::runtime_error);
+}
+
+TEST(OrlibIo, NegativeCoefficientThrows) {
+  std::stringstream in("1 1\n1.0\n-5\n1\n");
+  EXPECT_THROW((void)read_orlib(in), std::runtime_error);
+}
+
+TEST(OrlibIo, NegativeDemandThrows) {
+  std::stringstream in("1 1\n1.0\n5\n-1\n");
+  EXPECT_THROW((void)read_orlib(in), std::runtime_error);
+}
+
+TEST(OrlibIo, ZeroDimensionsThrow) {
+  std::stringstream in("0 5\n");
+  EXPECT_THROW((void)read_orlib(in), std::runtime_error);
+}
+
+TEST(OrlibIo, FileRoundtrip) {
+  GeneratorConfig cfg;
+  cfg.num_bundles = 8;
+  cfg.num_services = 3;
+  const Instance original = generate(cfg);
+  const std::string path = ::testing::TempDir() + "/carbon_orlib_test.txt";
+  save_orlib(path, original);
+  const Instance loaded = load_orlib(path);
+  EXPECT_EQ(loaded.num_bundles(), original.num_bundles());
+  EXPECT_EQ(loaded.demand(0), original.demand(0));
+}
+
+TEST(OrlibIo, MissingFileThrows) {
+  EXPECT_THROW((void)load_orlib("/nonexistent/path/file.txt"),
+               std::ios_base::failure);
+}
+
+}  // namespace
+}  // namespace carbon::cover

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "carbon/ea/archive.hpp"
+#include "carbon/ea/binary_ops.hpp"
+
+namespace carbon::ea {
+namespace {
+
+TEST(BinaryOps, RandomVectorDensity) {
+  common::Rng rng(1);
+  const auto v = random_binary_vector(rng, 10000, 0.3);
+  const long ones = std::accumulate(v.begin(), v.end(), 0L);
+  EXPECT_NEAR(ones / 10000.0, 0.3, 0.03);
+}
+
+TEST(BinaryOps, RandomVectorExtremes) {
+  common::Rng rng(2);
+  const auto zeros = random_binary_vector(rng, 100, 0.0);
+  const auto ones = random_binary_vector(rng, 100, 1.0);
+  EXPECT_EQ(std::accumulate(zeros.begin(), zeros.end(), 0), 0);
+  EXPECT_EQ(std::accumulate(ones.begin(), ones.end(), 0), 100);
+}
+
+TEST(BinaryOps, TwoPointCrossoverPreservesPairwiseMultiset) {
+  common::Rng rng(3);
+  for (int rep = 0; rep < 100; ++rep) {
+    auto a = random_binary_vector(rng, 50, 0.5);
+    auto b = random_binary_vector(rng, 50, 0.5);
+    const int total_before =
+        std::accumulate(a.begin(), a.end(), 0) +
+        std::accumulate(b.begin(), b.end(), 0);
+    two_point_crossover(rng, a, b);
+    const int total_after =
+        std::accumulate(a.begin(), a.end(), 0) +
+        std::accumulate(b.begin(), b.end(), 0);
+    ASSERT_EQ(total_before, total_after);
+  }
+}
+
+TEST(BinaryOps, TwoPointCrossoverActuallyMixes) {
+  common::Rng rng(4);
+  int mixed = 0;
+  for (int rep = 0; rep < 100; ++rep) {
+    std::vector<std::uint8_t> a(20, 0);
+    std::vector<std::uint8_t> b(20, 1);
+    two_point_crossover(rng, a, b);
+    mixed += std::accumulate(a.begin(), a.end(), 0) > 0;
+  }
+  EXPECT_GT(mixed, 80);
+}
+
+TEST(BinaryOps, TwoPointCrossoverTinyGenomes) {
+  common::Rng rng(5);
+  std::vector<std::uint8_t> a = {1};
+  std::vector<std::uint8_t> b = {0};
+  two_point_crossover(rng, a, b);  // must not crash; n < 2 is a no-op
+  EXPECT_EQ(a[0] + b[0], 1);
+}
+
+TEST(BinaryOps, SwapMutationPreservesOnesCount) {
+  common::Rng rng(6);
+  for (int rep = 0; rep < 100; ++rep) {
+    auto v = random_binary_vector(rng, 60, 0.4);
+    const int before = std::accumulate(v.begin(), v.end(), 0);
+    swap_mutation(rng, v, 0.5);
+    EXPECT_EQ(std::accumulate(v.begin(), v.end(), 0), before);
+  }
+}
+
+TEST(BinaryOps, FlipMutationTogglesApproximatelyRate) {
+  common::Rng rng(7);
+  int flips = 0;
+  const int reps = 200;
+  for (int rep = 0; rep < reps; ++rep) {
+    std::vector<std::uint8_t> v(100, 0);
+    flip_mutation(rng, v, 0.1);
+    flips += std::accumulate(v.begin(), v.end(), 0);
+  }
+  EXPECT_NEAR(flips / static_cast<double>(reps), 10.0, 2.0);
+}
+
+TEST(BinaryOps, DefaultMutationRateIsOneOverN) {
+  common::Rng rng(8);
+  int flips = 0;
+  const int reps = 500;
+  for (int rep = 0; rep < reps; ++rep) {
+    std::vector<std::uint8_t> v(50, 0);
+    flip_mutation(rng, v);
+    flips += std::accumulate(v.begin(), v.end(), 0);
+  }
+  EXPECT_NEAR(flips / static_cast<double>(reps), 1.0, 0.3);
+}
+
+// ---- Archive ----
+
+TEST(Archive, KeepsBestWhenMaximizing) {
+  Archive<int> arch(3, /*maximize=*/true);
+  arch.add(1, 1.0);
+  arch.add(2, 5.0);
+  arch.add(3, 3.0);
+  arch.add(4, 4.0);  // evicts fitness 1.0
+  EXPECT_EQ(arch.size(), 3u);
+  EXPECT_EQ(arch.best().item, 2);
+  EXPECT_DOUBLE_EQ(arch.best().fitness, 5.0);
+  EXPECT_DOUBLE_EQ(arch.at(2).fitness, 3.0);
+}
+
+TEST(Archive, KeepsBestWhenMinimizing) {
+  Archive<int> arch(2, /*maximize=*/false);
+  arch.add(1, 10.0);
+  arch.add(2, 1.0);
+  arch.add(3, 5.0);
+  EXPECT_EQ(arch.best().item, 2);
+  EXPECT_DOUBLE_EQ(arch.at(1).fitness, 5.0);
+}
+
+TEST(Archive, RejectsWorseThanWorstWhenFull) {
+  Archive<int> arch(2, true);
+  arch.add(1, 10.0);
+  arch.add(2, 20.0);
+  EXPECT_FALSE(arch.add(3, 5.0));
+  EXPECT_TRUE(arch.add(4, 15.0));
+  EXPECT_EQ(arch.size(), 2u);
+  EXPECT_EQ(arch.at(1).item, 4);
+}
+
+TEST(Archive, SortedBestFirstInvariant) {
+  common::Rng rng(9);
+  Archive<int> arch(10, true);
+  for (int i = 0; i < 100; ++i) {
+    arch.add(i, rng.uniform());
+  }
+  for (std::size_t i = 1; i < arch.size(); ++i) {
+    ASSERT_GE(arch.at(i - 1).fitness, arch.at(i).fitness);
+  }
+}
+
+TEST(Archive, ZeroCapacityNeverStores) {
+  Archive<int> arch(0, true);
+  EXPECT_FALSE(arch.add(1, 1.0));
+  EXPECT_TRUE(arch.empty());
+}
+
+TEST(Archive, SampleReturnsStoredEntries) {
+  common::Rng rng(10);
+  Archive<int> arch(5, true);
+  for (int i = 0; i < 5; ++i) arch.add(i, static_cast<double>(i));
+  for (int rep = 0; rep < 50; ++rep) {
+    const auto& e = arch.sample(rng);
+    EXPECT_GE(e.item, 0);
+    EXPECT_LT(e.item, 5);
+  }
+}
+
+}  // namespace
+}  // namespace carbon::ea

@@ -1,0 +1,208 @@
+#include "carbon/ea/real_ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace carbon::ea {
+namespace {
+
+std::vector<Bounds> uniform_bounds(std::size_t n, double lo, double hi) {
+  return std::vector<Bounds>(n, Bounds{lo, hi});
+}
+
+TEST(RealOps, RandomVectorWithinBounds) {
+  common::Rng rng(1);
+  const auto bounds = uniform_bounds(50, -3.0, 7.0);
+  for (int rep = 0; rep < 50; ++rep) {
+    const auto v = random_real_vector(rng, bounds);
+    ASSERT_EQ(v.size(), 50u);
+    for (double x : v) {
+      ASSERT_GE(x, -3.0);
+      ASSERT_LT(x, 7.0);
+    }
+  }
+}
+
+TEST(RealOps, ClampToBounds) {
+  const auto bounds = uniform_bounds(3, 0.0, 1.0);
+  std::vector<double> v = {-1.0, 0.5, 2.0};
+  clamp_to_bounds(v, bounds);
+  EXPECT_DOUBLE_EQ(v[0], 0.0);
+  EXPECT_DOUBLE_EQ(v[1], 0.5);
+  EXPECT_DOUBLE_EQ(v[2], 1.0);
+}
+
+class SbxSweepTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SbxSweepTest, ChildrenStayWithinBounds) {
+  common::Rng rng(GetParam());
+  const auto bounds = uniform_bounds(20, 0.0, 100.0);
+  for (int rep = 0; rep < 100; ++rep) {
+    auto a = random_real_vector(rng, bounds);
+    auto b = random_real_vector(rng, bounds);
+    SbxConfig cfg;
+    cfg.per_gene_probability = 1.0;
+    sbx_crossover(rng, a, b, bounds, cfg);
+    for (double x : a) {
+      ASSERT_GE(x, 0.0);
+      ASSERT_LE(x, 100.0);
+    }
+    for (double x : b) {
+      ASSERT_GE(x, 0.0);
+      ASSERT_LE(x, 100.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SbxSweepTest,
+                         ::testing::Range<std::uint64_t>(0, 5));
+
+TEST(RealOps, SbxPreservesGeneSumOnAverage) {
+  // SBX children are symmetric around the parents' midpoint, so the sum of
+  // each gene across the pair is (statistically) preserved.
+  common::Rng rng(9);
+  const auto bounds = uniform_bounds(1, 0.0, 10.0);
+  double drift = 0.0;
+  const int reps = 5000;
+  for (int rep = 0; rep < reps; ++rep) {
+    std::vector<double> a = {2.0};
+    std::vector<double> b = {8.0};
+    SbxConfig cfg;
+    cfg.per_gene_probability = 1.0;
+    sbx_crossover(rng, a, b, bounds, cfg);
+    drift += (a[0] + b[0]) - 10.0;
+  }
+  EXPECT_NEAR(drift / reps, 0.0, 0.1);
+}
+
+TEST(RealOps, SbxLargeEtaStaysNearParents) {
+  common::Rng rng(10);
+  const auto bounds = uniform_bounds(1, 0.0, 10.0);
+  SbxConfig tight;
+  tight.eta = 200.0;
+  tight.per_gene_probability = 1.0;
+  for (int rep = 0; rep < 200; ++rep) {
+    std::vector<double> a = {4.0};
+    std::vector<double> b = {6.0};
+    sbx_crossover(rng, a, b, bounds, tight);
+    const double lo = std::min(a[0], b[0]);
+    const double hi = std::max(a[0], b[0]);
+    ASSERT_GT(lo, 3.0);
+    ASSERT_LT(hi, 7.0);
+  }
+}
+
+TEST(RealOps, SbxIdenticalParentsUnchanged) {
+  common::Rng rng(11);
+  const auto bounds = uniform_bounds(5, 0.0, 1.0);
+  std::vector<double> a = {0.2, 0.4, 0.6, 0.8, 1.0};
+  auto b = a;
+  SbxConfig cfg;
+  cfg.per_gene_probability = 1.0;
+  sbx_crossover(rng, a, b, bounds, cfg);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i], b[i]);
+  }
+}
+
+class PolyMutationSweepTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(PolyMutationSweepTest, StaysWithinBounds) {
+  common::Rng rng(GetParam() + 100);
+  const auto bounds = uniform_bounds(30, -5.0, 5.0);
+  for (int rep = 0; rep < 100; ++rep) {
+    auto v = random_real_vector(rng, bounds);
+    PolynomialMutationConfig cfg;
+    cfg.per_gene_probability = 1.0;
+    polynomial_mutation(rng, v, bounds, cfg);
+    for (double x : v) {
+      ASSERT_GE(x, -5.0);
+      ASSERT_LE(x, 5.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PolyMutationSweepTest,
+                         ::testing::Range<std::uint64_t>(0, 5));
+
+TEST(RealOps, PolynomialMutationDefaultRateIsOneOverN) {
+  common::Rng rng(12);
+  const auto bounds = uniform_bounds(100, 0.0, 1.0);
+  int mutated = 0;
+  const int reps = 200;
+  for (int rep = 0; rep < reps; ++rep) {
+    auto v = std::vector<double>(100, 0.5);
+    polynomial_mutation(rng, v, bounds, {});
+    for (double x : v) mutated += x != 0.5;
+  }
+  // Expect about one mutation per individual.
+  EXPECT_NEAR(static_cast<double>(mutated) / reps, 1.0, 0.5);
+}
+
+TEST(RealOps, PolynomialMutationSmallEtaMovesFurther) {
+  common::Rng rng(13);
+  const auto bounds = uniform_bounds(1, 0.0, 1.0);
+  const auto mean_move = [&](double eta) {
+    PolynomialMutationConfig cfg;
+    cfg.eta = eta;
+    cfg.per_gene_probability = 1.0;
+    double total = 0.0;
+    for (int rep = 0; rep < 3000; ++rep) {
+      std::vector<double> v = {0.5};
+      polynomial_mutation(rng, v, bounds, cfg);
+      total += std::abs(v[0] - 0.5);
+    }
+    return total / 3000.0;
+  };
+  EXPECT_GT(mean_move(5.0), mean_move(100.0) * 2.0);
+}
+
+TEST(RealOps, FixedGeneNeverMutates) {
+  common::Rng rng(14);
+  const std::vector<Bounds> bounds = {{2.0, 2.0}};
+  std::vector<double> v = {2.0};
+  PolynomialMutationConfig cfg;
+  cfg.per_gene_probability = 1.0;
+  for (int rep = 0; rep < 100; ++rep) {
+    polynomial_mutation(rng, v, bounds, cfg);
+    ASSERT_DOUBLE_EQ(v[0], 2.0);
+  }
+}
+
+TEST(RealOps, TournamentPrefersBetter) {
+  common::Rng rng(15);
+  const std::vector<double> fitness = {1.0, 2.0, 3.0, 4.0, 100.0};
+  int best_wins = 0;
+  const int trials = 2000;
+  for (int i = 0; i < trials; ++i) {
+    best_wins += tournament_select(rng, fitness, 2, /*maximize=*/true) == 4;
+  }
+  // P(best in a binary tournament) = 1 - (4/5)^2 = 0.36.
+  EXPECT_NEAR(best_wins / static_cast<double>(trials), 0.36, 0.05);
+}
+
+TEST(RealOps, TournamentMinimizePrefersSmall) {
+  common::Rng rng(16);
+  const std::vector<double> fitness = {10.0, 1.0, 10.0};
+  int small_wins = 0;
+  for (int i = 0; i < 1000; ++i) {
+    small_wins += tournament_select(rng, fitness, 3, /*maximize=*/false) == 1;
+  }
+  EXPECT_GT(small_wins, 600);
+}
+
+TEST(RealOps, TournamentSizeOneIsUniform) {
+  common::Rng rng(17);
+  const std::vector<double> fitness = {1.0, 100.0};
+  int idx0 = 0;
+  for (int i = 0; i < 2000; ++i) {
+    idx0 += tournament_select(rng, fitness, 1, true) == 0;
+  }
+  EXPECT_NEAR(idx0 / 2000.0, 0.5, 0.05);
+}
+
+}  // namespace
+}  // namespace carbon::ea

@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "carbon/common/rng.hpp"
+#include "carbon/gp/generate.hpp"
+#include "carbon/gp/operators.hpp"
+
+namespace carbon::gp {
+namespace {
+
+TEST(Generate, FullTreesReachExactDepth) {
+  common::Rng rng(1);
+  for (int depth = 1; depth <= 6; ++depth) {
+    for (int rep = 0; rep < 10; ++rep) {
+      const Tree t = generate_full(rng, depth);
+      ASSERT_TRUE(t.valid());
+      ASSERT_EQ(t.depth(), depth);
+      // A full binary tree of depth d has 2^d - 1 nodes.
+      ASSERT_EQ(t.size(), (1u << depth) - 1);
+    }
+  }
+}
+
+TEST(Generate, GrowTreesRespectMaxDepth) {
+  common::Rng rng(2);
+  for (int rep = 0; rep < 100; ++rep) {
+    const Tree t = generate_grow(rng, 5);
+    ASSERT_TRUE(t.valid());
+    ASSERT_LE(t.depth(), 5);
+  }
+}
+
+TEST(Generate, GrowProducesVariedDepths) {
+  common::Rng rng(3);
+  std::set<int> depths;
+  for (int rep = 0; rep < 200; ++rep) {
+    depths.insert(generate_grow(rng, 6).depth());
+  }
+  EXPECT_GE(depths.size(), 3u);
+}
+
+TEST(Generate, RampedStaysInRange) {
+  common::Rng rng(4);
+  GenerateConfig cfg;
+  cfg.min_depth = 2;
+  cfg.max_depth = 5;
+  for (int rep = 0; rep < 200; ++rep) {
+    const Tree t = generate_ramped(rng, cfg);
+    ASSERT_TRUE(t.valid());
+    ASSERT_GE(t.depth(), 1);
+    ASSERT_LE(t.depth(), 5);
+  }
+}
+
+TEST(Generate, NoConstantsByDefault) {
+  common::Rng rng(5);
+  for (int rep = 0; rep < 50; ++rep) {
+    const Tree t = generate_ramped(rng, {});
+    for (const Node& n : t.nodes()) {
+      ASSERT_NE(n.op, OpCode::kConst);
+    }
+  }
+}
+
+TEST(Generate, ConstantsAppearWhenEnabled) {
+  common::Rng rng(6);
+  GenerateConfig cfg;
+  cfg.use_constants = true;
+  bool saw_const = false;
+  for (int rep = 0; rep < 100 && !saw_const; ++rep) {
+    const Tree t = generate_ramped(rng, cfg);
+    for (const Node& n : t.nodes()) saw_const |= n.op == OpCode::kConst;
+  }
+  EXPECT_TRUE(saw_const);
+}
+
+TEST(Generate, ConstantsRespectRange) {
+  common::Rng rng(7);
+  GenerateConfig cfg;
+  cfg.use_constants = true;
+  cfg.constant_min = -2.0;
+  cfg.constant_max = 3.0;
+  for (int rep = 0; rep < 100; ++rep) {
+    const Tree t = generate_ramped(rng, cfg);
+    for (const Node& n : t.nodes()) {
+      if (n.op == OpCode::kConst) {
+        ASSERT_GE(n.value, -2.0);
+        ASSERT_LT(n.value, 3.0);
+      }
+    }
+  }
+}
+
+TEST(Generate, InvalidDepthsThrow) {
+  common::Rng rng(8);
+  EXPECT_THROW((void)generate_full(rng, 0), std::invalid_argument);
+  EXPECT_THROW((void)generate_grow(rng, 0), std::invalid_argument);
+  GenerateConfig cfg;
+  cfg.min_depth = 3;
+  cfg.max_depth = 2;
+  EXPECT_THROW((void)generate_ramped(rng, cfg), std::invalid_argument);
+}
+
+TEST(Generate, AllTerminalsEventuallyAppear) {
+  common::Rng rng(9);
+  std::set<std::uint8_t> seen;
+  for (int rep = 0; rep < 300; ++rep) {
+    const Tree t = generate_full(rng, 3);
+    for (const Node& n : t.nodes()) {
+      if (n.op == OpCode::kTerminal) seen.insert(n.terminal);
+    }
+  }
+  EXPECT_EQ(seen.size(), kNumTerminals);
+}
+
+TEST(Operators, CrossoverProducesValidTreesWithinDepthCap) {
+  common::Rng rng(10);
+  OperatorConfig cfg;
+  cfg.max_depth = 7;
+  for (int rep = 0; rep < 200; ++rep) {
+    const Tree a = generate_ramped(rng, cfg.generate);
+    const Tree b = generate_ramped(rng, cfg.generate);
+    const auto [ca, cb] = subtree_crossover(rng, a, b, cfg);
+    ASSERT_TRUE(ca.valid());
+    ASSERT_TRUE(cb.valid());
+    ASSERT_LE(ca.depth(), cfg.max_depth);
+    ASSERT_LE(cb.depth(), cfg.max_depth);
+  }
+}
+
+TEST(Operators, CrossoverExchangesMaterial) {
+  common::Rng rng(11);
+  OperatorConfig cfg;
+  int changed = 0;
+  for (int rep = 0; rep < 50; ++rep) {
+    const Tree a = generate_full(rng, 4);
+    const Tree b = generate_full(rng, 4);
+    const auto [ca, cb] = subtree_crossover(rng, a, b, cfg);
+    changed += !(ca == a) || !(cb == b);
+  }
+  EXPECT_GT(changed, 40);  // nearly always something moves
+}
+
+TEST(Operators, TightDepthCapFallsBackToParents) {
+  common::Rng rng(12);
+  OperatorConfig cfg;
+  cfg.max_depth = 2;  // deep offspring must be rejected
+  const Tree a = generate_full(rng, 2);
+  const Tree b = generate_full(rng, 2);
+  for (int rep = 0; rep < 50; ++rep) {
+    const auto [ca, cb] = subtree_crossover(rng, a, b, cfg);
+    ASSERT_LE(ca.depth(), 2);
+    ASSERT_LE(cb.depth(), 2);
+  }
+}
+
+TEST(Operators, UniformMutationKeepsValidityAndCap) {
+  common::Rng rng(13);
+  OperatorConfig cfg;
+  cfg.max_depth = 6;
+  for (int rep = 0; rep < 200; ++rep) {
+    const Tree t = generate_ramped(rng, cfg.generate);
+    const Tree m = uniform_mutation(rng, t, cfg);
+    ASSERT_TRUE(m.valid());
+    ASSERT_LE(m.depth(), cfg.max_depth);
+  }
+}
+
+TEST(Operators, UniformMutationChangesSomething) {
+  common::Rng rng(14);
+  OperatorConfig cfg;
+  int changed = 0;
+  for (int rep = 0; rep < 50; ++rep) {
+    const Tree t = generate_full(rng, 4);
+    changed += !(uniform_mutation(rng, t, cfg) == t);
+  }
+  EXPECT_GT(changed, 35);
+}
+
+TEST(Operators, PointMutationPreservesShape) {
+  common::Rng rng(15);
+  OperatorConfig cfg;
+  for (int rep = 0; rep < 100; ++rep) {
+    const Tree t = generate_full(rng, 4);
+    const Tree m = point_mutation(rng, t, cfg);
+    ASSERT_TRUE(m.valid());
+    ASSERT_EQ(m.size(), t.size());
+    ASSERT_EQ(m.depth(), t.depth());
+  }
+}
+
+TEST(Operators, PickNodePrefersInternalNodes) {
+  common::Rng rng(16);
+  const Tree t = generate_full(rng, 5);  // 15 internal, 16 leaves
+  int internal_picks = 0;
+  const int trials = 2000;
+  for (int i = 0; i < trials; ++i) {
+    const std::size_t pos = pick_node(rng, t, 0.9);
+    internal_picks += !t.nodes()[pos].is_leaf();
+  }
+  // With 0.9 bias, expect ~90% internal picks.
+  EXPECT_GT(internal_picks, trials * 7 / 10);
+}
+
+TEST(Operators, PickNodeOnLeafReturnsRoot) {
+  common::Rng rng(17);
+  const Tree leaf = Tree::constant(1.0);
+  EXPECT_EQ(pick_node(rng, leaf, 0.9), 0u);
+}
+
+}  // namespace
+}  // namespace carbon::gp

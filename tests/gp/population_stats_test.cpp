@@ -1,0 +1,72 @@
+#include "carbon/gp/population_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "carbon/common/rng.hpp"
+#include "carbon/gp/generate.hpp"
+
+namespace carbon::gp {
+namespace {
+
+TEST(PopulationStats, EmptyPopulation) {
+  const PopulationStats s = analyze_population({});
+  EXPECT_EQ(s.population, 0u);
+  EXPECT_EQ(s.unique_structures, 0u);
+}
+
+TEST(PopulationStats, HandBuiltPopulation) {
+  const Tree cost = Tree::terminal(Terminal::kCost);
+  const Tree qcov = Tree::terminal(Terminal::kQcov);
+  const Tree sum = Tree::apply(OpCode::kAdd, cost, qcov);
+  const std::vector<Tree> pop = {cost, cost, qcov, sum};
+
+  const PopulationStats s = analyze_population(pop);
+  EXPECT_EQ(s.population, 4u);
+  EXPECT_EQ(s.unique_structures, 3u);  // cost duplicated
+  EXPECT_DOUBLE_EQ(s.mean_size, (1 + 1 + 1 + 3) / 4.0);
+  EXPECT_EQ(s.max_size, 3u);
+  EXPECT_EQ(s.max_depth, 2);
+  // Terminal usage: COST in 3 of 4, QCOV in 2 of 4.
+  EXPECT_DOUBLE_EQ(s.terminal_usage[static_cast<std::size_t>(Terminal::kCost)],
+                   0.75);
+  EXPECT_DOUBLE_EQ(s.terminal_usage[static_cast<std::size_t>(Terminal::kQcov)],
+                   0.5);
+  EXPECT_DOUBLE_EQ(s.terminal_usage[static_cast<std::size_t>(Terminal::kDual)],
+                   0.0);
+  // Static heuristics: the two `cost` copies; qcov and sum are dynamic.
+  EXPECT_DOUBLE_EQ(s.static_fraction, 0.5);
+}
+
+TEST(PopulationStats, AllIdenticalTreesCountOnce) {
+  const Tree t = Tree::apply(OpCode::kMul, Tree::terminal(Terminal::kDual),
+                             Tree::terminal(Terminal::kXbar));
+  const std::vector<Tree> pop(10, t);
+  const PopulationStats s = analyze_population(pop);
+  EXPECT_EQ(s.unique_structures, 1u);
+  EXPECT_DOUBLE_EQ(s.static_fraction, 1.0);
+}
+
+TEST(PopulationStats, RandomPopulationIsDiverse) {
+  common::Rng rng(5);
+  std::vector<Tree> pop;
+  for (int i = 0; i < 60; ++i) {
+    pop.push_back(generate_ramped(rng));
+  }
+  const PopulationStats s = analyze_population(pop);
+  EXPECT_EQ(s.population, 60u);
+  EXPECT_GT(s.unique_structures, 30u);
+  EXPECT_GT(s.mean_size, 1.0);
+  EXPECT_LE(s.mean_depth, s.max_depth);
+  EXPECT_GE(s.static_fraction, 0.0);
+  EXPECT_LE(s.static_fraction, 1.0);
+}
+
+TEST(PopulationStats, ConstantsOnlyTreeUsesNoTerminals) {
+  const std::vector<Tree> pop = {Tree::constant(5.0)};
+  const PopulationStats s = analyze_population(pop);
+  for (double u : s.terminal_usage) EXPECT_DOUBLE_EQ(u, 0.0);
+  EXPECT_DOUBLE_EQ(s.static_fraction, 1.0);
+}
+
+}  // namespace
+}  // namespace carbon::gp

@@ -1,0 +1,134 @@
+#include "carbon/graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "carbon/common/rng.hpp"
+
+namespace carbon::graph {
+namespace {
+
+TEST(Digraph, AddArcAndAccess) {
+  Digraph g(3);
+  const ArcId a = g.add_arc(0, 1, 2.5);
+  const ArcId b = g.add_arc(1, 2, 1.0);
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_arcs(), 2u);
+  EXPECT_EQ(g.arc(a).to, 1u);
+  EXPECT_DOUBLE_EQ(g.arc(a).weight, 2.5);
+  EXPECT_EQ(g.out_arcs(0).size(), 1u);
+  EXPECT_EQ(g.out_arcs(1)[0], b);
+  EXPECT_TRUE(g.out_arcs(2).empty());
+}
+
+TEST(Digraph, RejectsBadInput) {
+  Digraph g(2);
+  EXPECT_THROW((void)g.add_arc(0, 5, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)g.add_arc(0, 1, -1.0), std::invalid_argument);
+  const ArcId a = g.add_arc(0, 1, 1.0);
+  EXPECT_THROW(g.set_weight(a + 1, 1.0), std::out_of_range);
+  EXPECT_THROW(g.set_weight(a, -0.5), std::invalid_argument);
+}
+
+TEST(Dijkstra, LineGraph) {
+  Digraph g(4);
+  g.add_arc(0, 1, 1.0);
+  g.add_arc(1, 2, 2.0);
+  g.add_arc(2, 3, 3.0);
+  const ShortestPaths sp = dijkstra(g, 0);
+  EXPECT_DOUBLE_EQ(sp.distance[0], 0.0);
+  EXPECT_DOUBLE_EQ(sp.distance[3], 6.0);
+  const auto path = extract_path(sp, g, 3);
+  ASSERT_EQ(path.size(), 3u);
+  EXPECT_EQ(g.arc(path[0]).from, 0u);
+  EXPECT_EQ(g.arc(path[2]).to, 3u);
+}
+
+TEST(Dijkstra, PicksCheaperOfTwoRoutes) {
+  Digraph g(3);
+  g.add_arc(0, 2, 10.0);          // direct but expensive
+  g.add_arc(0, 1, 3.0);
+  g.add_arc(1, 2, 3.0);           // detour, total 6
+  const ShortestPaths sp = dijkstra(g, 0);
+  EXPECT_DOUBLE_EQ(sp.distance[2], 6.0);
+  EXPECT_EQ(extract_path(sp, g, 2).size(), 2u);
+}
+
+TEST(Dijkstra, UnreachableNodes) {
+  Digraph g(3);
+  g.add_arc(0, 1, 1.0);
+  const ShortestPaths sp = dijkstra(g, 0);
+  EXPECT_FALSE(sp.reachable(2));
+  EXPECT_TRUE(extract_path(sp, g, 2).empty());
+}
+
+TEST(Dijkstra, SourceOutOfRangeThrows) {
+  Digraph g(2);
+  EXPECT_THROW((void)dijkstra(g, 7), std::invalid_argument);
+}
+
+TEST(Dijkstra, WeightUpdateChangesRoute) {
+  Digraph g(3);
+  const ArcId direct = g.add_arc(0, 2, 4.0);
+  g.add_arc(0, 1, 3.0);
+  g.add_arc(1, 2, 3.0);
+  EXPECT_DOUBLE_EQ(dijkstra(g, 0).distance[2], 4.0);  // direct wins
+  g.set_weight(direct, 10.0);                         // toll it
+  EXPECT_DOUBLE_EQ(dijkstra(g, 0).distance[2], 6.0);  // detour wins
+}
+
+/// Floyd-Warshall reference on a dense matrix.
+std::vector<std::vector<double>> floyd_warshall(const Digraph& g) {
+  const std::size_t n = g.num_nodes();
+  std::vector<std::vector<double>> d(n, std::vector<double>(n, kUnreachable));
+  for (std::size_t i = 0; i < n; ++i) d[i][i] = 0.0;
+  for (std::size_t a = 0; a < g.num_arcs(); ++a) {
+    const Arc& arc = g.arc(static_cast<ArcId>(a));
+    d[arc.from][arc.to] = std::min(d[arc.from][arc.to], arc.weight);
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        if (d[i][k] + d[k][j] < d[i][j]) d[i][j] = d[i][k] + d[k][j];
+      }
+    }
+  }
+  return d;
+}
+
+class DijkstraRandomTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DijkstraRandomTest, MatchesFloydWarshall) {
+  common::Rng rng(GetParam() * 13 + 1);
+  const std::size_t n = 12;
+  Digraph g(n);
+  for (int arcs = 0; arcs < 40; ++arcs) {
+    const auto from = static_cast<NodeId>(rng.below(n));
+    const auto to = static_cast<NodeId>(rng.below(n));
+    if (from == to) continue;
+    g.add_arc(from, to, rng.uniform(0.0, 10.0));
+  }
+  const auto reference = floyd_warshall(g);
+  for (NodeId s = 0; s < n; ++s) {
+    const ShortestPaths sp = dijkstra(g, s);
+    for (NodeId t = 0; t < n; ++t) {
+      if (reference[s][t] == kUnreachable) {
+        ASSERT_FALSE(sp.reachable(t));
+      } else {
+        ASSERT_NEAR(sp.distance[t], reference[s][t], 1e-9)
+            << "s=" << s << " t=" << t;
+        // Extracted path must realize the distance.
+        double along = 0.0;
+        for (const ArcId a : extract_path(sp, g, t)) {
+          along += g.arc(a).weight;
+        }
+        ASSERT_NEAR(along, reference[s][t], 1e-9);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DijkstraRandomTest,
+                         ::testing::Range<std::uint64_t>(0, 6));
+
+}  // namespace
+}  // namespace carbon::graph

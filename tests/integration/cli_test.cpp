@@ -1,0 +1,97 @@
+// End-to-end test of the `carbon` CLI binary: generate -> relax -> greedy ->
+// exact -> solve, checking exit codes and that artifacts appear. The binary
+// path is injected by CMake as CARBON_CLI_PATH.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#ifndef CARBON_CLI_PATH
+#error "CARBON_CLI_PATH must be defined by the build system"
+#endif
+
+namespace {
+
+std::string cli() { return CARBON_CLI_PATH; }
+
+int run(const std::string& args) {
+  const std::string cmd = cli() + " " + args + " > /dev/null 2>&1";
+  return std::system(cmd.c_str());
+}
+
+std::string capture(const std::string& args) {
+  const std::string out_path = ::testing::TempDir() + "/carbon_cli_out.txt";
+  const std::string cmd = cli() + " " + args + " > " + out_path + " 2>&1";
+  EXPECT_EQ(std::system(cmd.c_str()), 0) << cmd;
+  std::ifstream f(out_path);
+  std::stringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+TEST(Cli, NoArgumentsIsUsageError) { EXPECT_NE(run(""), 0); }
+
+TEST(Cli, UnknownCommandIsUsageError) { EXPECT_NE(run("frobnicate"), 0); }
+
+TEST(Cli, MissingInputFileFails) {
+  EXPECT_NE(run("relax --in /nonexistent/instance.orlib"), 0);
+}
+
+TEST(Cli, FullWorkflow) {
+  const std::string inst = ::testing::TempDir() + "/carbon_cli_market.orlib";
+  const std::string conv = ::testing::TempDir() + "/carbon_cli_conv.csv";
+
+  // generate
+  const std::string gen_out = capture(
+      "generate --bundles 30 --services 4 --seed 5 --out " + inst);
+  EXPECT_NE(gen_out.find("30 bundles"), std::string::npos);
+
+  // relax
+  const std::string relax_out = capture("relax --in " + inst);
+  EXPECT_NE(relax_out.find("lower bound:"), std::string::npos);
+
+  // greedy with a hand-written tree
+  const std::string greedy_out =
+      capture("greedy --in " + inst + " --tree \"(div QCOV COST)\"");
+  EXPECT_NE(greedy_out.find("gap:"), std::string::npos);
+
+  // exact
+  const std::string exact_out = capture("exact --in " + inst);
+  EXPECT_NE(exact_out.find("proven optimal"), std::string::npos);
+
+  // solve with CARBON + convergence dump
+  const std::string solve_out = capture(
+      "solve --in " + inst +
+      " --owned 3 --algo carbon --ul-budget 100 --ll-budget 300 "
+      "--pop 10 --convergence " + conv);
+  EXPECT_NE(solve_out.find("best leader revenue"), std::string::npos);
+  EXPECT_NE(solve_out.find("follower model:"), std::string::npos);
+
+  std::ifstream conv_file(conv);
+  ASSERT_TRUE(conv_file.good());
+  std::string header;
+  std::getline(conv_file, header);
+  EXPECT_NE(header.find("generation"), std::string::npos);
+}
+
+TEST(Cli, SolveRejectsUnknownAlgorithm) {
+  const std::string inst = ::testing::TempDir() + "/carbon_cli_market2.orlib";
+  ASSERT_EQ(run("generate --bundles 20 --services 3 --out " + inst), 0);
+  EXPECT_NE(run("solve --in " + inst + " --algo magic"), 0);
+}
+
+TEST(Cli, EveryAlgorithmSolves) {
+  const std::string inst = ::testing::TempDir() + "/carbon_cli_market3.orlib";
+  ASSERT_EQ(run("generate --bundles 20 --services 3 --out " + inst), 0);
+  for (const std::string algo :
+       {"carbon", "cobra", "biga", "codba", "nested"}) {
+    EXPECT_EQ(run("solve --in " + inst + " --owned 2 --algo " + algo +
+                  " --ul-budget 60 --ll-budget 150 --pop 8"),
+              0)
+        << algo;
+  }
+}
+
+}  // namespace

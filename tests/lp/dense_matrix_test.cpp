@@ -1,0 +1,120 @@
+#include "carbon/lp/dense_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "carbon/common/rng.hpp"
+
+namespace carbon::lp {
+namespace {
+
+TEST(DenseMatrix, IdentityAndAccess) {
+  auto m = DenseMatrix::identity(3);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(m(r, c), r == c ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(DenseMatrix, Multiply) {
+  DenseMatrix m(2, 3);
+  m(0, 0) = 1;
+  m(0, 1) = 2;
+  m(0, 2) = 3;
+  m(1, 0) = 4;
+  m(1, 1) = 5;
+  m(1, 2) = 6;
+  const std::vector<double> v = {1, 0, -1};
+  std::vector<double> out(2);
+  m.multiply(v, out);
+  EXPECT_DOUBLE_EQ(out[0], -2.0);
+  EXPECT_DOUBLE_EQ(out[1], -2.0);
+}
+
+TEST(DenseMatrix, MultiplyTransposed) {
+  DenseMatrix m(2, 3);
+  m(0, 0) = 1;
+  m(0, 1) = 2;
+  m(0, 2) = 3;
+  m(1, 0) = 4;
+  m(1, 1) = 5;
+  m(1, 2) = 6;
+  const std::vector<double> v = {1, -1};
+  std::vector<double> out(3);
+  m.multiply_transposed(v, out);
+  EXPECT_DOUBLE_EQ(out[0], -3.0);
+  EXPECT_DOUBLE_EQ(out[1], -3.0);
+  EXPECT_DOUBLE_EQ(out[2], -3.0);
+}
+
+TEST(DenseMatrix, InvertKnown2x2) {
+  DenseMatrix m(2, 2);
+  m(0, 0) = 4;
+  m(0, 1) = 7;
+  m(1, 0) = 2;
+  m(1, 1) = 6;
+  ASSERT_TRUE(m.invert());
+  EXPECT_NEAR(m(0, 0), 0.6, 1e-12);
+  EXPECT_NEAR(m(0, 1), -0.7, 1e-12);
+  EXPECT_NEAR(m(1, 0), -0.2, 1e-12);
+  EXPECT_NEAR(m(1, 1), 0.4, 1e-12);
+}
+
+TEST(DenseMatrix, InvertSingularFails) {
+  DenseMatrix m(2, 2);
+  m(0, 0) = 1;
+  m(0, 1) = 2;
+  m(1, 0) = 2;
+  m(1, 1) = 4;
+  EXPECT_FALSE(m.invert());
+}
+
+TEST(DenseMatrix, InvertRequiresPivoting) {
+  // Zero on the diagonal: only works with row exchanges.
+  DenseMatrix m(2, 2);
+  m(0, 0) = 0;
+  m(0, 1) = 1;
+  m(1, 0) = 1;
+  m(1, 1) = 0;
+  ASSERT_TRUE(m.invert());
+  EXPECT_DOUBLE_EQ(m(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(m(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m(1, 1), 0.0);
+}
+
+class InvertRoundtripTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(InvertRoundtripTest, RandomMatrixTimesInverseIsIdentity) {
+  const std::size_t n = GetParam();
+  common::Rng rng(n);
+  DenseMatrix m(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      m(r, c) = rng.uniform(-10, 10);
+    }
+    m(r, r) += 20.0;  // diagonally dominant => nonsingular
+  }
+  DenseMatrix inv = m;
+  ASSERT_TRUE(inv.invert());
+  // Verify M * inv(M) = I column by column.
+  std::vector<double> col(n);
+  std::vector<double> prod(n);
+  for (std::size_t c = 0; c < n; ++c) {
+    for (std::size_t r = 0; r < n; ++r) col[r] = inv(r, c);
+    m.multiply(col, prod);
+    for (std::size_t r = 0; r < n; ++r) {
+      ASSERT_NEAR(prod[r], r == c ? 1.0 : 0.0, 1e-8);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, InvertRoundtripTest,
+                         ::testing::Values(1, 2, 5, 10, 30, 50));
+
+}  // namespace
+}  // namespace carbon::lp

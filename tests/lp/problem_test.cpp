@@ -1,0 +1,83 @@
+#include "carbon/lp/problem.hpp"
+
+#include <gtest/gtest.h>
+
+namespace carbon::lp {
+namespace {
+
+TEST(Problem, AddVariableAndConstraintShapes) {
+  Problem p;
+  EXPECT_EQ(p.add_variable(1.0, 0.0, 1.0), 0u);
+  EXPECT_EQ(p.add_variable(2.0, 0.0, kInfinity), 1u);
+  EXPECT_EQ(p.add_constraint({1.0, 2.0}, RowSense::kLessEqual, 3.0), 0u);
+  EXPECT_EQ(p.num_vars(), 2u);
+  EXPECT_EQ(p.num_rows(), 1u);
+  EXPECT_DOUBLE_EQ(p.columns[0][0], 1.0);
+  EXPECT_DOUBLE_EQ(p.columns[1][0], 2.0);
+  EXPECT_TRUE(p.validate().empty());
+}
+
+TEST(Problem, ShortRowIsZeroPadded) {
+  Problem p;
+  p.add_variable(1.0, 0.0, 1.0);
+  p.add_variable(1.0, 0.0, 1.0);
+  p.add_constraint({5.0}, RowSense::kEqual, 5.0);  // second coeff implied 0
+  EXPECT_DOUBLE_EQ(p.columns[1][0], 0.0);
+  EXPECT_TRUE(p.validate().empty());
+}
+
+TEST(Problem, VariablesAddedAfterConstraints) {
+  Problem p;
+  p.add_variable(1.0, 0.0, 1.0);
+  p.add_constraint({1.0}, RowSense::kGreaterEqual, 0.5);
+  p.add_variable(2.0, 0.0, 1.0);  // new column must have the row slot
+  EXPECT_EQ(p.columns[1].size(), 1u);
+  EXPECT_DOUBLE_EQ(p.columns[1][0], 0.0);
+  EXPECT_TRUE(p.validate().empty());
+}
+
+TEST(Problem, ValidateCatchesBadBounds) {
+  Problem p;
+  p.add_variable(1.0, 2.0, 1.0);  // lower > upper
+  EXPECT_FALSE(p.validate().empty());
+}
+
+TEST(Problem, ValidateCatchesInfiniteLower) {
+  Problem p;
+  p.add_variable(1.0, -kInfinity, 1.0);
+  EXPECT_FALSE(p.validate().empty());
+}
+
+TEST(Problem, ValidateCatchesNonFiniteRhs) {
+  Problem p;
+  p.add_variable(1.0, 0.0, 1.0);
+  p.add_constraint({1.0}, RowSense::kLessEqual, kInfinity);
+  EXPECT_FALSE(p.validate().empty());
+}
+
+TEST(Problem, ValidateCatchesColumnSizeMismatch) {
+  Problem p;
+  p.add_variable(1.0, 0.0, 1.0);
+  p.add_constraint({1.0}, RowSense::kLessEqual, 1.0);
+  p.columns[0].push_back(9.0);  // corrupt
+  EXPECT_FALSE(p.validate().empty());
+}
+
+TEST(Problem, StatusStrings) {
+  EXPECT_STREQ(to_string(SolveStatus::kOptimal), "optimal");
+  EXPECT_STREQ(to_string(SolveStatus::kInfeasible), "infeasible");
+  EXPECT_STREQ(to_string(SolveStatus::kUnbounded), "unbounded");
+  EXPECT_STREQ(to_string(SolveStatus::kIterationLimit), "iteration-limit");
+  EXPECT_STREQ(to_string(SolveStatus::kNumericalFailure),
+               "numerical-failure");
+}
+
+TEST(Solution, OptimalFlag) {
+  Solution s;
+  EXPECT_FALSE(s.optimal());
+  s.status = SolveStatus::kOptimal;
+  EXPECT_TRUE(s.optimal());
+}
+
+}  // namespace
+}  // namespace carbon::lp

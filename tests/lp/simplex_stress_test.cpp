@@ -1,0 +1,206 @@
+// Stress and failure-injection tests for the simplex beyond the happy path.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "carbon/common/rng.hpp"
+#include "carbon/lp/simplex.hpp"
+
+namespace carbon::lp {
+namespace {
+
+/// Brute-force reference for 2-variable LPs: evaluate all vertex candidates
+/// (constraint intersections + bound corners) and keep the feasible best.
+double brute_force_2var(const Problem& p) {
+  std::vector<std::pair<double, double>> candidates;
+  struct Line {
+    double a, b, c;  // a x + b y = c
+  };
+  std::vector<Line> lines;
+  for (std::size_t i = 0; i < p.num_rows(); ++i) {
+    lines.push_back({p.columns[0][i], p.columns[1][i], p.rhs[i]});
+  }
+  // Bounds as lines.
+  for (int v = 0; v < 2; ++v) {
+    Line lo{v == 0 ? 1.0 : 0.0, v == 1 ? 1.0 : 0.0, p.lower[v]};
+    lines.push_back(lo);
+    if (std::isfinite(p.upper[v])) {
+      Line hi{v == 0 ? 1.0 : 0.0, v == 1 ? 1.0 : 0.0, p.upper[v]};
+      lines.push_back(hi);
+    }
+  }
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    for (std::size_t j = i + 1; j < lines.size(); ++j) {
+      const double det = lines[i].a * lines[j].b - lines[j].a * lines[i].b;
+      if (std::abs(det) < 1e-12) continue;
+      const double x =
+          (lines[i].c * lines[j].b - lines[j].c * lines[i].b) / det;
+      const double y =
+          (lines[i].a * lines[j].c - lines[j].a * lines[i].c) / det;
+      candidates.push_back({x, y});
+    }
+  }
+
+  const auto feasible = [&](double x, double y) {
+    if (x < p.lower[0] - 1e-7 || y < p.lower[1] - 1e-7) return false;
+    if (std::isfinite(p.upper[0]) && x > p.upper[0] + 1e-7) return false;
+    if (std::isfinite(p.upper[1]) && y > p.upper[1] + 1e-7) return false;
+    for (std::size_t i = 0; i < p.num_rows(); ++i) {
+      const double lhs = p.columns[0][i] * x + p.columns[1][i] * y;
+      switch (p.sense[i]) {
+        case RowSense::kLessEqual:
+          if (lhs > p.rhs[i] + 1e-7) return false;
+          break;
+        case RowSense::kGreaterEqual:
+          if (lhs < p.rhs[i] - 1e-7) return false;
+          break;
+        case RowSense::kEqual:
+          if (std::abs(lhs - p.rhs[i]) > 1e-7) return false;
+          break;
+      }
+    }
+    return true;
+  };
+
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& [x, y] : candidates) {
+    if (!feasible(x, y)) continue;
+    best = std::min(best, p.objective[0] * x + p.objective[1] * y);
+  }
+  return best;
+}
+
+class RandomTwoVarLpTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomTwoVarLpTest, MatchesVertexEnumeration) {
+  common::Rng rng(GetParam() * 17 + 3);
+  for (int rep = 0; rep < 30; ++rep) {
+    Problem p;
+    p.add_variable(rng.uniform(-5, 5), 0.0, rng.uniform(1.0, 10.0));
+    p.add_variable(rng.uniform(-5, 5), 0.0, rng.uniform(1.0, 10.0));
+    const int rows = static_cast<int>(rng.range(1, 4));
+    for (int i = 0; i < rows; ++i) {
+      const double a = rng.uniform(-3, 3);
+      const double b = rng.uniform(-3, 3);
+      // RHS chosen so the box center is feasible for <= rows: keeps most
+      // problems feasible without biasing the optimum.
+      const double mid = a * p.upper[0] / 2 + b * p.upper[1] / 2;
+      p.add_constraint({a, b}, RowSense::kLessEqual,
+                       mid + rng.uniform(0.0, 5.0));
+    }
+    const Solution s = solve(p);
+    const double reference = brute_force_2var(p);
+    if (s.status == SolveStatus::kInfeasible) {
+      ASSERT_TRUE(std::isinf(reference))
+          << "solver said infeasible but vertices exist";
+      continue;
+    }
+    ASSERT_EQ(s.status, SolveStatus::kOptimal);
+    ASSERT_NEAR(s.objective, reference, 1e-5 * (1.0 + std::abs(reference)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomTwoVarLpTest,
+                         ::testing::Range<std::uint64_t>(0, 8));
+
+TEST(SimplexStress, IterationLimitReported) {
+  common::Rng rng(5);
+  Problem p;
+  const std::size_t n = 50;
+  for (std::size_t j = 0; j < n; ++j) {
+    p.add_variable(rng.uniform(1.0, 10.0), 0.0, 1.0);
+  }
+  std::vector<double> row(n);
+  for (std::size_t i = 0; i < 8; ++i) {
+    double total = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      row[j] = std::floor(rng.uniform(1.0, 9.0));
+      total += row[j];
+    }
+    p.add_constraint(row, RowSense::kGreaterEqual, 0.4 * total);
+  }
+  SimplexOptions opts;
+  opts.max_iterations = 2;  // absurdly small
+  const Solution s = solve(p, opts);
+  EXPECT_EQ(s.status, SolveStatus::kIterationLimit);
+}
+
+TEST(SimplexStress, AggressiveRefactorizationStaysCorrect) {
+  common::Rng rng(6);
+  Problem p;
+  const std::size_t n = 40;
+  for (std::size_t j = 0; j < n; ++j) {
+    p.add_variable(rng.uniform(1.0, 10.0), 0.0, 1.0);
+  }
+  std::vector<double> row(n);
+  for (std::size_t i = 0; i < 6; ++i) {
+    double total = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      row[j] = std::floor(rng.uniform(0.0, 9.0));
+      total += row[j];
+    }
+    p.add_constraint(row, RowSense::kGreaterEqual, 0.3 * total);
+  }
+  const Solution normal = solve(p);
+  SimplexOptions paranoid;
+  paranoid.refactor_interval = 1;  // refactorize every pivot
+  const Solution refactored = solve(p, paranoid);
+  ASSERT_TRUE(normal.optimal());
+  ASSERT_TRUE(refactored.optimal());
+  EXPECT_NEAR(normal.objective, refactored.objective,
+              1e-7 * (1.0 + std::abs(normal.objective)));
+}
+
+TEST(SimplexStress, BlandModeStillReachesOptimum) {
+  common::Rng rng(7);
+  Problem p;
+  const std::size_t n = 30;
+  for (std::size_t j = 0; j < n; ++j) {
+    p.add_variable(rng.uniform(1.0, 10.0), 0.0, 1.0);
+  }
+  std::vector<double> row(n);
+  double total = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    row[j] = 1.0;
+    total += 1.0;
+  }
+  p.add_constraint(row, RowSense::kGreaterEqual, 0.5 * total);
+  SimplexOptions bland_now;
+  bland_now.bland_threshold = 0;  // Bland pricing from the first pivot
+  const Solution a = solve(p);
+  const Solution b = solve(p, bland_now);
+  ASSERT_TRUE(a.optimal());
+  ASSERT_TRUE(b.optimal());
+  EXPECT_NEAR(a.objective, b.objective, 1e-8 * (1.0 + std::abs(a.objective)));
+}
+
+TEST(SimplexStress, EmptyObjectiveIsAFeasibilityCheck) {
+  Problem p;
+  p.add_variable(0.0, 0.0, 1.0);
+  p.add_variable(0.0, 0.0, 1.0);
+  p.add_constraint({1, 1}, RowSense::kGreaterEqual, 1.5);
+  const Solution s = solve(p);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, 0.0, 1e-12);
+  EXPECT_GE(s.x[0] + s.x[1], 1.5 - 1e-7);
+}
+
+TEST(SimplexStress, MixedSenseSystem) {
+  // min x + 2y + 3z  s.t.  x + y >= 2,  y + z <= 3,  x + z = 2,
+  // all in [0, 5].
+  Problem p;
+  p.add_variable(1, 0, 5);
+  p.add_variable(2, 0, 5);
+  p.add_variable(3, 0, 5);
+  p.add_constraint({1, 1, 0}, RowSense::kGreaterEqual, 2);
+  p.add_constraint({0, 1, 1}, RowSense::kLessEqual, 3);
+  p.add_constraint({1, 0, 1}, RowSense::kEqual, 2);
+  const Solution s = solve(p);
+  ASSERT_TRUE(s.optimal());
+  // Best: x = 2 (z = 0), y = 0 -> objective 2.
+  EXPECT_NEAR(s.objective, 2.0, 1e-8);
+  EXPECT_NEAR(s.x[0], 2.0, 1e-8);
+}
+
+}  // namespace
+}  // namespace carbon::lp

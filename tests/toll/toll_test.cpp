@@ -1,0 +1,160 @@
+#include "carbon/toll/toll_problem.hpp"
+
+#include <gtest/gtest.h>
+
+namespace carbon::toll {
+namespace {
+
+/// Two parallel roads from 0 to 1: a tollable highway (base cost 2) and a
+/// free back road (cost 10). One commodity with demand 5.
+Problem two_roads() {
+  graph::Digraph g(2);
+  const graph::ArcId highway = g.add_arc(0, 1, 2.0);
+  g.add_arc(0, 1, 10.0);
+  return Problem(std::move(g), {highway}, {{0, 1, 5.0}}, /*toll_cap=*/20.0);
+}
+
+TEST(Toll, ZeroTollZeroRevenue) {
+  const Problem p = two_roads();
+  const Evaluation e = evaluate(p, std::vector<double>{0.0});
+  EXPECT_TRUE(e.all_routable);
+  EXPECT_DOUBLE_EQ(e.revenue, 0.0);
+  EXPECT_DOUBLE_EQ(e.travel_cost, 10.0);  // 5 travellers x cost 2
+  EXPECT_DOUBLE_EQ(e.toll_arc_flow[0], 5.0);
+}
+
+TEST(Toll, ModerateTollCollects) {
+  const Problem p = two_roads();
+  // Toll 7: highway costs 9 < 10, still chosen; revenue 5 * 7 = 35.
+  const Evaluation e = evaluate(p, std::vector<double>{7.0});
+  EXPECT_DOUBLE_EQ(e.revenue, 35.0);
+  EXPECT_DOUBLE_EQ(e.travel_cost, 45.0);
+}
+
+TEST(Toll, ExcessiveTollLosesTheCustomer) {
+  const Problem p = two_roads();
+  // Toll 9: highway costs 11 > 10 -> back road, zero revenue.
+  const Evaluation e = evaluate(p, std::vector<double>{9.0});
+  EXPECT_DOUBLE_EQ(e.revenue, 0.0);
+  EXPECT_DOUBLE_EQ(e.toll_arc_flow[0], 0.0);
+  EXPECT_DOUBLE_EQ(e.travel_cost, 50.0);
+}
+
+TEST(Toll, RevenueIsLafferShaped) {
+  // Sweep the toll: revenue rises linearly then collapses to zero once the
+  // rational follower detours — the bi-level structure in one picture.
+  const Problem p = two_roads();
+  double best_revenue = 0.0;
+  double revenue_at_cap = -1.0;
+  for (double t = 0.0; t <= 20.0; t += 0.5) {
+    const Evaluation e = evaluate(p, std::vector<double>{t});
+    best_revenue = std::max(best_revenue, e.revenue);
+    revenue_at_cap = e.revenue;
+  }
+  // Optimum approached at toll just below 8 (highway cost 10 == back road).
+  EXPECT_NEAR(best_revenue, 5.0 * 7.5, 2.6);
+  EXPECT_DOUBLE_EQ(revenue_at_cap, 0.0);
+}
+
+TEST(Toll, EvaluateValidatesInput) {
+  const Problem p = two_roads();
+  EXPECT_THROW((void)evaluate(p, std::vector<double>{1.0, 2.0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)evaluate(p, std::vector<double>{-1.0}),
+               std::invalid_argument);
+}
+
+TEST(Toll, ProblemValidation) {
+  graph::Digraph g(2);
+  const graph::ArcId a = g.add_arc(0, 1, 1.0);
+  EXPECT_THROW(Problem(graph::Digraph(2), {5}, {}, 1.0),
+               std::invalid_argument);
+  {
+    graph::Digraph g2(2);
+    const graph::ArcId a2 = g2.add_arc(0, 1, 1.0);
+    EXPECT_THROW(Problem(std::move(g2), {a2}, {{0, 9, 1.0}}, 1.0),
+                 std::invalid_argument);
+  }
+  {
+    graph::Digraph g3(2);
+    const graph::ArcId a3 = g3.add_arc(0, 1, 1.0);
+    EXPECT_THROW(Problem(std::move(g3), {a3}, {{0, 1, -1.0}}, 1.0),
+                 std::invalid_argument);
+  }
+  {
+    graph::Digraph g4(2);
+    const graph::ArcId a4 = g4.add_arc(0, 1, 1.0);
+    EXPECT_THROW(Problem(std::move(g4), {a4}, {}, -1.0),
+                 std::invalid_argument);
+  }
+  (void)a;
+}
+
+TEST(TollGrid, GeneratorProducesRoutableProblems) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    GridConfig cfg;
+    cfg.rows = 4;
+    cfg.cols = 4;
+    cfg.seed = seed;
+    const Problem p = make_grid_problem(cfg);
+    EXPECT_GE(p.tollable_arcs().size(), 1u);
+    EXPECT_EQ(p.commodities().size(), cfg.num_commodities);
+    // Zero tolls: the bidirected grid is strongly connected.
+    const Evaluation e =
+        evaluate(p, std::vector<double>(p.tollable_arcs().size(), 0.0));
+    EXPECT_TRUE(e.all_routable) << "seed " << seed;
+    EXPECT_GT(e.travel_cost, 0.0);
+  }
+}
+
+TEST(TollGrid, GeneratorValidatesConfig) {
+  GridConfig cfg;
+  cfg.rows = 1;
+  EXPECT_THROW((void)make_grid_problem(cfg), std::invalid_argument);
+}
+
+TEST(TollGa, FindsNearOptimalTollOnTwoRoads) {
+  const Problem p = two_roads();
+  GaConfig cfg;
+  cfg.population_size = 30;
+  cfg.generations = 40;
+  cfg.seed = 2;
+  const GaResult r = solve_with_ga(p, cfg);
+  // Optimal revenue is 5 * t with t < 8 => sup 40; GA should get close.
+  EXPECT_GT(r.best_evaluation.revenue, 35.0);
+  EXPECT_LT(r.best_evaluation.revenue, 40.0 + 1e-9);
+  ASSERT_EQ(r.best_tolls.size(), 1u);
+  EXPECT_LT(r.best_tolls[0], 8.0);
+}
+
+TEST(TollGa, HistoryIsMonotone) {
+  GridConfig gcfg;
+  gcfg.seed = 3;
+  const Problem p = make_grid_problem(gcfg);
+  GaConfig cfg;
+  cfg.population_size = 20;
+  cfg.generations = 15;
+  cfg.seed = 4;
+  const GaResult r = solve_with_ga(p, cfg);
+  ASSERT_EQ(r.history.size(), 15u);
+  for (std::size_t g = 1; g < r.history.size(); ++g) {
+    ASSERT_GE(r.history[g], r.history[g - 1]);
+  }
+}
+
+TEST(TollGa, DeterministicForSeed) {
+  GridConfig gcfg;
+  gcfg.seed = 5;
+  const Problem p = make_grid_problem(gcfg);
+  GaConfig cfg;
+  cfg.population_size = 16;
+  cfg.generations = 10;
+  cfg.seed = 6;
+  const GaResult a = solve_with_ga(p, cfg);
+  const GaResult b = solve_with_ga(p, cfg);
+  EXPECT_EQ(a.best_tolls, b.best_tolls);
+  EXPECT_DOUBLE_EQ(a.best_evaluation.revenue, b.best_evaluation.revenue);
+}
+
+}  // namespace
+}  // namespace carbon::toll
