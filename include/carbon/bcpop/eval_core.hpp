@@ -1,0 +1,77 @@
+// Evaluation core shared by the serial and parallel BCPOP evaluators.
+//
+// Everything here is a pure function of (context, inputs): no counters, no
+// caches, no hidden state that depends on call history. That property is
+// what makes parallel batch evaluation bit-deterministic — a relaxation or a
+// greedy solve computes the same bits no matter which thread runs it, in
+// what order, or whether a cache hit short-circuited it on another run.
+//
+// EvalContext owns the mutable scratch one evaluation thread needs: a
+// working copy of the market (leader prices are substituted in place), the
+// relaxation LP, and a FIXED warm-start basis. The basis is the optimal
+// basis of the base-market LP, computed once at construction: it stays
+// primal-feasible for every pricing (only objective coefficients change),
+// so every solve still skips Phase 1, but — unlike the previous
+// carry-the-last-basis scheme — the pivot sequence for a pricing no longer
+// depends on which pricing happened to be evaluated before it.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "carbon/bcpop/evaluator_interface.hpp"
+#include "carbon/bcpop/instance.hpp"
+#include "carbon/cover/greedy.hpp"
+#include "carbon/cover/relaxation.hpp"
+#include "carbon/gp/tree.hpp"
+#include "carbon/lp/simplex.hpp"
+
+namespace carbon::bcpop {
+
+/// Per-thread mutable evaluation state for one market.
+struct EvalContext {
+  explicit EvalContext(const Instance& instance);
+
+  const Instance* inst;
+  cover::Instance ll;        ///< Working copy; leader prices substituted.
+  lp::Problem ll_lp;         ///< Relaxation LP; only the objective changes.
+  lp::Basis baseline_basis;  ///< Optimal basis of the base-market LP.
+};
+
+/// Solves the LP relaxation of LL(pricing), warm-started from the context's
+/// fixed baseline basis. Pure in `pricing`: identical pricings produce
+/// bit-identical relaxations in any context of the same instance. Throws
+/// std::runtime_error on solver failure (not on infeasibility).
+[[nodiscard]] cover::Relaxation solve_relaxation(
+    EvalContext& ctx, std::span<const double> pricing);
+
+/// Greedy driven by a GP scoring tree; takes the sort-based static fast path
+/// when the tree ignores residual-dependent terminals. When `polish` is set,
+/// feasible covers are improved with cover::local_search (memetic variant).
+[[nodiscard]] cover::SolveResult solve_with_heuristic(
+    EvalContext& ctx, const cover::Relaxation& relax,
+    std::span<const double> pricing, const gp::Tree& heuristic, bool polish);
+
+/// Greedy driven by an arbitrary scoring function (baselines, tests).
+[[nodiscard]] cover::SolveResult solve_with_score(
+    EvalContext& ctx, const cover::Relaxation& relax,
+    std::span<const double> pricing, const cover::ScoreFunction& score);
+
+/// Repairs a binary customer genome to cover feasibility (cheapest useful
+/// coverage per cost first); the genome is respected otherwise.
+[[nodiscard]] cover::SolveResult solve_with_selection(
+    EvalContext& ctx, const cover::Relaxation& relax,
+    std::span<const double> pricing, std::span<const std::uint8_t> selection);
+
+/// Assembles the Evaluation from a solved lower level. Leader revenue (the
+/// UL objective F) is computed only for EvalPurpose::kBoth — computing F is
+/// exactly what the Table II UL budget charges for, so an evaluation must
+/// never obtain it under a purpose that does not pay (the caller mirrors
+/// this rule when incrementing its counters).
+[[nodiscard]] Evaluation finalize_evaluation(const Instance& inst,
+                                             std::span<const double> pricing,
+                                             const cover::SolveResult& solved,
+                                             const cover::Relaxation& relax,
+                                             EvalPurpose purpose);
+
+}  // namespace carbon::bcpop

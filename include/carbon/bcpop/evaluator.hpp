@@ -10,18 +10,23 @@
 //
 // It also keeps the UL/LL evaluation counters used as the stopping criterion
 // (Table II allots 50 000 evaluations to each level).
+//
+// This class is the SERIAL evaluator: one evaluation context, one-shard LRU
+// memo, deterministic call-order semantics. The evaluation arithmetic lives
+// in eval_core.hpp and is shared with bcpop::ParallelEvaluator, which fans
+// batches across threads and produces bit-identical Evaluations.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
-#include <unordered_map>
 
+#include "carbon/bcpop/eval_core.hpp"
 #include "carbon/bcpop/evaluator_interface.hpp"
 #include "carbon/bcpop/instance.hpp"
+#include "carbon/bcpop/relaxation_cache.hpp"
 #include "carbon/cover/greedy.hpp"
-#include "carbon/cover/relaxation.hpp"
 #include "carbon/gp/tree.hpp"
-#include "carbon/lp/simplex.hpp"
 
 namespace carbon::bcpop {
 
@@ -29,6 +34,7 @@ class Evaluator final : public EvaluatorInterface {
  public:
   using EvaluatorInterface::evaluate_with_heuristic;
   using EvaluatorInterface::evaluate_with_selection;
+  using RelaxationPtr = ShardedRelaxationCache::RelaxationPtr;
 
   explicit Evaluator(const Instance& instance,
                      std::size_t relaxation_cache_capacity = 4096);
@@ -66,13 +72,14 @@ class Evaluator final : public EvaluatorInterface {
     return inst_.num_bundles();
   }
 
-  /// LP relaxation of LL(pricing), memoized. Reference valid until the next
-  /// cache eviction (capacity overflow) — copy if you must keep it.
-  const cover::Relaxation& relaxation(std::span<const double> pricing);
+  /// LP relaxation of LL(pricing), memoized in a bounded LRU. The returned
+  /// entry is pinned: it stays valid for as long as the caller holds the
+  /// pointer, no matter what the cache evicts afterwards.
+  [[nodiscard]] RelaxationPtr relaxation(std::span<const double> pricing);
 
   [[nodiscard]] const Instance& instance() const noexcept { return inst_; }
 
-  /// Number of F computations so far.
+  /// Number of charged UL fitness evaluations (F computations) so far.
   [[nodiscard]] long long ul_evaluations() const noexcept override {
     return ul_evals_;
   }
@@ -82,35 +89,22 @@ class Evaluator final : public EvaluatorInterface {
     return ll_evals_;
   }
   [[nodiscard]] long long relaxations_solved() const noexcept {
-    return relaxations_solved_;
+    return cache_.solves();
   }
   [[nodiscard]] long long relaxation_cache_hits() const noexcept {
-    return cache_hits_;
+    return cache_.hits();
   }
 
  private:
-  struct PricingHash {
-    std::size_t operator()(const std::vector<double>& v) const noexcept;
-  };
-
-  /// Points `ll_` at the LL instance for this pricing.
-  void load_pricing(std::span<const double> pricing);
-  Evaluation finalize(std::span<const double> pricing,
-                      const cover::SolveResult& solved,
-                      const cover::Relaxation& relax, EvalPurpose purpose);
+  /// Charges the budget counters for one evaluation of `purpose`.
+  void charge(EvalPurpose purpose) noexcept;
 
   const Instance& inst_;
-  cover::Instance ll_;  ///< Mutable working copy of the market.
-  lp::Problem ll_lp_;   ///< Relaxation LP; only leader costs change per call.
-  lp::Basis warm_basis_;  ///< Optimal basis reused across pricings.
-  std::size_t cache_capacity_;
-  std::unordered_map<std::vector<double>, cover::Relaxation, PricingHash>
-      cache_;
+  EvalContext ctx_;
+  ShardedRelaxationCache cache_;
   bool polish_ = false;
   long long ul_evals_ = 0;
   long long ll_evals_ = 0;
-  long long relaxations_solved_ = 0;
-  long long cache_hits_ = 0;
 };
 
 }  // namespace carbon::bcpop

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <span>
+#include <vector>
 
 #include "carbon/ea/real_ops.hpp"
 #include "carbon/gp/tree.hpp"
@@ -18,7 +19,10 @@
 namespace carbon::bcpop {
 
 /// What an evaluation is being used for — determines which budget counters
-/// it charges (Table II tracks UL and LL fitness evaluations separately).
+/// it charges (Table II tracks UL and LL fitness evaluations separately)
+/// and which objectives are computed. kLowerOnly evaluations never compute
+/// the leader revenue F: computing F is what the UL budget charges for, so
+/// an uncharged purpose must not produce it.
 enum class EvalPurpose : unsigned char {
   kLowerOnly,  ///< heuristic-fitness evaluation (CARBON predators)
   kBoth,       ///< complete bi-level evaluation (prey fitness, COBRA pairs)
@@ -27,11 +31,26 @@ enum class EvalPurpose : unsigned char {
 /// The result of one bi-level evaluation.
 struct Evaluation {
   bool ll_feasible = false;
-  double ul_objective = 0.0;  ///< F(x, y): leader revenue (maximized).
+  double ul_objective = 0.0;  ///< F(x, y): leader revenue (kBoth only).
   double ll_objective = 0.0;  ///< f(x, y) = A(x): follower cost (minimized).
   double lower_bound = 0.0;   ///< LB(x): relaxation optimum.
   double gap_percent = 0.0;   ///< Eq. (1).
   std::vector<std::uint8_t> selection;  ///< Follower decision vector.
+};
+
+/// One heuristic-driven evaluation request in a batch. The referenced
+/// pricing and tree must outlive the batch call.
+struct HeuristicJob {
+  std::span<const double> pricing;
+  const gp::Tree* heuristic = nullptr;
+  EvalPurpose purpose = EvalPurpose::kBoth;
+};
+
+/// One genome-driven evaluation request in a batch.
+struct SelectionJob {
+  std::span<const double> pricing;
+  std::span<const std::uint8_t> selection;
+  EvalPurpose purpose = EvalPurpose::kBoth;
 };
 
 class EvaluatorInterface {
@@ -53,6 +72,36 @@ class EvaluatorInterface {
   virtual Evaluation evaluate_with_selection(
       std::span<const double> pricing,
       std::span<const std::uint8_t> selection, EvalPurpose purpose) = 0;
+
+  /// Evaluates a generation's worth of heuristic jobs, returning results in
+  /// submission order (results[i] answers jobs[i] — solvers rely on that for
+  /// deterministic reduction). The default runs the jobs serially in order,
+  /// so a solver written against the batch API behaves bit-identically to
+  /// one written against the scalar calls; ParallelEvaluator overrides this
+  /// to fan the jobs across a thread pool.
+  virtual std::vector<Evaluation> evaluate_heuristic_batch(
+      std::span<const HeuristicJob> jobs) {
+    std::vector<Evaluation> results;
+    results.reserve(jobs.size());
+    for (const HeuristicJob& job : jobs) {
+      results.push_back(
+          evaluate_with_heuristic(job.pricing, *job.heuristic, job.purpose));
+    }
+    return results;
+  }
+
+  /// Batch counterpart for genome-driven evaluations; same ordering
+  /// guarantee and serial default as evaluate_heuristic_batch.
+  virtual std::vector<Evaluation> evaluate_selection_batch(
+      std::span<const SelectionJob> jobs) {
+    std::vector<Evaluation> results;
+    results.reserve(jobs.size());
+    for (const SelectionJob& job : jobs) {
+      results.push_back(
+          evaluate_with_selection(job.pricing, job.selection, job.purpose));
+    }
+    return results;
+  }
 
   /// Convenience overloads defaulting to a complete bi-level evaluation.
   Evaluation evaluate_with_heuristic(std::span<const double> pricing,

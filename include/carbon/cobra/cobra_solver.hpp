@@ -55,6 +55,10 @@ struct CobraConfig {
   long long ul_eval_budget = 50'000;
   long long ll_eval_budget = 50'000;
 
+  /// Worker threads for batch evaluation (when the solver owns its
+  /// evaluator); same semantics as CarbonConfig::eval_threads.
+  std::size_t eval_threads = 1;
+
   std::uint64_t seed = 1;
   bool record_convergence = true;
 };

@@ -45,7 +45,10 @@ class ThreadPool {
   }
 
   /// Runs fn(i) for i in [0, n), blocking until all complete. Exceptions from
-  /// the body are rethrown (first one wins).
+  /// the body are rethrown (lowest index wins). Every future is drained
+  /// before rethrowing: an early rethrow would return to the caller while
+  /// later tasks still run against `fn`, which is captured by reference and
+  /// dangles the moment the caller's frame unwinds.
   template <typename Fn>
   void parallel_for(std::size_t n, Fn&& fn) {
     std::vector<std::future<void>> futs;
@@ -53,7 +56,15 @@ class ThreadPool {
     for (std::size_t i = 0; i < n; ++i) {
       futs.push_back(submit([&fn, i] { fn(i); }));
     }
-    for (auto& f : futs) f.get();
+    std::exception_ptr first;
+    for (auto& f : futs) {
+      try {
+        f.get();
+      } catch (...) {
+        if (!first) first = std::current_exception();
+      }
+    }
+    if (first) std::rethrow_exception(first);
   }
 
  private:

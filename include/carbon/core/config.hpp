@@ -69,6 +69,13 @@ struct CarbonConfig {
   long long ul_eval_budget = 50'000;
   long long ll_eval_budget = 50'000;
 
+  /// Worker threads for batch evaluation (when the solver owns its
+  /// evaluator). 1 = the legacy serial evaluator; >1 = a
+  /// bcpop::ParallelEvaluator with that many workers; 0 = hardware
+  /// concurrency. Results are bit-identical for any value at a fixed seed
+  /// (per-thread contexts + ordered reduction; see docs/ALGORITHMS.md §7).
+  std::size_t eval_threads = 1;
+
   std::uint64_t seed = 1;
   bool record_convergence = true;
 };

@@ -1,0 +1,199 @@
+#include "carbon/bcpop/eval_core.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "carbon/bilevel/gap.hpp"
+#include "carbon/cover/local_search.hpp"
+#include "carbon/gp/scoring.hpp"
+
+namespace carbon::bcpop {
+
+namespace {
+
+/// Points the context's working market at this pricing.
+void load_pricing(EvalContext& ctx, std::span<const double> pricing) {
+  assert(pricing.size() == ctx.inst->num_owned());
+  for (std::size_t j = 0; j < pricing.size(); ++j) {
+    ctx.ll.set_cost(j, pricing[j]);
+  }
+}
+
+}  // namespace
+
+EvalContext::EvalContext(const Instance& instance)
+    : inst(&instance),
+      ll(instance.market()),
+      ll_lp(cover::build_relaxation_lp(instance.market())) {
+  // Solve the base-market LP once to pin the warm-start basis. The basis
+  // stays primal-feasible under any leader pricing (costs only enter the
+  // objective). If the base market is not coverable the basis stays empty
+  // and later solves crash-start, which is equally deterministic.
+  lp::Basis basis;
+  const lp::Solution sol = lp::solve(ll_lp, {}, &basis);
+  if (sol.status == lp::SolveStatus::kOptimal) {
+    baseline_basis = std::move(basis);
+  }
+}
+
+cover::Relaxation solve_relaxation(EvalContext& ctx,
+                                   std::span<const double> pricing) {
+  for (std::size_t j = 0; j < pricing.size(); ++j) {
+    ctx.ll_lp.objective[j] = pricing[j];
+  }
+  // Warm-start from a COPY of the fixed baseline so the basis stored in the
+  // context never drifts with evaluation order.
+  lp::Basis basis = ctx.baseline_basis;
+  const lp::Solution sol =
+      lp::solve(ctx.ll_lp, {}, basis.empty() ? nullptr : &basis);
+  cover::Relaxation relax;
+  if (sol.status == lp::SolveStatus::kOptimal) {
+    relax.feasible = true;
+    relax.lower_bound = sol.objective;
+    relax.duals = sol.duals;
+    relax.relaxed_x = sol.x;
+  } else if (sol.status != lp::SolveStatus::kInfeasible) {
+    throw std::runtime_error(
+        std::string("bcpop: LP relaxation failed with status ") +
+        lp::to_string(sol.status));
+  }
+  return relax;
+}
+
+cover::SolveResult solve_with_heuristic(EvalContext& ctx,
+                                        const cover::Relaxation& relax,
+                                        std::span<const double> pricing,
+                                        const gp::Tree& heuristic,
+                                        bool polish) {
+  load_pricing(ctx, pricing);
+
+  if (gp::is_static_heuristic(heuristic)) {
+    // The score ignores the residual-dependent terminals, so it is constant
+    // per bundle: one evaluation per bundle plus a sorted sweep replaces the
+    // per-round argmax (identical semantics, see greedy_solve_static docs).
+    const std::size_t m = ctx.ll.num_bundles();
+    const std::size_t n = ctx.ll.num_services();
+    std::vector<double> scores(m);
+    for (std::size_t j = 0; j < m; ++j) {
+      cover::BundleFeatures f;
+      f.cost = ctx.ll.cost(j);
+      const auto row = ctx.ll.bundle(j);
+      for (std::size_t k = 0; k < n; ++k) {
+        f.qsum += row[k];
+        if (k < relax.duals.size()) f.dual += relax.duals[k] * row[k];
+      }
+      f.xbar = j < relax.relaxed_x.size() ? relax.relaxed_x[j] : 0.0;
+      const auto arr = gp::features_to_array(f);
+      scores[j] =
+          heuristic.evaluate(std::span<const double, gp::kNumTerminals>(arr));
+    }
+    cover::SolveResult solved = cover::greedy_solve_static(ctx.ll, scores);
+    if (polish && solved.feasible) {
+      solved.value = cover::local_search(ctx.ll, solved.selection).value;
+    }
+    return solved;
+  }
+
+  // Hot path: the tree evaluation inlines into the greedy's scoring loop
+  // (no std::function indirection — this runs ~10^5 times per solver run).
+  cover::SolveResult solved = cover::greedy_solve_with(
+      ctx.ll,
+      [&heuristic](const cover::BundleFeatures& f) {
+        const auto arr = gp::features_to_array(f);
+        return heuristic.evaluate(
+            std::span<const double, gp::kNumTerminals>(arr));
+      },
+      relax.duals, relax.relaxed_x);
+  if (polish && solved.feasible) {
+    solved.value = cover::local_search(ctx.ll, solved.selection).value;
+  }
+  return solved;
+}
+
+cover::SolveResult solve_with_score(EvalContext& ctx,
+                                    const cover::Relaxation& relax,
+                                    std::span<const double> pricing,
+                                    const cover::ScoreFunction& score) {
+  load_pricing(ctx, pricing);
+  return cover::greedy_solve(ctx.ll, score, relax.duals, relax.relaxed_x);
+}
+
+cover::SolveResult solve_with_selection(EvalContext& ctx,
+                                        const cover::Relaxation& relax,
+                                        std::span<const double> pricing,
+                                        std::span<const std::uint8_t> selection) {
+  (void)relax;
+  load_pricing(ctx, pricing);
+
+  cover::SolveResult solved;
+  solved.selection.assign(selection.begin(), selection.end());
+  solved.selection.resize(ctx.ll.num_bundles(), 0);
+
+  // Repair: add the cheapest-per-useful-coverage bundles until feasible.
+  std::vector<int> residual = ctx.ll.residual_demand(solved.selection);
+  long long outstanding = 0;
+  for (int r : residual) outstanding += r;
+  while (outstanding > 0) {
+    double best_ratio = -1.0;
+    std::size_t best_j = ctx.ll.num_bundles();
+    for (std::size_t j = 0; j < ctx.ll.num_bundles(); ++j) {
+      if (solved.selection[j]) continue;
+      const auto row = ctx.ll.bundle(j);
+      long long useful = 0;
+      for (std::size_t k = 0; k < ctx.ll.num_services(); ++k) {
+        if (residual[k] > 0 && row[k] > 0) {
+          useful += std::min(row[k], residual[k]);
+        }
+      }
+      if (useful <= 0) continue;
+      const double ratio =
+          static_cast<double>(useful) / std::max(ctx.ll.cost(j), 1e-9);
+      if (ratio > best_ratio) {
+        best_ratio = ratio;
+        best_j = j;
+      }
+    }
+    if (best_j == ctx.ll.num_bundles()) {
+      solved.feasible = false;
+      solved.value = ctx.ll.selection_cost(solved.selection);
+      return solved;
+    }
+    solved.selection[best_j] = 1;
+    const auto row = ctx.ll.bundle(best_j);
+    for (std::size_t k = 0; k < ctx.ll.num_services(); ++k) {
+      if (residual[k] > 0 && row[k] > 0) {
+        const int used = std::min(row[k], residual[k]);
+        residual[k] -= used;
+        outstanding -= used;
+      }
+    }
+  }
+
+  solved.feasible = true;
+  solved.value = ctx.ll.selection_cost(solved.selection);
+  return solved;
+}
+
+Evaluation finalize_evaluation(const Instance& inst,
+                               std::span<const double> pricing,
+                               const cover::SolveResult& solved,
+                               const cover::Relaxation& relax,
+                               EvalPurpose purpose) {
+  Evaluation out;
+  out.ll_feasible = solved.feasible;
+  out.selection = solved.selection;
+  out.ll_objective = solved.value;
+  out.lower_bound = relax.lower_bound;
+  out.gap_percent = solved.feasible
+                        ? bilevel::percent_gap(solved.value, relax.lower_bound)
+                        : 1e9;
+  if (purpose == EvalPurpose::kBoth) {
+    out.ul_objective = inst.leader_revenue(pricing, out.selection);
+  }
+  return out;
+}
+
+}  // namespace carbon::bcpop

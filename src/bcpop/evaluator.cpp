@@ -1,208 +1,56 @@
 #include "carbon/bcpop/evaluator.hpp"
 
 #include <algorithm>
-#include <bit>
-#include <cassert>
-#include <cstring>
-#include <stdexcept>
-
-#include "carbon/bilevel/gap.hpp"
-#include "carbon/cover/local_search.hpp"
-#include "carbon/gp/scoring.hpp"
 
 namespace carbon::bcpop {
-
-std::size_t Evaluator::PricingHash::operator()(
-    const std::vector<double>& v) const noexcept {
-  // FNV-1a over the raw bit patterns; exact-match keying is what we want
-  // because identical genomes produce bit-identical prices.
-  std::size_t h = 14695981039346656037ULL;
-  for (double d : v) {
-    const auto bits = std::bit_cast<std::uint64_t>(d);
-    h ^= bits;
-    h *= 1099511628211ULL;
-  }
-  return h;
-}
 
 Evaluator::Evaluator(const Instance& instance,
                      std::size_t relaxation_cache_capacity)
     : inst_(instance),
-      ll_(instance.market()),
-      ll_lp_(cover::build_relaxation_lp(instance.market())),
-      cache_capacity_(std::max<std::size_t>(relaxation_cache_capacity, 1)) {}
+      ctx_(instance),
+      cache_(std::max<std::size_t>(relaxation_cache_capacity, 1),
+             /*num_shards=*/1) {}
 
-void Evaluator::load_pricing(std::span<const double> pricing) {
-  assert(pricing.size() == inst_.num_owned());
-  for (std::size_t j = 0; j < pricing.size(); ++j) {
-    ll_.set_cost(j, pricing[j]);
-  }
-}
-
-const cover::Relaxation& Evaluator::relaxation(
+Evaluator::RelaxationPtr Evaluator::relaxation(
     std::span<const double> pricing) {
-  std::vector<double> key(pricing.begin(), pricing.end());
-  if (const auto it = cache_.find(key); it != cache_.end()) {
-    ++cache_hits_;
-    return it->second;
-  }
-  if (cache_.size() >= cache_capacity_) {
-    cache_.clear();  // generation-local reuse pattern: wholesale reset is fine
-  }
-  ++relaxations_solved_;
-  // Only the leader's objective coefficients change between pricings, so the
-  // previous optimal basis stays primal-feasible: warm-start the simplex.
-  for (std::size_t j = 0; j < pricing.size(); ++j) {
-    ll_lp_.objective[j] = pricing[j];
-  }
-  const lp::Solution sol = lp::solve(ll_lp_, {}, &warm_basis_);
-  cover::Relaxation relax;
-  if (sol.status == lp::SolveStatus::kOptimal) {
-    relax.feasible = true;
-    relax.lower_bound = sol.objective;
-    relax.duals = sol.duals;
-    relax.relaxed_x = sol.x;
-  } else if (sol.status != lp::SolveStatus::kInfeasible) {
-    throw std::runtime_error(
-        std::string("bcpop::Evaluator: LP relaxation failed with status ") +
-        lp::to_string(sol.status));
-  }
-  auto [it, inserted] = cache_.emplace(std::move(key), std::move(relax));
-  return it->second;
+  return cache_.get_or_compute(pricing, [this](std::span<const double> p) {
+    return solve_relaxation(ctx_, p);
+  });
 }
 
-Evaluation Evaluator::finalize(std::span<const double> pricing,
-                               const cover::SolveResult& solved,
-                               const cover::Relaxation& relax,
-                               EvalPurpose purpose) {
-  Evaluation out;
-  out.ll_feasible = solved.feasible;
-  out.selection = solved.selection;
-  out.ll_objective = solved.value;
-  out.lower_bound = relax.lower_bound;
-  out.gap_percent = solved.feasible
-                        ? bilevel::percent_gap(solved.value, relax.lower_bound)
-                        : 1e9;
+void Evaluator::charge(EvalPurpose purpose) noexcept {
+  ++ll_evals_;
   if (purpose == EvalPurpose::kBoth) ++ul_evals_;
-  out.ul_objective = inst_.leader_revenue(pricing, out.selection);
-  return out;
 }
 
 Evaluation Evaluator::evaluate_with_heuristic(std::span<const double> pricing,
                                               const gp::Tree& heuristic,
                                               EvalPurpose purpose) {
-  // Hot path: the tree evaluation inlines into the greedy's scoring loop
-  // (no std::function indirection — this runs ~10^5 times per solver run).
-  const cover::Relaxation& relax = relaxation(pricing);
-  load_pricing(pricing);
-  ++ll_evals_;
-
-  if (gp::is_static_heuristic(heuristic)) {
-    // The score ignores the residual-dependent terminals, so it is constant
-    // per bundle: one evaluation per bundle plus a sorted sweep replaces the
-    // per-round argmax (identical semantics, see greedy_solve_static docs).
-    const std::size_t m = ll_.num_bundles();
-    const std::size_t n = ll_.num_services();
-    std::vector<double> scores(m);
-    for (std::size_t j = 0; j < m; ++j) {
-      cover::BundleFeatures f;
-      f.cost = ll_.cost(j);
-      const auto row = ll_.bundle(j);
-      for (std::size_t k = 0; k < n; ++k) {
-        f.qsum += row[k];
-        if (k < relax.duals.size()) f.dual += relax.duals[k] * row[k];
-      }
-      f.xbar = j < relax.relaxed_x.size() ? relax.relaxed_x[j] : 0.0;
-      const auto arr = gp::features_to_array(f);
-      scores[j] =
-          heuristic.evaluate(std::span<const double, gp::kNumTerminals>(arr));
-    }
-    cover::SolveResult solved = cover::greedy_solve_static(ll_, scores);
-    if (polish_ && solved.feasible) {
-      solved.value = cover::local_search(ll_, solved.selection).value;
-    }
-    return finalize(pricing, solved, relax, purpose);
-  }
-
-  cover::SolveResult solved = cover::greedy_solve_with(
-      ll_,
-      [&heuristic](const cover::BundleFeatures& f) {
-        const auto arr = gp::features_to_array(f);
-        return heuristic.evaluate(
-            std::span<const double, gp::kNumTerminals>(arr));
-      },
-      relax.duals, relax.relaxed_x);
-  if (polish_ && solved.feasible) {
-    solved.value = cover::local_search(ll_, solved.selection).value;
-  }
-  return finalize(pricing, solved, relax, purpose);
+  const RelaxationPtr relax = relaxation(pricing);
+  charge(purpose);
+  const cover::SolveResult solved =
+      solve_with_heuristic(ctx_, *relax, pricing, heuristic, polish_);
+  return finalize_evaluation(inst_, pricing, solved, *relax, purpose);
 }
 
 Evaluation Evaluator::evaluate_with_score(std::span<const double> pricing,
                                           const cover::ScoreFunction& score,
                                           EvalPurpose purpose) {
-  const cover::Relaxation& relax = relaxation(pricing);
-  load_pricing(pricing);
-  ++ll_evals_;
+  const RelaxationPtr relax = relaxation(pricing);
+  charge(purpose);
   const cover::SolveResult solved =
-      cover::greedy_solve(ll_, score, relax.duals, relax.relaxed_x);
-  return finalize(pricing, solved, relax, purpose);
+      solve_with_score(ctx_, *relax, pricing, score);
+  return finalize_evaluation(inst_, pricing, solved, *relax, purpose);
 }
 
 Evaluation Evaluator::evaluate_with_selection(
     std::span<const double> pricing, std::span<const std::uint8_t> selection,
     EvalPurpose purpose) {
-  const cover::Relaxation& relax = relaxation(pricing);
-  load_pricing(pricing);
-  ++ll_evals_;
-
-  cover::SolveResult solved;
-  solved.selection.assign(selection.begin(), selection.end());
-  solved.selection.resize(ll_.num_bundles(), 0);
-
-  // Repair: add the cheapest-per-useful-coverage bundles until feasible.
-  std::vector<int> residual = ll_.residual_demand(solved.selection);
-  long long outstanding = 0;
-  for (int r : residual) outstanding += r;
-  while (outstanding > 0) {
-    double best_ratio = -1.0;
-    std::size_t best_j = ll_.num_bundles();
-    for (std::size_t j = 0; j < ll_.num_bundles(); ++j) {
-      if (solved.selection[j]) continue;
-      const auto row = ll_.bundle(j);
-      long long useful = 0;
-      for (std::size_t k = 0; k < ll_.num_services(); ++k) {
-        if (residual[k] > 0 && row[k] > 0) {
-          useful += std::min(row[k], residual[k]);
-        }
-      }
-      if (useful <= 0) continue;
-      const double ratio =
-          static_cast<double>(useful) / std::max(ll_.cost(j), 1e-9);
-      if (ratio > best_ratio) {
-        best_ratio = ratio;
-        best_j = j;
-      }
-    }
-    if (best_j == ll_.num_bundles()) {
-      solved.feasible = false;
-      solved.value = ll_.selection_cost(solved.selection);
-      return finalize(pricing, solved, relax, purpose);
-    }
-    solved.selection[best_j] = 1;
-    const auto row = ll_.bundle(best_j);
-    for (std::size_t k = 0; k < ll_.num_services(); ++k) {
-      if (residual[k] > 0 && row[k] > 0) {
-        const int used = std::min(row[k], residual[k]);
-        residual[k] -= used;
-        outstanding -= used;
-      }
-    }
-  }
-
-  solved.feasible = true;
-  solved.value = ll_.selection_cost(solved.selection);
-  return finalize(pricing, solved, relax, purpose);
+  const RelaxationPtr relax = relaxation(pricing);
+  charge(purpose);
+  const cover::SolveResult solved =
+      solve_with_selection(ctx_, *relax, pricing, selection);
+  return finalize_evaluation(inst_, pricing, solved, *relax, purpose);
 }
 
 }  // namespace carbon::bcpop

@@ -88,7 +88,6 @@ Evaluation MultiFollowerEvaluator::aggregate(std::span<const double> pricing,
   total.selection.clear();
   for (const Evaluation& e : last_breakdown_) {
     total.ll_feasible = total.ll_feasible && e.ll_feasible;
-    total.ul_objective += e.ul_objective;
     total.ll_objective += e.ll_objective;
     total.lower_bound += e.lower_bound;
     total.selection.insert(total.selection.end(), e.selection.begin(),
@@ -98,9 +97,20 @@ Evaluation MultiFollowerEvaluator::aggregate(std::span<const double> pricing,
       total.ll_feasible
           ? bilevel::percent_gap(total.ll_objective, total.lower_bound)
           : 1e9;
-  (void)pricing;
   ll_evals_ += static_cast<long long>(problem_.num_followers());
-  if (purpose == EvalPurpose::kBoth) ++ul_evals_;
+  // Mirror of Evaluator's budget rule: leader revenue is computed if and
+  // only if the evaluation is charged to the UL budget. Sub-evaluations run
+  // as kLowerOnly (they never produce F), so the per-follower revenues are
+  // computed here, once, under the charged purpose, and back-filled into the
+  // breakdown for diagnostics.
+  if (purpose == EvalPurpose::kBoth) {
+    ++ul_evals_;
+    for (std::size_t f = 0; f < last_breakdown_.size(); ++f) {
+      last_breakdown_[f].ul_objective = problem_.follower(f).leader_revenue(
+          pricing, last_breakdown_[f].selection);
+      total.ul_objective += last_breakdown_[f].ul_objective;
+    }
+  }
   return total;
 }
 

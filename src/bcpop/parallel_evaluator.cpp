@@ -1,0 +1,122 @@
+#include "carbon/bcpop/parallel_evaluator.hpp"
+
+#include <algorithm>
+#include <thread>
+
+namespace carbon::bcpop {
+
+/// Pops a context off the free list (waiting if every context is in use —
+/// only possible under caller-side oversubscription) and returns it on
+/// destruction, exception-safe.
+class ParallelEvaluator::ContextLease {
+ public:
+  explicit ContextLease(ParallelEvaluator& owner) : owner_(owner) {
+    std::unique_lock lock(owner_.free_mutex_);
+    owner_.free_cv_.wait(lock,
+                         [&] { return !owner_.free_contexts_.empty(); });
+    ctx_ = owner_.free_contexts_.back();
+    owner_.free_contexts_.pop_back();
+  }
+  ~ContextLease() {
+    {
+      std::lock_guard lock(owner_.free_mutex_);
+      owner_.free_contexts_.push_back(ctx_);
+    }
+    owner_.free_cv_.notify_one();
+  }
+  ContextLease(const ContextLease&) = delete;
+  ContextLease& operator=(const ContextLease&) = delete;
+
+  [[nodiscard]] EvalContext& get() noexcept { return *ctx_; }
+
+ private:
+  ParallelEvaluator& owner_;
+  EvalContext* ctx_ = nullptr;
+};
+
+ParallelEvaluator::ParallelEvaluator(const Instance& instance, Options options)
+    : inst_(instance),
+      pool_(options.threads != 0
+                ? options.threads
+                : std::max<std::size_t>(
+                      1, std::thread::hardware_concurrency())),
+      cache_(std::max<std::size_t>(options.relaxation_cache_capacity, 1),
+             std::max<std::size_t>(options.cache_shards, 1)) {
+  const std::size_t n = pool_.size() + 1;
+  contexts_.reserve(n);
+  free_contexts_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    contexts_.push_back(std::make_unique<EvalContext>(inst_));
+    free_contexts_.push_back(contexts_.back().get());
+  }
+}
+
+void ParallelEvaluator::charge(EvalPurpose purpose) noexcept {
+  ll_evals_.fetch_add(1, std::memory_order_relaxed);
+  if (purpose == EvalPurpose::kBoth) {
+    ul_evals_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+Evaluation ParallelEvaluator::evaluate_one(EvalContext& ctx,
+                                           const HeuristicJob& job) {
+  const auto relax = cache_.get_or_compute(
+      job.pricing,
+      [&ctx](std::span<const double> p) { return solve_relaxation(ctx, p); });
+  charge(job.purpose);
+  const cover::SolveResult solved =
+      solve_with_heuristic(ctx, *relax, job.pricing, *job.heuristic, polish_);
+  return finalize_evaluation(inst_, job.pricing, solved, *relax, job.purpose);
+}
+
+Evaluation ParallelEvaluator::evaluate_one(EvalContext& ctx,
+                                           const SelectionJob& job) {
+  const auto relax = cache_.get_or_compute(
+      job.pricing,
+      [&ctx](std::span<const double> p) { return solve_relaxation(ctx, p); });
+  charge(job.purpose);
+  const cover::SolveResult solved =
+      solve_with_selection(ctx, *relax, job.pricing, job.selection);
+  return finalize_evaluation(inst_, job.pricing, solved, *relax, job.purpose);
+}
+
+template <typename Job>
+std::vector<Evaluation> ParallelEvaluator::run_batch(
+    std::span<const Job> jobs) {
+  std::vector<Evaluation> results(jobs.size());
+  if (jobs.empty()) return results;
+  // Tasks write disjoint slots of `results`; parallel_for drains every task
+  // before returning (even on exceptions), so the by-reference captures
+  // cannot dangle.
+  pool_.parallel_for(jobs.size(), [&](std::size_t i) {
+    ContextLease lease(*this);
+    results[i] = evaluate_one(lease.get(), jobs[i]);
+  });
+  return results;
+}
+
+std::vector<Evaluation> ParallelEvaluator::evaluate_heuristic_batch(
+    std::span<const HeuristicJob> jobs) {
+  return run_batch(jobs);
+}
+
+std::vector<Evaluation> ParallelEvaluator::evaluate_selection_batch(
+    std::span<const SelectionJob> jobs) {
+  return run_batch(jobs);
+}
+
+Evaluation ParallelEvaluator::evaluate_with_heuristic(
+    std::span<const double> pricing, const gp::Tree& heuristic,
+    EvalPurpose purpose) {
+  ContextLease lease(*this);
+  return evaluate_one(lease.get(), HeuristicJob{pricing, &heuristic, purpose});
+}
+
+Evaluation ParallelEvaluator::evaluate_with_selection(
+    std::span<const double> pricing, std::span<const std::uint8_t> selection,
+    EvalPurpose purpose) {
+  ContextLease lease(*this);
+  return evaluate_one(lease.get(), SelectionJob{pricing, selection, purpose});
+}
+
+}  // namespace carbon::bcpop

@@ -6,6 +6,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "carbon/bcpop/parallel_evaluator.hpp"
 #include "carbon/common/statistics.hpp"
 #include "carbon/ea/archive.hpp"
 
@@ -49,6 +50,10 @@ CobraSolver::CobraSolver(bcpop::EvaluatorInterface& evaluator,
 
 core::RunResult CobraSolver::run() {
   if (external_ != nullptr) return run_with(*external_);
+  if (cfg_.eval_threads != 1) {
+    bcpop::ParallelEvaluator par(*inst_, cfg_.eval_threads);
+    return run_with(par);
+  }
   bcpop::Evaluator own(*inst_);
   return run_with(own);
 }
@@ -127,9 +132,15 @@ core::RunResult CobraSolver::run_with(bcpop::EvaluatorInterface& eval) {
     for (int g = 0; g < cfg_.upper_phase_generations && budget_left(); ++g) {
       double cur_best = -std::numeric_limits<double>::infinity();
       common::RunningStats gaps;
+      std::vector<bcpop::SelectionJob> jobs;
+      jobs.reserve(ul_pop.size());
+      for (const bcpop::Pricing& x : ul_pop) {
+        jobs.push_back({x, paired_basket, bcpop::EvalPurpose::kBoth});
+      }
+      std::vector<bcpop::Evaluation> evals =
+          eval.evaluate_selection_batch(jobs);
       for (std::size_t i = 0; i < ul_pop.size(); ++i) {
-        const bcpop::Evaluation e =
-            eval.evaluate_with_selection(ul_pop[i], paired_basket);
+        const bcpop::Evaluation& e = evals[i];
         ul_fitness[i] = e.ul_objective;
         cur_best = std::max(cur_best, e.ul_objective);
         gaps.add(e.gap_percent);
@@ -169,9 +180,15 @@ core::RunResult CobraSolver::run_with(bcpop::EvaluatorInterface& eval) {
     for (int g = 0; g < cfg_.lower_phase_generations && budget_left(); ++g) {
       double cur_best = -std::numeric_limits<double>::infinity();
       common::RunningStats gaps;
+      std::vector<bcpop::SelectionJob> jobs;
+      jobs.reserve(ll_pop.size());
+      for (const Basket& y : ll_pop) {
+        jobs.push_back({paired_pricing, y, bcpop::EvalPurpose::kBoth});
+      }
+      std::vector<bcpop::Evaluation> evals =
+          eval.evaluate_selection_batch(jobs);
       for (std::size_t i = 0; i < ll_pop.size(); ++i) {
-        const bcpop::Evaluation e =
-            eval.evaluate_with_selection(paired_pricing, ll_pop[i]);
+        const bcpop::Evaluation& e = evals[i];
         ll_fitness[i] = e.ll_objective;  // minimize customer cost
         cur_best = std::max(cur_best, e.ul_objective);
         gaps.add(e.gap_percent);
@@ -203,6 +220,9 @@ core::RunResult CobraSolver::run_with(bcpop::EvaluatorInterface& eval) {
     }
 
     // ================= Coevolution operator =================
+    // Kept serial: the legacy loop re-checks budget_left() between
+    // individual pairs, which a batch cannot replicate for an arbitrary
+    // evaluator; the operator is only ~coevolution_pairs evals per round.
     if (budget_left()) {
       double cur_best = -std::numeric_limits<double>::infinity();
       common::RunningStats gaps;

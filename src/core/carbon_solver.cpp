@@ -6,6 +6,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "carbon/bcpop/parallel_evaluator.hpp"
 #include "carbon/common/statistics.hpp"
 #include "carbon/ea/archive.hpp"
 #include "carbon/gp/generate.hpp"
@@ -50,6 +51,11 @@ CarbonSolver::CarbonSolver(bcpop::EvaluatorInterface& evaluator,
 
 CarbonResult CarbonSolver::run() {
   if (external_ != nullptr) return run_with(*external_);
+  if (cfg_.eval_threads != 1) {
+    bcpop::ParallelEvaluator par(*inst_, cfg_.eval_threads);
+    par.set_polish(cfg_.memetic_polish);
+    return run_with(par);
+  }
   bcpop::Evaluator own(*inst_);
   own.set_polish(cfg_.memetic_polish);
   return run_with(own);
@@ -102,19 +108,34 @@ CarbonResult CarbonSolver::run_with(bcpop::EvaluatorInterface& eval) {
     }
 
     // ---- 2. Predator evaluation: mean %-gap over the sample ----
+    // One batch of (heuristic × sample pricing) jobs; the evaluator may fan
+    // them across threads. Reduction walks the results in submission order,
+    // so fitness, archive updates and the champion choice are bit-identical
+    // to the serial loop.
     common::RunningStats generation_gap;
-    for (std::size_t h = 0; h < gp_pop.size(); ++h) {
-      common::RunningStats gaps;
-      for (const bcpop::Pricing* x : sample) {
-        const bcpop::Evaluation e = eval.evaluate_with_heuristic(
-            *x, gp_pop[h], bcpop::EvalPurpose::kLowerOnly);
-        gaps.add(cfg_.predator_fitness == PredatorFitness::kGap
-                     ? e.gap_percent
-                     : e.ll_objective);
+    {
+      std::vector<bcpop::HeuristicJob> jobs;
+      jobs.reserve(gp_pop.size() * sample.size());
+      for (std::size_t h = 0; h < gp_pop.size(); ++h) {
+        for (const bcpop::Pricing* x : sample) {
+          jobs.push_back(
+              {*x, &gp_pop[h], bcpop::EvalPurpose::kLowerOnly});
+        }
       }
-      gp_fitness[h] = gaps.mean();
-      generation_gap.add(gp_fitness[h]);
-      heuristic_archive.add(gp_pop[h], gp_fitness[h]);
+      const std::vector<bcpop::Evaluation> evals =
+          eval.evaluate_heuristic_batch(jobs);
+      for (std::size_t h = 0; h < gp_pop.size(); ++h) {
+        common::RunningStats gaps;
+        for (std::size_t s = 0; s < sample.size(); ++s) {
+          const bcpop::Evaluation& e = evals[h * sample.size() + s];
+          gaps.add(cfg_.predator_fitness == PredatorFitness::kGap
+                       ? e.gap_percent
+                       : e.ll_objective);
+        }
+        gp_fitness[h] = gaps.mean();
+        generation_gap.add(gp_fitness[h]);
+        heuristic_archive.add(gp_pop[h], gp_fitness[h]);
+      }
     }
     const std::size_t champion_idx = static_cast<std::size_t>(
         std::min_element(gp_fitness.begin(), gp_fitness.end()) -
@@ -133,13 +154,26 @@ CarbonResult CarbonSolver::run_with(bcpop::EvaluatorInterface& eval) {
                               heuristic_archive.size()))
             : 1;
     double current_best_ul = -std::numeric_limits<double>::infinity();
+    std::vector<bcpop::HeuristicJob> prey_jobs;
+    prey_jobs.reserve(ul_pop.size() * ensemble);
     for (std::size_t i = 0; i < ul_pop.size(); ++i) {
-      bcpop::Evaluation e = eval.evaluate_with_heuristic(ul_pop[i],
-                                                         follower_model);
+      prey_jobs.push_back(
+          {ul_pop[i], &follower_model, bcpop::EvalPurpose::kBoth});
+      // Ensemble alternates consume the leader revenue they compute (the
+      // pessimistic min below), so they are full bi-level evaluations and
+      // charge the UL budget — kLowerOnly here would obtain F without
+      // paying for it (the Table II accounting bug).
       for (std::size_t h = 1; h < ensemble; ++h) {
-        bcpop::Evaluation alt = eval.evaluate_with_heuristic(
-            ul_pop[i], heuristic_archive.at(h).item,
-            bcpop::EvalPurpose::kLowerOnly);
+        prey_jobs.push_back({ul_pop[i], &heuristic_archive.at(h).item,
+                             bcpop::EvalPurpose::kBoth});
+      }
+    }
+    std::vector<bcpop::Evaluation> prey_evals =
+        eval.evaluate_heuristic_batch(prey_jobs);
+    for (std::size_t i = 0; i < ul_pop.size(); ++i) {
+      bcpop::Evaluation e = std::move(prey_evals[i * ensemble]);
+      for (std::size_t h = 1; h < ensemble; ++h) {
+        bcpop::Evaluation& alt = prey_evals[i * ensemble + h];
         if (alt.ll_feasible && alt.ul_objective < e.ul_objective) {
           e = std::move(alt);
         }

@@ -136,14 +136,59 @@ TEST(Evaluator, CacheEvictionStillCorrect) {
   Evaluator eval(inst, /*relaxation_cache_capacity=*/2);
   common::Rng rng(5);
   const Pricing base = mid_pricing(inst);
-  const double lb0 = eval.relaxation(base).lower_bound;
+  const double lb0 = eval.relaxation(base)->lower_bound;
   for (int i = 0; i < 10; ++i) {
     Pricing p = base;
     p[0] = rng.uniform(0.0, 100.0);
     (void)eval.relaxation(p);
   }
   // Recomputed after eviction: same value.
-  EXPECT_NEAR(eval.relaxation(base).lower_bound, lb0, 1e-6);
+  EXPECT_NEAR(eval.relaxation(base)->lower_bound, lb0, 1e-6);
+}
+
+TEST(Evaluator, EvictedRelaxationStaysValidWhileHeld) {
+  // Regression: relaxation() used to return a reference into the cache map,
+  // which dangled as soon as an eviction (or clear) dropped the entry. The
+  // cache now hands out shared ownership, so a held relaxation survives any
+  // amount of churn in a capacity-1 cache.
+  const Instance inst = make_instance();
+  Evaluator eval(inst, /*relaxation_cache_capacity=*/1);
+  const Pricing base = mid_pricing(inst);
+  const auto held = eval.relaxation(base);
+  ASSERT_NE(held, nullptr);
+  const double lb0 = held->lower_bound;
+  const std::vector<double> fractional = held->relaxed_x;
+  common::Rng rng(7);
+  for (int i = 0; i < 20; ++i) {
+    Pricing p = base;
+    p[0] = rng.uniform(0.0, 100.0);
+    (void)eval.relaxation(p);  // each call evicts the previous entry
+  }
+  EXPECT_DOUBLE_EQ(held->lower_bound, lb0);
+  EXPECT_EQ(held->relaxed_x, fractional);
+  // And a fresh solve of the same pricing agrees with the held copy.
+  EXPECT_NEAR(eval.relaxation(base)->lower_bound, lb0, 1e-6);
+}
+
+TEST(Evaluator, LowerOnlyDoesNotComputeLeaderRevenue) {
+  // EvalPurpose::kLowerOnly evaluations are not charged to the UL budget and
+  // must not produce a leader objective: F is computed iff it is paid for.
+  const Instance inst = make_instance();
+  Evaluator eval(inst);
+  const Pricing pricing = mid_pricing(inst);
+  const Evaluation e = eval.evaluate_with_heuristic(
+      pricing, cost_effectiveness_tree(), EvalPurpose::kLowerOnly);
+  ASSERT_TRUE(e.ll_feasible);
+  EXPECT_DOUBLE_EQ(e.ul_objective, 0.0);
+  EXPECT_EQ(eval.ul_evaluations(), 0);
+  EXPECT_EQ(eval.ll_evaluations(), 1);
+
+  const Evaluation both = eval.evaluate_with_heuristic(
+      pricing, cost_effectiveness_tree(), EvalPurpose::kBoth);
+  EXPECT_DOUBLE_EQ(both.ul_objective,
+                   inst.leader_revenue(pricing, both.selection));
+  EXPECT_EQ(eval.ul_evaluations(), 1);
+  EXPECT_EQ(eval.ll_evaluations(), 2);
 }
 
 TEST(Evaluator, LowerBoundRespondsToLeaderPrices) {
@@ -152,8 +197,8 @@ TEST(Evaluator, LowerBoundRespondsToLeaderPrices) {
   Pricing cheap(inst.num_owned(), 0.0);
   Pricing expensive;
   for (const auto& b : inst.price_bounds()) expensive.push_back(b.hi);
-  const double lb_cheap = eval.relaxation(cheap).lower_bound;
-  const double lb_expensive = eval.relaxation(expensive).lower_bound;
+  const double lb_cheap = eval.relaxation(cheap)->lower_bound;
+  const double lb_expensive = eval.relaxation(expensive)->lower_bound;
   // Raising our prices can only raise (or keep) the customer's optimum.
   EXPECT_LE(lb_cheap, lb_expensive + 1e-9);
 }

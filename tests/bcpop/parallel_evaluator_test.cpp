@@ -1,0 +1,304 @@
+#include "carbon/bcpop/parallel_evaluator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "carbon/bcpop/evaluator.hpp"
+#include "carbon/bcpop/relaxation_cache.hpp"
+#include "carbon/cobra/cobra_solver.hpp"
+#include "carbon/core/carbon_solver.hpp"
+#include "carbon/cover/generator.hpp"
+#include "carbon/ea/binary_ops.hpp"
+#include "carbon/ea/real_ops.hpp"
+#include "carbon/gp/generate.hpp"
+
+namespace carbon::bcpop {
+namespace {
+
+Instance make_instance() {
+  cover::GeneratorConfig cfg;
+  cfg.num_bundles = 30;
+  cfg.num_services = 4;
+  cfg.seed = 17;
+  return Instance(cover::generate(cfg), /*num_owned=*/3);
+}
+
+std::vector<Pricing> random_pricings(const Instance& inst, std::size_t n,
+                                     std::uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<Pricing> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(ea::random_real_vector(rng, inst.price_bounds()));
+  }
+  return out;
+}
+
+void expect_same(const Evaluation& a, const Evaluation& b) {
+  EXPECT_EQ(a.ll_feasible, b.ll_feasible);
+  EXPECT_EQ(a.ul_objective, b.ul_objective);  // bitwise
+  EXPECT_EQ(a.ll_objective, b.ll_objective);
+  EXPECT_EQ(a.lower_bound, b.lower_bound);
+  EXPECT_EQ(a.gap_percent, b.gap_percent);
+  EXPECT_EQ(a.selection, b.selection);
+}
+
+TEST(ParallelEvaluator, HeuristicBatchMatchesSerialBitwise) {
+  const Instance inst = make_instance();
+  common::Rng rng(23);
+  const auto pricings = random_pricings(inst, 12, 5);
+  std::vector<gp::Tree> trees;
+  for (int t = 0; t < 4; ++t) trees.push_back(gp::generate_ramped(rng));
+
+  std::vector<HeuristicJob> jobs;
+  for (const auto& tree : trees) {
+    for (const auto& p : pricings) {
+      jobs.push_back({p, &tree, EvalPurpose::kLowerOnly});
+    }
+  }
+
+  Evaluator serial(inst);
+  const std::vector<Evaluation> want = serial.evaluate_heuristic_batch(jobs);
+
+  ParallelEvaluator par(inst, /*threads=*/4);
+  const std::vector<Evaluation> got = par.evaluate_heuristic_batch(jobs);
+
+  ASSERT_EQ(got.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    expect_same(want[i], got[i]);
+  }
+}
+
+TEST(ParallelEvaluator, SelectionBatchMatchesSerialBitwise) {
+  const Instance inst = make_instance();
+  const auto pricings = random_pricings(inst, 10, 9);
+  common::Rng rng(31);
+  std::vector<std::vector<std::uint8_t>> genomes;
+  for (int g = 0; g < 10; ++g) {
+    genomes.push_back(
+        ea::random_binary_vector(rng, inst.num_bundles(), 0.2));
+  }
+
+  std::vector<SelectionJob> jobs;
+  for (std::size_t i = 0; i < pricings.size(); ++i) {
+    jobs.push_back({pricings[i], genomes[i], EvalPurpose::kBoth});
+  }
+
+  Evaluator serial(inst);
+  const std::vector<Evaluation> want = serial.evaluate_selection_batch(jobs);
+
+  ParallelEvaluator par(inst, /*threads=*/3);
+  const std::vector<Evaluation> got = par.evaluate_selection_batch(jobs);
+
+  ASSERT_EQ(got.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    expect_same(want[i], got[i]);
+  }
+}
+
+TEST(ParallelEvaluator, ResultsAreInSubmissionOrder) {
+  const Instance inst = make_instance();
+  const auto pricings = random_pricings(inst, 16, 41);
+  const std::vector<std::uint8_t> everything(inst.num_bundles(), 1);
+
+  std::vector<SelectionJob> jobs;
+  for (const auto& p : pricings) {
+    jobs.push_back({p, everything, EvalPurpose::kBoth});
+  }
+  ParallelEvaluator par(inst, /*threads=*/4);
+  const auto got = par.evaluate_selection_batch(jobs);
+
+  // Full basket is already feasible, so results[i] must report exactly the
+  // revenue of pricings[i] — any permutation of the results would mismatch.
+  ASSERT_EQ(got.size(), pricings.size());
+  for (std::size_t i = 0; i < pricings.size(); ++i) {
+    EXPECT_EQ(got[i].selection, everything);
+    EXPECT_DOUBLE_EQ(got[i].ul_objective,
+                     inst.leader_revenue(pricings[i], everything));
+  }
+}
+
+TEST(ParallelEvaluator, CountersMatchSerialAndPurposeRules) {
+  const Instance inst = make_instance();
+  common::Rng rng(7);
+  const gp::Tree tree = gp::generate_ramped(rng);
+  const auto pricings = random_pricings(inst, 8, 3);
+
+  std::vector<HeuristicJob> lower_jobs;
+  std::vector<HeuristicJob> both_jobs;
+  for (const auto& p : pricings) {
+    lower_jobs.push_back({p, &tree, EvalPurpose::kLowerOnly});
+    both_jobs.push_back({p, &tree, EvalPurpose::kBoth});
+  }
+
+  ParallelEvaluator par(inst, /*threads=*/4);
+  (void)par.evaluate_heuristic_batch(lower_jobs);
+  EXPECT_EQ(par.ul_evaluations(), 0);
+  EXPECT_EQ(par.ll_evaluations(), 8);
+
+  (void)par.evaluate_heuristic_batch(both_jobs);
+  EXPECT_EQ(par.ul_evaluations(), 8);
+  EXPECT_EQ(par.ll_evaluations(), 16);
+}
+
+TEST(ParallelEvaluator, CacheOnceSemantics) {
+  // 8 distinct pricings, each submitted 16 times across a 4-thread batch:
+  // once-semantics means exactly 8 solves, and every lookup is accounted for
+  // as either a hit or a solve regardless of scheduling.
+  const Instance inst = make_instance();
+  const auto pricings = random_pricings(inst, 8, 13);
+  const std::vector<std::uint8_t> everything(inst.num_bundles(), 1);
+
+  std::vector<SelectionJob> jobs;
+  for (int rep = 0; rep < 16; ++rep) {
+    for (const auto& p : pricings) {
+      jobs.push_back({p, everything, EvalPurpose::kLowerOnly});
+    }
+  }
+  ParallelEvaluator par(inst, /*threads=*/4);
+  (void)par.evaluate_selection_batch(jobs);
+
+  EXPECT_EQ(par.relaxations_solved(), 8);
+  EXPECT_EQ(par.relaxations_solved() + par.relaxation_cache_hits(),
+            static_cast<long long>(jobs.size()));
+  EXPECT_EQ(par.cache().size(), 8u);
+}
+
+TEST(ParallelEvaluator, ScalarCallsWorkAndShareTheCache) {
+  const Instance inst = make_instance();
+  ParallelEvaluator par(inst, /*threads=*/2);
+  Evaluator serial(inst);
+  const auto pricings = random_pricings(inst, 4, 77);
+  common::Rng rng(19);
+  const gp::Tree tree = gp::generate_ramped(rng);
+  for (const auto& p : pricings) {
+    expect_same(serial.evaluate_with_heuristic(p, tree),
+                par.evaluate_with_heuristic(p, tree));
+  }
+  EXPECT_EQ(par.relaxations_solved(), 4);
+  // A repeat is served from the cache.
+  (void)par.evaluate_with_heuristic(pricings[0], tree);
+  EXPECT_EQ(par.relaxations_solved(), 4);
+  EXPECT_GE(par.relaxation_cache_hits(), 1);
+}
+
+TEST(ShardedRelaxationCache, CapacityOneChurnKeepsPinnedEntriesValid) {
+  // Exercised under TSan by tools/run_sanitizers.sh: concurrent misses on a
+  // capacity-1 cache force an eviction on almost every insert while other
+  // threads still hold the evicted entries.
+  const Instance inst = make_instance();
+  ParallelEvaluator::Options opt;
+  opt.threads = 4;
+  opt.relaxation_cache_capacity = 1;
+  opt.cache_shards = 1;
+  ParallelEvaluator par(inst, opt);
+
+  const auto pricings = random_pricings(inst, 32, 3);
+  Evaluator reference(inst, /*relaxation_cache_capacity=*/64);
+  std::vector<double> want;
+  for (const auto& p : pricings) want.push_back(reference.relaxation(p)->lower_bound);
+
+  const std::vector<std::uint8_t> everything(inst.num_bundles(), 1);
+  std::vector<SelectionJob> jobs;
+  for (int rep = 0; rep < 4; ++rep) {
+    for (const auto& p : pricings) {
+      jobs.push_back({p, everything, EvalPurpose::kLowerOnly});
+    }
+  }
+  const auto got = par.evaluate_selection_batch(jobs);
+  ASSERT_EQ(got.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(got[i].lower_bound, want[i % pricings.size()]);
+  }
+  // hits + solves == lookups holds even with eviction churn.
+  EXPECT_EQ(par.relaxations_solved() + par.relaxation_cache_hits(),
+            static_cast<long long>(jobs.size()));
+  EXPECT_LE(par.cache().size(), 1u);
+}
+
+// --- End-to-end determinism: N threads == serial, bit for bit -------------
+
+core::CarbonConfig small_carbon_config() {
+  core::CarbonConfig cfg;
+  cfg.ul_population_size = 8;
+  cfg.ul_archive_size = 8;
+  cfg.gp_population_size = 8;
+  cfg.gp_archive_size = 8;
+  cfg.heuristic_sample_size = 2;
+  cfg.archive_reinjection = 2;
+  cfg.ul_eval_budget = 40;
+  cfg.ll_eval_budget = 400;
+  cfg.seed = 99;
+  return cfg;
+}
+
+void expect_same_run(const core::RunResult& a, const core::RunResult& b) {
+  EXPECT_EQ(a.best_ul_objective, b.best_ul_objective);  // bitwise
+  EXPECT_EQ(a.best_gap, b.best_gap);
+  EXPECT_EQ(a.best_pricing, b.best_pricing);
+  EXPECT_EQ(a.generations, b.generations);
+  EXPECT_EQ(a.ul_evaluations, b.ul_evaluations);
+  EXPECT_EQ(a.ll_evaluations, b.ll_evaluations);
+  EXPECT_EQ(a.best_evaluation.selection, b.best_evaluation.selection);
+  EXPECT_EQ(a.best_evaluation.gap_percent, b.best_evaluation.gap_percent);
+}
+
+TEST(ParallelEvaluator, CarbonRunIsThreadCountInvariant) {
+  const Instance inst = make_instance();
+
+  core::CarbonConfig serial_cfg = small_carbon_config();
+  serial_cfg.eval_threads = 1;
+  const core::CarbonResult serial =
+      core::CarbonSolver(inst, serial_cfg).run();
+
+  core::CarbonConfig par_cfg = small_carbon_config();
+  par_cfg.eval_threads = 4;
+  const core::CarbonResult parallel =
+      core::CarbonSolver(inst, par_cfg).run();
+
+  expect_same_run(serial, parallel);
+  EXPECT_EQ(serial.best_heuristic, parallel.best_heuristic);
+  EXPECT_EQ(serial.best_heuristic_gap, parallel.best_heuristic_gap);
+}
+
+TEST(ParallelEvaluator, PessimisticCarbonRunIsThreadCountInvariant) {
+  const Instance inst = make_instance();
+
+  core::CarbonConfig cfg = small_carbon_config();
+  cfg.stance = core::Stance::kPessimistic;
+  cfg.follower_ensemble = 2;
+
+  cfg.eval_threads = 1;
+  const core::CarbonResult serial = core::CarbonSolver(inst, cfg).run();
+  cfg.eval_threads = 4;
+  const core::CarbonResult parallel = core::CarbonSolver(inst, cfg).run();
+
+  expect_same_run(serial, parallel);
+}
+
+TEST(ParallelEvaluator, CobraRunIsThreadCountInvariant) {
+  const Instance inst = make_instance();
+
+  cobra::CobraConfig cfg;
+  cfg.ul_population_size = 8;
+  cfg.ll_population_size = 8;
+  cfg.ul_archive_size = 8;
+  cfg.ll_archive_size = 8;
+  cfg.upper_phase_generations = 2;
+  cfg.lower_phase_generations = 2;
+  cfg.coevolution_pairs = 4;
+  cfg.archive_reinjection = 2;
+  cfg.ul_eval_budget = 80;
+  cfg.ll_eval_budget = 800;
+  cfg.seed = 4;
+
+  cfg.eval_threads = 1;
+  const core::RunResult serial = cobra::CobraSolver(inst, cfg).run();
+  cfg.eval_threads = 4;
+  const core::RunResult parallel = cobra::CobraSolver(inst, cfg).run();
+
+  expect_same_run(serial, parallel);
+}
+
+}  // namespace
+}  // namespace carbon::bcpop

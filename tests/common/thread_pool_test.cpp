@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 namespace carbon::common {
@@ -48,6 +50,47 @@ TEST(ThreadPool, ParallelForRethrows) {
                                    }
                                  }),
                std::logic_error);
+}
+
+TEST(ThreadPool, ParallelForDrainsAllTasksBeforeRethrow) {
+  // Regression: parallel_for used to rethrow on the first failed future and
+  // abandon the rest. The remaining tasks captured `fn` (and the caller's
+  // locals) by reference, so returning early let them race against destroyed
+  // state. The fix drains every future before rethrowing the first error.
+  ThreadPool pool(2);
+  constexpr std::size_t n = 16;
+  std::atomic<std::size_t> completed{0};
+  EXPECT_THROW(
+      pool.parallel_for(n,
+                        [&](std::size_t i) {
+                          if (i == 0) throw std::runtime_error("early");
+                          // Slow tasks: with the old early-rethrow these were
+                          // still queued/running when parallel_for returned.
+                          std::this_thread::sleep_for(
+                              std::chrono::milliseconds(2));
+                          completed.fetch_add(1);
+                        }),
+      std::runtime_error);
+  // Every non-throwing task finished before parallel_for returned.
+  EXPECT_EQ(completed.load(), n - 1);
+}
+
+TEST(ThreadPool, ParallelForMultipleExceptionsPropagatesOne) {
+  ThreadPool pool(4);
+  std::atomic<int> threw{0};
+  try {
+    pool.parallel_for(20, [&](std::size_t i) {
+      if (i % 2 == 0) {
+        threw.fetch_add(1);
+        throw std::runtime_error("even task failed");
+      }
+    });
+    FAIL() << "parallel_for must rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "even task failed");
+  }
+  // All throwing tasks ran to completion (were not abandoned).
+  EXPECT_EQ(threw.load(), 10);
 }
 
 TEST(ThreadPool, ManySmallTasks) {

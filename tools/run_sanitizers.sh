@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Builds the concurrency-sensitive tests under ThreadSanitizer and runs them.
+# With --asan, additionally runs the same tests under Address+UB sanitizers.
+#
+# Usage: tools/run_sanitizers.sh [--asan]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+# The tests that exercise shared-state code paths: the thread pool, the
+# sharded relaxation cache, and the parallel evaluator (including the
+# capacity-1 eviction churn and the thread-count-invariance runs).
+TESTS=(thread_pool_test bcpop_evaluator_test parallel_evaluator_test)
+
+run_flavor() {
+  local name="$1" flags="$2" dir="build-$1"
+  echo "=== ${name}: configuring ${dir} ==="
+  cmake -B "${dir}" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="${flags} -g -O1 -fno-omit-frame-pointer" \
+    -DCMAKE_EXE_LINKER_FLAGS="${flags}" \
+    -DCARBON_BUILD_BENCH=OFF \
+    -DCARBON_BUILD_EXAMPLES=OFF \
+    -DCARBON_BUILD_TOOLS=OFF
+  echo "=== ${name}: building ${TESTS[*]} ==="
+  cmake --build "${dir}" -j --target "${TESTS[@]}"
+  for t in "${TESTS[@]}"; do
+    echo "=== ${name}: ${t} ==="
+    "./${dir}/tests/${t}"
+  done
+}
+
+run_flavor tsan "-fsanitize=thread"
+
+if [[ "${1:-}" == "--asan" ]]; then
+  run_flavor asan "-fsanitize=address,undefined"
+fi
+
+echo "=== sanitizer runs passed ==="
