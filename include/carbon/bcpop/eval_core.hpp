@@ -17,12 +17,15 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
+#include <vector>
 
 #include "carbon/bcpop/evaluator_interface.hpp"
 #include "carbon/bcpop/instance.hpp"
 #include "carbon/cover/greedy.hpp"
 #include "carbon/cover/relaxation.hpp"
+#include "carbon/gp/compiled.hpp"
 #include "carbon/gp/tree.hpp"
 #include "carbon/lp/simplex.hpp"
 
@@ -36,6 +39,11 @@ struct EvalContext {
   cover::Instance ll;        ///< Working copy; leader prices substituted.
   lp::Problem ll_lp;         ///< Relaxation LP; only the objective changes.
   lp::Basis baseline_basis;  ///< Optimal basis of the base-market LP.
+  // Evaluation scratch, reused across solves so the hot path never
+  // allocates: the interpreter's operand stack (trees > 64 nodes) and the
+  // compiled program's register file (num_registers x bundles doubles).
+  std::vector<double> op_scratch;
+  std::vector<double> reg_scratch;
 };
 
 /// Solves the LP relaxation of LL(pricing), warm-started from the context's
@@ -51,6 +59,46 @@ struct EvalContext {
 [[nodiscard]] cover::SolveResult solve_with_heuristic(
     EvalContext& ctx, const cover::Relaxation& relax,
     std::span<const double> pricing, const gp::Tree& heuristic, bool polish);
+
+/// Greedy driven by a compiled GP program, batch-scored in SoA layout: each
+/// round fills one feature view and scores every bundle in a single
+/// evaluate_batch sweep. Programs that are static *after* simplification
+/// (CompiledProgram::is_static — catches trees like (sub QCOV QCOV) that
+/// the syntactic check misses) take the sort-based fast path. Produces
+/// bit-identical covers to solve_with_heuristic on the same tree (the
+/// CompiledProgram equivalence contract; finite features only, which the
+/// solve path guarantees).
+[[nodiscard]] cover::SolveResult solve_with_program(
+    EvalContext& ctx, const cover::Relaxation& relax,
+    std::span<const double> pricing, const gp::CompiledProgram& program,
+    bool polish);
+
+/// Per-batch score memo: jobs whose (scoring tree, pricing, purpose) key
+/// repeats within one heuristic batch are evaluated once and the result is
+/// scattered to every duplicate. With compiled scoring on, trees are keyed
+/// by their CANONICAL form, so genomes that differ syntactically but
+/// simplify to the same program (common after a few GP generations) also
+/// collapse; each unique tree is compiled exactly once per batch. The plan
+/// is computed before any fan-out, so deduplication is lock-free and
+/// thread-count independent.
+struct HeuristicBatchPlan {
+  struct Unique {
+    std::size_t job_index;  ///< Representative job for this key.
+    /// Program compiled from the representative's tree; null when compiled
+    /// scoring is off (the interpreter path is used instead).
+    std::shared_ptr<const gp::CompiledProgram> program;
+  };
+  std::vector<Unique> uniques;
+  /// result_of[i] indexes `uniques` for jobs[i]; duplicates share an entry.
+  std::vector<std::size_t> result_of;
+
+  [[nodiscard]] std::size_t duplicates() const noexcept {
+    return result_of.size() - uniques.size();
+  }
+};
+
+[[nodiscard]] HeuristicBatchPlan plan_heuristic_batch(
+    std::span<const HeuristicJob> jobs, bool compiled_scoring);
 
 /// Greedy driven by an arbitrary scoring function (baselines, tests).
 [[nodiscard]] cover::SolveResult solve_with_score(

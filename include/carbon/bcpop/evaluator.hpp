@@ -58,12 +58,31 @@ class Evaluator final : public EvaluatorInterface {
                                      std::span<const std::uint8_t> selection,
                                      EvalPurpose purpose) override;
 
+  /// Heuristic batches deduplicate via the per-batch score memo: jobs with
+  /// an identical (tree, pricing, purpose) key — canonical tree form when
+  /// compiled scoring is on — are evaluated once and the result is copied
+  /// to every duplicate. Duplicates still charge the Table II budget, so
+  /// trajectories are bit-identical to the scalar path.
+  std::vector<Evaluation> evaluate_heuristic_batch(
+      std::span<const HeuristicJob> jobs) override;
+
   /// When enabled, heuristic-built covers are polished with
   /// cover::local_search (drop + swap descent) before scoring — the memetic
   /// variant evaluated by bench/ablation_memetic. Off by default: the paper's
   /// CARBON scores the raw greedy output.
   void set_polish(bool enabled) noexcept { polish_ = enabled; }
   [[nodiscard]] bool polish() const noexcept { return polish_; }
+
+  /// When enabled (the default), scoring trees are compiled once per
+  /// evaluation (once per batch per distinct genome) into batched SoA
+  /// bytecode instead of being re-interpreted per bundle — bit-identical
+  /// results, see gp::CompiledProgram. Off = the reference interpreter.
+  void set_compiled_scoring(bool enabled) noexcept {
+    compiled_scoring_ = enabled;
+  }
+  [[nodiscard]] bool compiled_scoring() const noexcept {
+    return compiled_scoring_;
+  }
 
   [[nodiscard]] std::span<const ea::Bounds> price_bounds() const override {
     return inst_.price_bounds();
@@ -94,6 +113,11 @@ class Evaluator final : public EvaluatorInterface {
   [[nodiscard]] long long relaxation_cache_hits() const noexcept {
     return cache_.hits();
   }
+  /// Batch heuristic jobs answered by the per-batch score memo instead of a
+  /// fresh greedy solve (still charged to the budget).
+  [[nodiscard]] long long heuristic_dedup_hits() const noexcept {
+    return dedup_hits_;
+  }
 
  private:
   /// Charges the budget counters for one evaluation of `purpose`.
@@ -103,8 +127,10 @@ class Evaluator final : public EvaluatorInterface {
   EvalContext ctx_;
   ShardedRelaxationCache cache_;
   bool polish_ = false;
+  bool compiled_scoring_ = true;
   long long ul_evals_ = 0;
   long long ll_evals_ = 0;
+  long long dedup_hits_ = 0;
 };
 
 }  // namespace carbon::bcpop

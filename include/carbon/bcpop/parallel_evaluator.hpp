@@ -53,7 +53,11 @@ class ParallelEvaluator final : public EvaluatorInterface {
   ParallelEvaluator(const Instance& instance, std::size_t threads)
       : ParallelEvaluator(instance, Options{threads, 4096, 16}) {}
 
-  /// Fans the jobs across the pool; results[i] answers jobs[i].
+  /// Fans the jobs across the pool; results[i] answers jobs[i]. Heuristic
+  /// batches first deduplicate through the per-batch score memo (planned on
+  /// the calling thread, so the evaluated set — and therefore the result
+  /// bits — is independent of the thread count); duplicates still charge
+  /// the Table II budget.
   std::vector<Evaluation> evaluate_heuristic_batch(
       std::span<const HeuristicJob> jobs) override;
   std::vector<Evaluation> evaluate_selection_batch(
@@ -70,6 +74,18 @@ class ParallelEvaluator final : public EvaluatorInterface {
 
   void set_polish(bool enabled) noexcept { polish_ = enabled; }
   [[nodiscard]] bool polish() const noexcept { return polish_; }
+
+  /// When enabled (the default), scoring trees are compiled into batched
+  /// SoA bytecode (one compile per distinct genome per batch) instead of
+  /// being re-interpreted per bundle — bit-identical results, see
+  /// gp::CompiledProgram. Configure before submitting work; not
+  /// synchronized against in-flight batches.
+  void set_compiled_scoring(bool enabled) noexcept {
+    compiled_scoring_ = enabled;
+  }
+  [[nodiscard]] bool compiled_scoring() const noexcept {
+    return compiled_scoring_;
+  }
 
   [[nodiscard]] std::span<const ea::Bounds> price_bounds() const override {
     return inst_.price_bounds();
@@ -95,12 +111,20 @@ class ParallelEvaluator final : public EvaluatorInterface {
   [[nodiscard]] const ShardedRelaxationCache& cache() const noexcept {
     return cache_;
   }
+  /// Batch heuristic jobs answered by the per-batch score memo instead of a
+  /// fresh greedy solve (still charged to the budget).
+  [[nodiscard]] long long heuristic_dedup_hits() const noexcept {
+    return dedup_hits_.load(std::memory_order_relaxed);
+  }
 
  private:
   /// RAII lease of one evaluation context from the free list.
   class ContextLease;
 
-  Evaluation evaluate_one(EvalContext& ctx, const HeuristicJob& job);
+  /// Solve + finalize, WITHOUT charging (batch/scalar callers charge per
+  /// submitted job so memo hits still pay). Null `program` = interpreter.
+  Evaluation evaluate_heuristic_job(EvalContext& ctx, const HeuristicJob& job,
+                                    const gp::CompiledProgram* program);
   Evaluation evaluate_one(EvalContext& ctx, const SelectionJob& job);
   void charge(EvalPurpose purpose) noexcept;
 
@@ -118,7 +142,9 @@ class ParallelEvaluator final : public EvaluatorInterface {
   std::condition_variable free_cv_;
   std::atomic<long long> ul_evals_{0};
   std::atomic<long long> ll_evals_{0};
+  std::atomic<long long> dedup_hits_{0};
   bool polish_ = false;
+  bool compiled_scoring_ = true;
 };
 
 }  // namespace carbon::bcpop

@@ -59,6 +59,11 @@ struct CobraConfig {
   /// evaluator); same semantics as CarbonConfig::eval_threads.
   std::size_t eval_threads = 1;
 
+  /// Compile GP scoring trees to batched bytecode (relevant only when a
+  /// heuristic-driven path is exercised through this solver's evaluator);
+  /// same semantics as CarbonConfig::compiled_scoring.
+  bool compiled_scoring = true;
+
   std::uint64_t seed = 1;
   bool record_convergence = true;
 };

@@ -76,6 +76,13 @@ struct CarbonConfig {
   /// (per-thread contexts + ordered reduction; see docs/ALGORITHMS.md §7).
   std::size_t eval_threads = 1;
 
+  /// Compile GP scoring trees to batched SoA bytecode (gp::CompiledProgram)
+  /// instead of interpreting them per bundle, and deduplicate repeated
+  /// (tree, pricing) jobs within a batch. Bit-identical trajectories either
+  /// way at a fixed seed (see docs/ALGORITHMS.md §8); off = the reference
+  /// interpreter, kept for differential testing.
+  bool compiled_scoring = true;
+
   std::uint64_t seed = 1;
   bool record_convergence = true;
 };

@@ -31,4 +31,16 @@ struct GraspOptions {
                                       std::span<const double> relaxed_x = {},
                                       const GraspOptions& options = {});
 
+/// Batch-scoring overload (compiled GP programs via
+/// gp::make_batch_score_function): each round scores the whole bundle axis
+/// in one sweep instead of one call per candidate. Produces the same
+/// construction sequence as the per-bundle overload whenever the batch
+/// scorer computes the same per-bundle doubles.
+[[nodiscard]] SolveResult grasp_solve(const Instance& instance,
+                                      const BatchScoreFunction& score,
+                                      common::Rng& rng,
+                                      std::span<const double> duals = {},
+                                      std::span<const double> relaxed_x = {},
+                                      const GraspOptions& options = {});
+
 }  // namespace carbon::cover

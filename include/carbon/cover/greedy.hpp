@@ -39,6 +39,27 @@ struct BundleFeatures {
 /// Scores one bundle; the greedy selects the maximal score each round.
 using ScoreFunction = std::function<double(const BundleFeatures&)>;
 
+/// SoA view of the features of EVERY bundle for one greedy round: one
+/// contiguous column per BundleFeatures field (bres is a scalar — the
+/// outstanding demand is shared by all bundles within a round). Batch
+/// scorers (gp::CompiledProgram via gp::make_batch_score_function) fill
+/// `out[j]` for all j in one sweep of elementwise loops instead of being
+/// called M times with per-bundle structs.
+struct BatchFeatureView {
+  std::span<const double> cost;  ///< c_j
+  std::span<const double> qsum;  ///< Σ_k q_jk
+  std::span<const double> qcov;  ///< Σ_k min(q_jk, residual_k)
+  std::span<const double> dual;  ///< Σ_k d_k q_jk
+  std::span<const double> xbar;  ///< x̄_j
+  double bres = 0.0;             ///< Σ_k residual_k (broadcast)
+  std::size_t count = 0;         ///< number of bundles (size of each column)
+};
+
+/// Scores every bundle of one round: writes out[j] for j in [0, count).
+/// Entries of selected / zero-coverage bundles are ignored by the caller.
+using BatchScoreFunction =
+    std::function<void(const BatchFeatureView&, std::span<double>)>;
+
 struct GreedyOptions {
   /// Drop redundant bundles after reaching feasibility.
   bool eliminate_redundancy = true;
@@ -50,6 +71,17 @@ namespace detail {
 inline double sanitize_score(double score) noexcept {
   return std::isfinite(score) ? score : -std::numeric_limits<double>::max();
 }
+
+/// Reverse pass shared by every constructive solver here: try to drop
+/// selected bundles, most expensive first, keeping feasibility.
+void eliminate_redundancy(const Instance& instance,
+                          std::vector<std::uint8_t>& selection);
+
+/// Per-bundle static masses (independent of the residual): qsum[j] and the
+/// dual-weighted coverage dual_mass[j], accumulated in service order so the
+/// batched and per-bundle paths sum in the same sequence.
+void static_masses(const Instance& instance, std::span<const double> duals,
+                   std::vector<double>& qsum, std::vector<double>& dual_mass);
 
 }  // namespace detail
 
@@ -77,19 +109,9 @@ template <typename Score>
       std::accumulate(residual.begin(), residual.end(), 0LL);
 
   // Per-bundle static features (do not depend on the residual).
-  std::vector<double> qsum(m, 0.0);
-  std::vector<double> dual_mass(m, 0.0);
-  for (std::size_t j = 0; j < m; ++j) {
-    const auto row = instance.bundle(j);
-    double s = 0.0;
-    double d = 0.0;
-    for (std::size_t k = 0; k < n; ++k) {
-      s += row[k];
-      if (k < duals.size()) d += duals[k] * row[k];
-    }
-    qsum[j] = s;
-    dual_mass[j] = d;
-  }
+  std::vector<double> qsum;
+  std::vector<double> dual_mass;
+  detail::static_masses(instance, duals, qsum, dual_mass);
 
   // Incrementally maintained useful coverage: useful[j] = Σ_k min(q_jk, r_k).
   std::vector<double> useful(m, 0.0);
@@ -156,35 +178,112 @@ template <typename Score>
   }
 
   if (options.eliminate_redundancy) {
-    // Coverage including slack (residual may be over-covered).
-    std::vector<long long> covered(n, 0);
-    for (std::size_t j = 0; j < m; ++j) {
-      if (!result.selection[j]) continue;
-      const auto row = instance.bundle(j);
-      for (std::size_t k = 0; k < n; ++k) covered[k] += row[k];
+    detail::eliminate_redundancy(instance, result.selection);
+  }
+
+  result.feasible = true;
+  result.value = instance.selection_cost(result.selection);
+  return result;
+}
+
+/// Batch-scoring variant of greedy_solve_with: semantically identical (same
+/// selections, same tie-breaks) for any batch scorer that computes, per
+/// bundle, the same double the per-bundle scorer would. Each round scores
+/// the whole bundle axis in ONE call — useful coverage is maintained
+/// incrementally through the instance's service→bundle (CSR) inverted
+/// index, so only bundles touched by the last selection change between
+/// rounds — then takes the argmax over unselected bundles that still add
+/// coverage. This is the hot path for compiled GP scoring programs.
+template <typename BatchScore>
+[[nodiscard]] SolveResult greedy_solve_batched(
+    const Instance& instance, BatchScore&& batch_score,
+    std::span<const double> duals = {}, std::span<const double> relaxed_x = {},
+    const GreedyOptions& options = {}) {
+  const std::size_t m = instance.num_bundles();
+  const std::size_t n = instance.num_services();
+
+  SolveResult result;
+  result.selection.assign(m, 0);
+
+  std::vector<int> residual(instance.demands().begin(),
+                            instance.demands().end());
+  long long outstanding =
+      std::accumulate(residual.begin(), residual.end(), 0LL);
+
+  std::vector<double> qsum;
+  std::vector<double> dual_mass;
+  detail::static_masses(instance, duals, qsum, dual_mass);
+
+  // xbar column: pad/truncate to exactly m entries (absent -> 0), matching
+  // the per-bundle path's `j < relaxed_x.size() ? relaxed_x[j] : 0`.
+  std::vector<double> xbar(m, 0.0);
+  for (std::size_t j = 0; j < m && j < relaxed_x.size(); ++j) {
+    xbar[j] = relaxed_x[j];
+  }
+
+  std::vector<double> useful(m, 0.0);
+  for (std::size_t j = 0; j < m; ++j) {
+    const auto row = instance.bundle(j);
+    double u = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+      u += std::min(row[k], residual[k]);
     }
-    // Try to drop selected bundles, most expensive first.
-    std::vector<std::size_t> chosen;
+    useful[j] = u;
+  }
+
+  std::vector<double> scores(m, 0.0);
+  BatchFeatureView view;
+  view.cost = instance.costs();
+  view.qsum = qsum;
+  view.qcov = useful;
+  view.dual = dual_mass;
+  view.xbar = xbar;
+  view.count = m;
+
+  while (outstanding > 0) {
+    view.bres = static_cast<double>(outstanding);
+    batch_score(view, std::span<double>(scores));
+
+    double best_score = -std::numeric_limits<double>::infinity();
+    std::size_t best_j = m;
     for (std::size_t j = 0; j < m; ++j) {
-      if (result.selection[j]) chosen.push_back(j);
-    }
-    std::sort(chosen.begin(), chosen.end(),
-              [&](std::size_t a, std::size_t b) {
-                return instance.cost(a) > instance.cost(b);
-              });
-    for (std::size_t j : chosen) {
-      const auto row = instance.bundle(j);
-      bool droppable = true;
-      for (std::size_t k = 0; k < n; ++k) {
-        if (covered[k] - row[k] < instance.demand(k)) {
-          droppable = false;
-          break;
-        }
+      if (result.selection[j]) continue;
+      if (useful[j] <= 0.0) continue;
+      const double s = detail::sanitize_score(scores[j]);
+      if (s > best_score) {
+        best_score = s;
+        best_j = j;
       }
-      if (!droppable) continue;
-      result.selection[j] = 0;
-      for (std::size_t k = 0; k < n; ++k) covered[k] -= row[k];
     }
+
+    if (best_j == m) {
+      result.feasible = false;
+      result.value = instance.selection_cost(result.selection);
+      return result;
+    }
+
+    result.selection[best_j] = 1;
+    const auto chosen = instance.bundle(best_j);
+    for (std::size_t k = 0; k < n; ++k) {
+      const int r_old = residual[k];
+      if (r_old <= 0 || chosen[k] <= 0) continue;
+      const int used = std::min(chosen[k], r_old);
+      const int r_new = r_old - used;
+      residual[k] = r_new;
+      outstanding -= used;
+      const auto idx = instance.suppliers(k);
+      const auto qty = instance.supplier_quantities(k);
+      for (std::size_t t = 0; t < idx.size(); ++t) {
+        const std::size_t j = idx[t];
+        if (result.selection[j]) continue;
+        const int q = qty[t];
+        useful[j] -= std::min(q, r_old) - std::min(q, r_new);
+      }
+    }
+  }
+
+  if (options.eliminate_redundancy) {
+    detail::eliminate_redundancy(instance, result.selection);
   }
 
   result.feasible = true;

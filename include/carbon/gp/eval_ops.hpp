@@ -1,0 +1,47 @@
+// The protected-operator arithmetic shared by every GP evaluation backend.
+//
+// Tree::evaluate (the prefix-walking interpreter) and gp::CompiledProgram
+// (the linearized batch evaluator) must produce bit-identical doubles for
+// the same expression — the compiled path is only usable because this file
+// is the single definition of what each opcode computes. Keep these inline
+// and branch-compatible: any change here changes *every* score the system
+// has ever produced.
+#pragma once
+
+#include <cmath>
+
+#include "carbon/gp/tree.hpp"
+
+namespace carbon::gp::detail {
+
+/// Operands at or below this magnitude trigger the protected semantics of
+/// division (-> 1) and modulo (-> 0).
+inline constexpr double kProtectTol = 1e-9;
+/// Operator results are clamped into [-kValueCap, kValueCap]; NaN -> 0.
+inline constexpr double kValueCap = 1e12;
+
+[[nodiscard]] inline double clamp_finite(double v) noexcept {
+  if (std::isnan(v)) return 0.0;
+  if (v > kValueCap) return kValueCap;
+  if (v < -kValueCap) return -kValueCap;
+  return v;
+}
+
+[[nodiscard]] inline double apply_op(OpCode op, double a, double b) noexcept {
+  switch (op) {
+    case OpCode::kAdd:
+      return clamp_finite(a + b);
+    case OpCode::kSub:
+      return clamp_finite(a - b);
+    case OpCode::kMul:
+      return clamp_finite(a * b);
+    case OpCode::kDiv:
+      return std::abs(b) < kProtectTol ? 1.0 : clamp_finite(a / b);
+    case OpCode::kMod:
+      return std::abs(b) < kProtectTol ? 0.0 : clamp_finite(std::fmod(a, b));
+    default:
+      return 0.0;
+  }
+}
+
+}  // namespace carbon::gp::detail

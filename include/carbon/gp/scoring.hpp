@@ -1,9 +1,14 @@
-// Bridge from GP trees to the greedy solver's scoring interface.
+// Bridge from GP trees / compiled programs to the greedy solver's scoring
+// interfaces (per-bundle and batched-SoA).
 #pragma once
 
 #include <array>
+#include <memory>
+#include <utility>
+#include <vector>
 
 #include "carbon/cover/greedy.hpp"
+#include "carbon/gp/compiled.hpp"
 #include "carbon/gp/tree.hpp"
 
 namespace carbon::gp {
@@ -14,9 +19,27 @@ namespace carbon::gp {
   return {f.cost, f.qsum, f.qcov, f.bres, f.dual, f.xbar};
 }
 
+/// Lays out a cover::BatchFeatureView as a compiled program's terminal
+/// batch (Terminal order; BRES broadcasts its round-scalar). The returned
+/// batch aliases `view` — keep the view alive while evaluating.
+[[nodiscard]] inline CompiledProgram::TerminalBatch view_to_batch(
+    const cover::BatchFeatureView& view) noexcept {
+  CompiledProgram::TerminalBatch batch;
+  batch.columns[static_cast<std::size_t>(Terminal::kCost)] = view.cost;
+  batch.columns[static_cast<std::size_t>(Terminal::kQsum)] = view.qsum;
+  batch.columns[static_cast<std::size_t>(Terminal::kQcov)] = view.qcov;
+  batch.columns[static_cast<std::size_t>(Terminal::kBres)] = {&view.bres, 1};
+  batch.columns[static_cast<std::size_t>(Terminal::kDual)] = view.dual;
+  batch.columns[static_cast<std::size_t>(Terminal::kXbar)] = view.xbar;
+  batch.count = view.count;
+  return batch;
+}
+
 /// True when the tree reads neither QCOV nor BRES — its score for a bundle
 /// is then invariant across greedy rounds, enabling the sort-based
-/// cover::greedy_solve_static fast path.
+/// cover::greedy_solve_static fast path. This is the *syntactic* check;
+/// CompiledProgram::is_static() additionally catches trees whose dynamic
+/// terminals simplify away (e.g. (sub QCOV QCOV)).
 [[nodiscard]] inline bool is_static_heuristic(const Tree& tree) noexcept {
   return !tree.uses_terminal(Terminal::kQcov) &&
          !tree.uses_terminal(Terminal::kBres);
@@ -27,6 +50,18 @@ namespace carbon::gp {
   return [t = std::move(tree)](const cover::BundleFeatures& f) {
     const auto arr = features_to_array(f);
     return t.evaluate(std::span<const double, kNumTerminals>(arr));
+  };
+}
+
+/// Wraps a compiled program (shared) as a type-erased batch scorer for
+/// cover::grasp_solve and other BatchScoreFunction consumers. The closure
+/// owns its register scratch, so repeated rounds do not allocate.
+[[nodiscard]] inline cover::BatchScoreFunction make_batch_score_function(
+    std::shared_ptr<const CompiledProgram> program) {
+  return [program = std::move(program),
+          scratch = std::make_shared<std::vector<double>>()](
+             const cover::BatchFeatureView& view, std::span<double> out) {
+    program->evaluate_batch(view_to_batch(view), out, *scratch);
   };
 }
 

@@ -95,8 +95,16 @@ class Tree {
 
   /// Evaluates against a terminal feature vector (size kNumTerminals).
   /// Never returns NaN/inf: non-finite intermediate results are clamped.
+  /// Trees over 64 nodes allocate a heap operand stack per call; hot
+  /// callers should use the scratch-buffer overload instead.
   [[nodiscard]] double evaluate(
       std::span<const double, kNumTerminals> features) const;
+
+  /// Same evaluation, but large trees spill the operand stack into the
+  /// caller-owned `scratch` (grown as needed, reused across calls) instead
+  /// of allocating. bcpop::EvalContext owns one such buffer per thread.
+  [[nodiscard]] double evaluate(std::span<const double, kNumTerminals> features,
+                                std::vector<double>& scratch) const;
 
   /// Structural validity: every operator has its operands, exactly one root.
   [[nodiscard]] bool valid() const;

@@ -1,9 +1,12 @@
 #include "carbon/bcpop/eval_core.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
+#include <cstring>
 #include <stdexcept>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "carbon/bilevel/gap.hpp"
@@ -20,6 +23,57 @@ void load_pricing(EvalContext& ctx, std::span<const double> pricing) {
   for (std::size_t j = 0; j < pricing.size(); ++j) {
     ctx.ll.set_cost(j, pricing[j]);
   }
+}
+
+// --- Hashing for the per-batch score memo -----------------------------------
+// FNV-1a over exact content; equality is always re-verified bitwise, so hash
+// collisions cost a comparison, never a wrong merge.
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+void fnv_mix(std::uint64_t& h, std::uint64_t v) noexcept {
+  h ^= v;
+  h *= kFnvPrime;
+}
+
+[[nodiscard]] std::uint64_t hash_nodes(std::span<const gp::Node> nodes) {
+  std::uint64_t h = kFnvOffset;
+  for (const gp::Node& nd : nodes) {
+    fnv_mix(h, static_cast<std::uint64_t>(nd.op));
+    fnv_mix(h, nd.terminal);
+    fnv_mix(h, std::bit_cast<std::uint64_t>(nd.value));
+  }
+  return h;
+}
+
+/// Bitwise node-sequence equality (distinguishes -0.0 from +0.0 and NaN
+/// payloads — strictly finer than ==, so it can never merge trees whose
+/// evaluations could differ).
+[[nodiscard]] bool same_nodes(std::span<const gp::Node> a,
+                              std::span<const gp::Node> b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].op != b[i].op || a[i].terminal != b[i].terminal ||
+        std::bit_cast<std::uint64_t>(a[i].value) !=
+            std::bit_cast<std::uint64_t>(b[i].value)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+[[nodiscard]] std::uint64_t hash_doubles(std::span<const double> v) {
+  std::uint64_t h = kFnvOffset;
+  for (double x : v) fnv_mix(h, std::bit_cast<std::uint64_t>(x));
+  return h;
+}
+
+[[nodiscard]] bool same_doubles(std::span<const double> a,
+                                std::span<const double> b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
 }
 
 }  // namespace
@@ -87,8 +141,8 @@ cover::SolveResult solve_with_heuristic(EvalContext& ctx,
       }
       f.xbar = j < relax.relaxed_x.size() ? relax.relaxed_x[j] : 0.0;
       const auto arr = gp::features_to_array(f);
-      scores[j] =
-          heuristic.evaluate(std::span<const double, gp::kNumTerminals>(arr));
+      scores[j] = heuristic.evaluate(
+          std::span<const double, gp::kNumTerminals>(arr), ctx.op_scratch);
     }
     cover::SolveResult solved = cover::greedy_solve_static(ctx.ll, scores);
     if (polish && solved.feasible) {
@@ -101,16 +155,160 @@ cover::SolveResult solve_with_heuristic(EvalContext& ctx,
   // (no std::function indirection — this runs ~10^5 times per solver run).
   cover::SolveResult solved = cover::greedy_solve_with(
       ctx.ll,
-      [&heuristic](const cover::BundleFeatures& f) {
+      [&heuristic, &ctx](const cover::BundleFeatures& f) {
         const auto arr = gp::features_to_array(f);
         return heuristic.evaluate(
-            std::span<const double, gp::kNumTerminals>(arr));
+            std::span<const double, gp::kNumTerminals>(arr), ctx.op_scratch);
       },
       relax.duals, relax.relaxed_x);
   if (polish && solved.feasible) {
     solved.value = cover::local_search(ctx.ll, solved.selection).value;
   }
   return solved;
+}
+
+cover::SolveResult solve_with_program(EvalContext& ctx,
+                                      const cover::Relaxation& relax,
+                                      std::span<const double> pricing,
+                                      const gp::CompiledProgram& program,
+                                      bool polish) {
+  load_pricing(ctx, pricing);
+
+  cover::SolveResult solved;
+  if (program.is_static()) {
+    // The canonical program reads neither QCOV nor BRES (checked AFTER
+    // simplification, so trees whose dynamic terminals fold away — e.g.
+    // (sub QCOV QCOV) — land here too). One batched sweep computes every
+    // bundle's round-invariant score; the sorted greedy is equivalent to
+    // the per-round argmax (see greedy_solve_static).
+    const std::size_t m = ctx.ll.num_bundles();
+    std::vector<double> qsum;
+    std::vector<double> dual_mass;
+    cover::detail::static_masses(ctx.ll, relax.duals, qsum, dual_mass);
+    std::vector<double> xbar(m, 0.0);
+    for (std::size_t j = 0; j < m && j < relax.relaxed_x.size(); ++j) {
+      xbar[j] = relax.relaxed_x[j];
+    }
+    // The interpreter's static path leaves qcov/bres at their zero
+    // defaults; broadcast the same zeros (the program ignores them anyway).
+    const double zero = 0.0;
+    gp::CompiledProgram::TerminalBatch batch;
+    batch.columns[static_cast<std::size_t>(gp::Terminal::kCost)] =
+        ctx.ll.costs();
+    batch.columns[static_cast<std::size_t>(gp::Terminal::kQsum)] = qsum;
+    batch.columns[static_cast<std::size_t>(gp::Terminal::kQcov)] = {&zero, 1};
+    batch.columns[static_cast<std::size_t>(gp::Terminal::kBres)] = {&zero, 1};
+    batch.columns[static_cast<std::size_t>(gp::Terminal::kDual)] = dual_mass;
+    batch.columns[static_cast<std::size_t>(gp::Terminal::kXbar)] = xbar;
+    batch.count = m;
+    std::vector<double> scores(m);
+    program.evaluate_batch(batch, scores, ctx.reg_scratch);
+    solved = cover::greedy_solve_static(ctx.ll, scores);
+  } else {
+    solved = cover::greedy_solve_batched(
+        ctx.ll,
+        [&program, &ctx](const cover::BatchFeatureView& view,
+                         std::span<double> out) {
+          program.evaluate_batch(gp::view_to_batch(view), out,
+                                 ctx.reg_scratch);
+        },
+        relax.duals, relax.relaxed_x);
+  }
+  if (polish && solved.feasible) {
+    solved.value = cover::local_search(ctx.ll, solved.selection).value;
+  }
+  return solved;
+}
+
+HeuristicBatchPlan plan_heuristic_batch(std::span<const HeuristicJob> jobs,
+                                        bool compiled_scoring) {
+  HeuristicBatchPlan plan;
+  plan.result_of.resize(jobs.size());
+  if (jobs.empty()) return plan;
+
+  // 1. Group jobs by exact tree content so each distinct genome is hashed
+  //    (and later compiled) once. Chains keyed by content hash; equality is
+  //    verified node-by-node.
+  std::vector<std::size_t> content_group_of(jobs.size());
+  std::vector<std::size_t> content_rep;  // group id -> representative job
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> content_chains;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const auto& nodes = jobs[i].heuristic->nodes();
+    auto& chain = content_chains[hash_nodes(nodes)];
+    std::size_t gid = content_rep.size();
+    for (std::size_t g : chain) {
+      if (same_nodes(nodes, jobs[content_rep[g]].heuristic->nodes())) {
+        gid = g;
+        break;
+      }
+    }
+    if (gid == content_rep.size()) {
+      content_rep.push_back(i);
+      chain.push_back(gid);
+    }
+    content_group_of[i] = gid;
+  }
+
+  // 2. Compile one program per content group, then merge groups whose
+  //    CANONICAL forms coincide — syntactically different genomes that
+  //    simplify to the same program share one evaluation. With compiled
+  //    scoring off, merged groups are the content groups themselves.
+  std::vector<std::size_t> merged_of(content_rep.size());
+  std::vector<std::shared_ptr<const gp::CompiledProgram>> merged_program;
+  if (compiled_scoring) {
+    std::unordered_map<std::uint64_t, std::vector<std::size_t>> canon_chains;
+    for (std::size_t g = 0; g < content_rep.size(); ++g) {
+      auto program = std::make_shared<const gp::CompiledProgram>(
+          gp::CompiledProgram::compile(*jobs[content_rep[g]].heuristic));
+      auto& chain = canon_chains[program->canonical_hash()];
+      std::size_t mid = merged_program.size();
+      for (std::size_t c : chain) {
+        if (std::ranges::equal(program->canonical_nodes(),
+                               merged_program[c]->canonical_nodes())) {
+          mid = c;
+          break;
+        }
+      }
+      if (mid == merged_program.size()) {
+        merged_program.push_back(std::move(program));
+        chain.push_back(mid);
+      }
+      merged_of[g] = mid;
+    }
+  } else {
+    merged_program.assign(content_rep.size(), nullptr);
+    for (std::size_t g = 0; g < content_rep.size(); ++g) merged_of[g] = g;
+  }
+
+  // 3. Key each job by (merged tree group, pricing content, purpose);
+  //    first job with a fresh key becomes the unique's representative.
+  struct JobKeyChain {
+    std::vector<std::size_t> uniques;  // indices into plan.uniques
+  };
+  std::unordered_map<std::uint64_t, JobKeyChain> job_chains;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const std::size_t mid = merged_of[content_group_of[i]];
+    std::uint64_t h = hash_doubles(jobs[i].pricing);
+    fnv_mix(h, mid);
+    fnv_mix(h, static_cast<std::uint64_t>(jobs[i].purpose));
+    auto& chain = job_chains[h];
+    std::size_t uid = plan.uniques.size();
+    for (std::size_t u : chain.uniques) {
+      const HeuristicJob& rep = jobs[plan.uniques[u].job_index];
+      if (merged_of[content_group_of[plan.uniques[u].job_index]] == mid &&
+          rep.purpose == jobs[i].purpose &&
+          same_doubles(rep.pricing, jobs[i].pricing)) {
+        uid = u;
+        break;
+      }
+    }
+    if (uid == plan.uniques.size()) {
+      plan.uniques.push_back({i, merged_program[mid]});
+      chain.uniques.push_back(uid);
+    }
+    plan.result_of[i] = uid;
+  }
+  return plan;
 }
 
 cover::SolveResult solve_with_score(EvalContext& ctx,

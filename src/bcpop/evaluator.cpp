@@ -28,9 +28,45 @@ Evaluation Evaluator::evaluate_with_heuristic(std::span<const double> pricing,
                                               EvalPurpose purpose) {
   const RelaxationPtr relax = relaxation(pricing);
   charge(purpose);
-  const cover::SolveResult solved =
-      solve_with_heuristic(ctx_, *relax, pricing, heuristic, polish_);
+  cover::SolveResult solved;
+  if (compiled_scoring_) {
+    const gp::CompiledProgram program = gp::CompiledProgram::compile(heuristic);
+    solved = solve_with_program(ctx_, *relax, pricing, program, polish_);
+  } else {
+    solved = solve_with_heuristic(ctx_, *relax, pricing, heuristic, polish_);
+  }
   return finalize_evaluation(inst_, pricing, solved, *relax, purpose);
+}
+
+std::vector<Evaluation> Evaluator::evaluate_heuristic_batch(
+    std::span<const HeuristicJob> jobs) {
+  std::vector<Evaluation> results(jobs.size());
+  if (jobs.empty()) return results;
+  const HeuristicBatchPlan plan =
+      plan_heuristic_batch(jobs, compiled_scoring_);
+  std::vector<Evaluation> unique_results(plan.uniques.size());
+  for (std::size_t u = 0; u < plan.uniques.size(); ++u) {
+    const HeuristicBatchPlan::Unique& uq = plan.uniques[u];
+    const HeuristicJob& job = jobs[uq.job_index];
+    const RelaxationPtr relax = relaxation(job.pricing);
+    const cover::SolveResult solved =
+        uq.program
+            ? solve_with_program(ctx_, *relax, job.pricing, *uq.program,
+                                 polish_)
+            : solve_with_heuristic(ctx_, *relax, job.pricing, *job.heuristic,
+                                   polish_);
+    unique_results[u] =
+        finalize_evaluation(inst_, job.pricing, solved, *relax, job.purpose);
+  }
+  // Every submitted job pays the budget — the memo optimizes wall-clock,
+  // never the Table II accounting (purpose is part of the memo key, so a
+  // duplicate always shares its representative's purpose).
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    charge(jobs[i].purpose);
+    results[i] = unique_results[plan.result_of[i]];
+  }
+  dedup_hits_ += static_cast<long long>(plan.duplicates());
+  return results;
 }
 
 Evaluation Evaluator::evaluate_with_score(std::span<const double> pricing,

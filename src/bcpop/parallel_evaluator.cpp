@@ -58,14 +58,17 @@ void ParallelEvaluator::charge(EvalPurpose purpose) noexcept {
   }
 }
 
-Evaluation ParallelEvaluator::evaluate_one(EvalContext& ctx,
-                                           const HeuristicJob& job) {
+Evaluation ParallelEvaluator::evaluate_heuristic_job(
+    EvalContext& ctx, const HeuristicJob& job,
+    const gp::CompiledProgram* program) {
   const auto relax = cache_.get_or_compute(
       job.pricing,
       [&ctx](std::span<const double> p) { return solve_relaxation(ctx, p); });
-  charge(job.purpose);
   const cover::SolveResult solved =
-      solve_with_heuristic(ctx, *relax, job.pricing, *job.heuristic, polish_);
+      program
+          ? solve_with_program(ctx, *relax, job.pricing, *program, polish_)
+          : solve_with_heuristic(ctx, *relax, job.pricing, *job.heuristic,
+                                 polish_);
   return finalize_evaluation(inst_, job.pricing, solved, *relax, job.purpose);
 }
 
@@ -97,7 +100,29 @@ std::vector<Evaluation> ParallelEvaluator::run_batch(
 
 std::vector<Evaluation> ParallelEvaluator::evaluate_heuristic_batch(
     std::span<const HeuristicJob> jobs) {
-  return run_batch(jobs);
+  std::vector<Evaluation> results(jobs.size());
+  if (jobs.empty()) return results;
+  // Plan the score memo on the calling thread BEFORE fan-out: the plan is a
+  // pure function of the submitted jobs, so deduplication needs no locks
+  // and the set of real solves is identical for any thread count.
+  const HeuristicBatchPlan plan =
+      plan_heuristic_batch(jobs, compiled_scoring_);
+  std::vector<Evaluation> unique_results(plan.uniques.size());
+  pool_.parallel_for(plan.uniques.size(), [&](std::size_t u) {
+    ContextLease lease(*this);
+    unique_results[u] =
+        evaluate_heuristic_job(lease.get(), jobs[plan.uniques[u].job_index],
+                               plan.uniques[u].program.get());
+  });
+  // Every submitted job pays the budget — the memo optimizes wall-clock,
+  // never the Table II accounting, so trajectories stay bit-identical.
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    charge(jobs[i].purpose);
+    results[i] = unique_results[plan.result_of[i]];
+  }
+  dedup_hits_.fetch_add(static_cast<long long>(plan.duplicates()),
+                        std::memory_order_relaxed);
+  return results;
 }
 
 std::vector<Evaluation> ParallelEvaluator::evaluate_selection_batch(
@@ -109,7 +134,13 @@ Evaluation ParallelEvaluator::evaluate_with_heuristic(
     std::span<const double> pricing, const gp::Tree& heuristic,
     EvalPurpose purpose) {
   ContextLease lease(*this);
-  return evaluate_one(lease.get(), HeuristicJob{pricing, &heuristic, purpose});
+  const HeuristicJob job{pricing, &heuristic, purpose};
+  charge(purpose);
+  if (compiled_scoring_) {
+    const gp::CompiledProgram program = gp::CompiledProgram::compile(heuristic);
+    return evaluate_heuristic_job(lease.get(), job, &program);
+  }
+  return evaluate_heuristic_job(lease.get(), job, nullptr);
 }
 
 Evaluation ParallelEvaluator::evaluate_with_selection(

@@ -52,9 +52,11 @@ core::RunResult CobraSolver::run() {
   if (external_ != nullptr) return run_with(*external_);
   if (cfg_.eval_threads != 1) {
     bcpop::ParallelEvaluator par(*inst_, cfg_.eval_threads);
+    par.set_compiled_scoring(cfg_.compiled_scoring);
     return run_with(par);
   }
   bcpop::Evaluator own(*inst_);
+  own.set_compiled_scoring(cfg_.compiled_scoring);
   return run_with(own);
 }
 

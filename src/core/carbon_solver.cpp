@@ -54,10 +54,12 @@ CarbonResult CarbonSolver::run() {
   if (cfg_.eval_threads != 1) {
     bcpop::ParallelEvaluator par(*inst_, cfg_.eval_threads);
     par.set_polish(cfg_.memetic_polish);
+    par.set_compiled_scoring(cfg_.compiled_scoring);
     return run_with(par);
   }
   bcpop::Evaluator own(*inst_);
   own.set_polish(cfg_.memetic_polish);
+  own.set_compiled_scoring(cfg_.compiled_scoring);
   return run_with(own);
 }
 

@@ -9,9 +9,11 @@ namespace carbon::cover {
 
 namespace {
 
-/// One semi-greedy construction.
-SolveResult construct(const Instance& instance, const ScoreFunction& score,
-                      common::Rng& rng, std::span<const double> duals,
+/// One semi-greedy construction, batch-scoring core: every round fills the
+/// SoA feature view once and scores the whole bundle axis in one call.
+SolveResult construct(const Instance& instance,
+                      const BatchScoreFunction& score, common::Rng& rng,
+                      std::span<const double> duals,
                       std::span<const double> relaxed_x, double alpha,
                       const GreedyOptions& greedy_options) {
   const std::size_t m = instance.num_bundles();
@@ -24,44 +26,55 @@ SolveResult construct(const Instance& instance, const ScoreFunction& score,
   long long outstanding =
       std::accumulate(residual.begin(), residual.end(), 0LL);
 
-  std::vector<double> qsum(m, 0.0);
-  std::vector<double> dual_mass(m, 0.0);
-  for (std::size_t j = 0; j < m; ++j) {
-    const auto row = instance.bundle(j);
-    for (std::size_t k = 0; k < n; ++k) {
-      qsum[j] += row[k];
-      if (k < duals.size()) dual_mass[j] += duals[k] * row[k];
-    }
+  std::vector<double> qsum;
+  std::vector<double> dual_mass;
+  detail::static_masses(instance, duals, qsum, dual_mass);
+
+  std::vector<double> xbar(m, 0.0);
+  for (std::size_t j = 0; j < m && j < relaxed_x.size(); ++j) {
+    xbar[j] = relaxed_x[j];
   }
 
+  std::vector<double> useful(m, 0.0);
+  std::vector<double> scores(m, 0.0);
   std::vector<std::size_t> candidates;
-  std::vector<double> scores;
+  std::vector<double> cand_scores;
+
+  BatchFeatureView view;
+  view.cost = instance.costs();
+  view.qsum = qsum;
+  view.qcov = useful;
+  view.dual = dual_mass;
+  view.xbar = xbar;
+  view.count = m;
+
   while (outstanding > 0) {
-    candidates.clear();
-    scores.clear();
-    double best = -std::numeric_limits<double>::infinity();
-    double worst = std::numeric_limits<double>::infinity();
-    const double bres = static_cast<double>(outstanding);
     for (std::size_t j = 0; j < m; ++j) {
-      if (result.selection[j]) continue;
+      if (result.selection[j]) {
+        useful[j] = 0.0;
+        continue;
+      }
       const auto row = instance.bundle(j);
-      double useful = 0.0;
+      double u = 0.0;
       for (std::size_t k = 0; k < n; ++k) {
         if (residual[k] > 0 && row[k] > 0) {
-          useful += std::min(row[k], residual[k]);
+          u += std::min(row[k], residual[k]);
         }
       }
-      if (useful <= 0.0) continue;
-      BundleFeatures f;
-      f.cost = instance.cost(j);
-      f.qsum = qsum[j];
-      f.qcov = useful;
-      f.bres = bres;
-      f.dual = dual_mass[j];
-      f.xbar = j < relaxed_x.size() ? relaxed_x[j] : 0.0;
-      const double s = detail::sanitize_score(score(f));
+      useful[j] = u;
+    }
+    view.bres = static_cast<double>(outstanding);
+    score(view, std::span<double>(scores));
+
+    candidates.clear();
+    cand_scores.clear();
+    double best = -std::numeric_limits<double>::infinity();
+    double worst = std::numeric_limits<double>::infinity();
+    for (std::size_t j = 0; j < m; ++j) {
+      if (result.selection[j] || useful[j] <= 0.0) continue;
+      const double s = detail::sanitize_score(scores[j]);
       candidates.push_back(j);
-      scores.push_back(s);
+      cand_scores.push_back(s);
       best = std::max(best, s);
       worst = std::min(worst, s);
     }
@@ -75,7 +88,7 @@ SolveResult construct(const Instance& instance, const ScoreFunction& score,
     const double threshold = best - alpha * (best - worst);
     std::size_t rcl_size = 0;
     for (std::size_t i = 0; i < candidates.size(); ++i) {
-      if (scores[i] >= threshold) {
+      if (cand_scores[i] >= threshold) {
         candidates[rcl_size++] = candidates[i];
       }
     }
@@ -93,55 +106,27 @@ SolveResult construct(const Instance& instance, const ScoreFunction& score,
   }
 
   result.feasible = true;
-  result.value = instance.selection_cost(result.selection);
   if (greedy_options.eliminate_redundancy) {
-    // Reuse the deterministic greedy's elimination by delegating to a
-    // zero-alpha pass over the already-feasible selection: simplest is the
-    // same reverse sweep.
-    std::vector<long long> covered(n, 0);
-    for (std::size_t j = 0; j < m; ++j) {
-      if (!result.selection[j]) continue;
-      const auto row = instance.bundle(j);
-      for (std::size_t k = 0; k < n; ++k) covered[k] += row[k];
-    }
-    std::vector<std::size_t> chosen;
-    for (std::size_t j = 0; j < m; ++j) {
-      if (result.selection[j]) chosen.push_back(j);
-    }
-    std::sort(chosen.begin(), chosen.end(),
-              [&](std::size_t a, std::size_t b) {
-                return instance.cost(a) > instance.cost(b);
-              });
-    for (std::size_t j : chosen) {
-      const auto row = instance.bundle(j);
-      bool droppable = true;
-      for (std::size_t k = 0; k < n; ++k) {
-        if (covered[k] - row[k] < instance.demand(k)) {
-          droppable = false;
-          break;
-        }
-      }
-      if (!droppable) continue;
-      result.selection[j] = 0;
-      for (std::size_t k = 0; k < n; ++k) covered[k] -= row[k];
-    }
-    result.value = instance.selection_cost(result.selection);
+    detail::eliminate_redundancy(instance, result.selection);
   }
+  result.value = instance.selection_cost(result.selection);
   return result;
 }
 
-}  // namespace
-
-SolveResult grasp_solve(const Instance& instance, const ScoreFunction& score,
-                        common::Rng& rng, std::span<const double> duals,
-                        std::span<const double> relaxed_x,
-                        const GraspOptions& options) {
+void validate(const GraspOptions& options) {
   if (options.alpha < 0.0 || options.alpha > 1.0) {
     throw std::invalid_argument("grasp_solve: alpha in [0, 1]");
   }
   if (options.restarts == 0) {
     throw std::invalid_argument("grasp_solve: restarts >= 1");
   }
+}
+
+SolveResult multistart(const Instance& instance,
+                       const BatchScoreFunction& score, common::Rng& rng,
+                       std::span<const double> duals,
+                       std::span<const double> relaxed_x,
+                       const GraspOptions& options) {
   SolveResult best;
   best.feasible = false;
   best.value = std::numeric_limits<double>::infinity();
@@ -152,6 +137,41 @@ SolveResult grasp_solve(const Instance& instance, const ScoreFunction& score,
     if (candidate.value < best.value) best = std::move(candidate);
   }
   return best;
+}
+
+}  // namespace
+
+SolveResult grasp_solve(const Instance& instance, const ScoreFunction& score,
+                        common::Rng& rng, std::span<const double> duals,
+                        std::span<const double> relaxed_x,
+                        const GraspOptions& options) {
+  validate(options);
+  // Adapt the per-bundle scorer onto the batch core: every considered
+  // candidate sees exactly the features the scalar construction built, so
+  // the RCL (and thus the rng consumption) is unchanged.
+  const BatchScoreFunction batched = [&score](const BatchFeatureView& view,
+                                              std::span<double> out) {
+    for (std::size_t j = 0; j < view.count; ++j) {
+      BundleFeatures f;
+      f.cost = view.cost[j];
+      f.qsum = view.qsum[j];
+      f.qcov = view.qcov[j];
+      f.bres = view.bres;
+      f.dual = view.dual[j];
+      f.xbar = view.xbar[j];
+      out[j] = score(f);
+    }
+  };
+  return multistart(instance, batched, rng, duals, relaxed_x, options);
+}
+
+SolveResult grasp_solve(const Instance& instance,
+                        const BatchScoreFunction& score, common::Rng& rng,
+                        std::span<const double> duals,
+                        std::span<const double> relaxed_x,
+                        const GraspOptions& options) {
+  validate(options);
+  return multistart(instance, score, rng, duals, relaxed_x, options);
 }
 
 }  // namespace carbon::cover

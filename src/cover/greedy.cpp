@@ -4,6 +4,63 @@
 
 namespace carbon::cover {
 
+namespace detail {
+
+void eliminate_redundancy(const Instance& instance,
+                          std::vector<std::uint8_t>& selection) {
+  const std::size_t m = instance.num_bundles();
+  const std::size_t n = instance.num_services();
+  // Coverage including slack (residual may be over-covered).
+  std::vector<long long> covered(n, 0);
+  for (std::size_t j = 0; j < m; ++j) {
+    if (!selection[j]) continue;
+    const auto row = instance.bundle(j);
+    for (std::size_t k = 0; k < n; ++k) covered[k] += row[k];
+  }
+  // Try to drop selected bundles, most expensive first.
+  std::vector<std::size_t> chosen;
+  for (std::size_t j = 0; j < m; ++j) {
+    if (selection[j]) chosen.push_back(j);
+  }
+  std::sort(chosen.begin(), chosen.end(), [&](std::size_t a, std::size_t b) {
+    return instance.cost(a) > instance.cost(b);
+  });
+  for (std::size_t j : chosen) {
+    const auto row = instance.bundle(j);
+    bool droppable = true;
+    for (std::size_t k = 0; k < n; ++k) {
+      if (covered[k] - row[k] < instance.demand(k)) {
+        droppable = false;
+        break;
+      }
+    }
+    if (!droppable) continue;
+    selection[j] = 0;
+    for (std::size_t k = 0; k < n; ++k) covered[k] -= row[k];
+  }
+}
+
+void static_masses(const Instance& instance, std::span<const double> duals,
+                   std::vector<double>& qsum, std::vector<double>& dual_mass) {
+  const std::size_t m = instance.num_bundles();
+  const std::size_t n = instance.num_services();
+  qsum.assign(m, 0.0);
+  dual_mass.assign(m, 0.0);
+  for (std::size_t j = 0; j < m; ++j) {
+    const auto row = instance.bundle(j);
+    double s = 0.0;
+    double d = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+      s += row[k];
+      if (k < duals.size()) d += duals[k] * row[k];
+    }
+    qsum[j] = s;
+    dual_mass[j] = d;
+  }
+}
+
+}  // namespace detail
+
 SolveResult greedy_solve_static(const Instance& instance,
                                 std::span<const double> scores,
                                 const GreedyOptions& options) {
@@ -13,15 +70,20 @@ SolveResult greedy_solve_static(const Instance& instance,
     throw std::invalid_argument("greedy_solve_static: one score per bundle");
   }
 
+  // Sanitize once up front — the comparator previously re-sanitized both
+  // sides of every comparison, O(M log M) redundant isfinite checks.
+  std::vector<double> sane(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    sane[j] = detail::sanitize_score(scores[j]);
+  }
+
   // Stable order: score descending, index ascending — matches the argmax
   // tie-breaking of greedy_solve_with exactly.
   std::vector<std::size_t> order(m);
   for (std::size_t j = 0; j < m; ++j) order[j] = j;
   std::stable_sort(order.begin(), order.end(),
                    [&](std::size_t a, std::size_t b) {
-                     const double sa = detail::sanitize_score(scores[a]);
-                     const double sb = detail::sanitize_score(scores[b]);
-                     return sa > sb;
+                     return sane[a] > sane[b];
                    });
 
   SolveResult result;
@@ -58,33 +120,7 @@ SolveResult greedy_solve_static(const Instance& instance,
   }
 
   if (options.eliminate_redundancy) {
-    std::vector<long long> covered(n, 0);
-    for (std::size_t j = 0; j < m; ++j) {
-      if (!result.selection[j]) continue;
-      const auto row = instance.bundle(j);
-      for (std::size_t k = 0; k < n; ++k) covered[k] += row[k];
-    }
-    std::vector<std::size_t> chosen;
-    for (std::size_t j = 0; j < m; ++j) {
-      if (result.selection[j]) chosen.push_back(j);
-    }
-    std::sort(chosen.begin(), chosen.end(),
-              [&](std::size_t a, std::size_t b) {
-                return instance.cost(a) > instance.cost(b);
-              });
-    for (std::size_t j : chosen) {
-      const auto row = instance.bundle(j);
-      bool droppable = true;
-      for (std::size_t k = 0; k < n; ++k) {
-        if (covered[k] - row[k] < instance.demand(k)) {
-          droppable = false;
-          break;
-        }
-      }
-      if (!droppable) continue;
-      result.selection[j] = 0;
-      for (std::size_t k = 0; k < n; ++k) covered[k] -= row[k];
-    }
+    detail::eliminate_redundancy(instance, result.selection);
   }
 
   result.feasible = true;

@@ -7,38 +7,14 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "carbon/gp/eval_ops.hpp"
+
 namespace carbon::gp {
 
-namespace {
-
-constexpr double kProtectTol = 1e-9;
-constexpr double kValueCap = 1e12;
-
-double clamp_finite(double v) noexcept {
-  if (std::isnan(v)) return 0.0;
-  if (v > kValueCap) return kValueCap;
-  if (v < -kValueCap) return -kValueCap;
-  return v;
-}
-
-double apply_op(OpCode op, double a, double b) noexcept {
-  switch (op) {
-    case OpCode::kAdd:
-      return clamp_finite(a + b);
-    case OpCode::kSub:
-      return clamp_finite(a - b);
-    case OpCode::kMul:
-      return clamp_finite(a * b);
-    case OpCode::kDiv:
-      return std::abs(b) < kProtectTol ? 1.0 : clamp_finite(a / b);
-    case OpCode::kMod:
-      return std::abs(b) < kProtectTol ? 0.0 : clamp_finite(std::fmod(a, b));
-    default:
-      return 0.0;
-  }
-}
-
-}  // namespace
+// The protected-operator arithmetic lives in gp/eval_ops.hpp so that the
+// interpreter and gp::CompiledProgram share one definition (bit-identity
+// between the two paths depends on it).
+using detail::apply_op;
 
 const char* terminal_name(Terminal t) noexcept {
   switch (t) {
@@ -195,17 +171,23 @@ void Tree::replace_subtree(std::size_t pos, const Tree& replacement) {
 }
 
 double Tree::evaluate(std::span<const double, kNumTerminals> features) const {
+  std::vector<double> heap;
+  return evaluate(features, heap);
+}
+
+double Tree::evaluate(std::span<const double, kNumTerminals> features,
+                      std::vector<double>& scratch) const {
   assert(valid());
   // Evaluate right-to-left over the prefix encoding with an operand stack:
   // leaves push, operators pop two. Scanning backwards means operands are
   // already on the stack when their operator is reached.
-  // Fixed-size stack: depth never exceeds node count; use a small buffer.
+  // Fixed-size stack: depth never exceeds node count; use a small buffer,
+  // spilling into the caller's scratch only for trees over 64 nodes.
   double local[64] = {};
-  std::vector<double> heap;
   double* stack = local;
   if (nodes_.size() > 64) {
-    heap.resize(nodes_.size());
-    stack = heap.data();
+    if (scratch.size() < nodes_.size()) scratch.resize(nodes_.size());
+    stack = scratch.data();
   }
   std::size_t top = 0;
   for (std::size_t i = nodes_.size(); i-- > 0;) {

@@ -300,5 +300,160 @@ TEST(ParallelEvaluator, CobraRunIsThreadCountInvariant) {
   expect_same_run(serial, parallel);
 }
 
+// --- Compiled scoring: same bits as the interpreter, fewer solves ---------
+
+TEST(CompiledScoring, EvaluatorMatchesInterpreterBitwise) {
+  const Instance inst = make_instance();
+  common::Rng rng(61);
+  gp::GenerateConfig gen;
+  gen.min_depth = 2;
+  gen.max_depth = 7;
+  const auto pricings = random_pricings(inst, 6, 21);
+
+  Evaluator compiled(inst);
+  Evaluator interpreted(inst);
+  interpreted.set_compiled_scoring(false);
+  ASSERT_TRUE(compiled.compiled_scoring());
+
+  for (int t = 0; t < 10; ++t) {
+    gen.use_constants = (t % 2 == 0);
+    const gp::Tree tree = gp::generate_ramped(rng, gen);
+    for (const auto& p : pricings) {
+      expect_same(interpreted.evaluate_with_heuristic(p, tree),
+                  compiled.evaluate_with_heuristic(p, tree));
+    }
+  }
+}
+
+TEST(CompiledScoring, CarbonRunIsToggleInvariant) {
+  // The acceptance bar of the compiled path: fixed-seed CARBON trajectories
+  // are bit-identical with compiled scoring on vs off, serial and parallel.
+  const Instance inst = make_instance();
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    core::CarbonConfig on = small_carbon_config();
+    on.eval_threads = threads;
+    on.compiled_scoring = true;
+    core::CarbonConfig off = on;
+    off.compiled_scoring = false;
+    const core::CarbonResult want = core::CarbonSolver(inst, off).run();
+    const core::CarbonResult got = core::CarbonSolver(inst, on).run();
+    expect_same_run(want, got);
+    EXPECT_EQ(want.best_heuristic, got.best_heuristic);
+    EXPECT_EQ(want.best_heuristic_gap, got.best_heuristic_gap);
+  }
+}
+
+TEST(CompiledScoring, CobraRunIsToggleInvariant) {
+  const Instance inst = make_instance();
+  cobra::CobraConfig cfg;
+  cfg.ul_population_size = 8;
+  cfg.ll_population_size = 8;
+  cfg.ul_archive_size = 8;
+  cfg.ll_archive_size = 8;
+  cfg.upper_phase_generations = 2;
+  cfg.lower_phase_generations = 2;
+  cfg.coevolution_pairs = 4;
+  cfg.archive_reinjection = 2;
+  cfg.ul_eval_budget = 80;
+  cfg.ll_eval_budget = 800;
+  cfg.seed = 4;
+
+  cfg.compiled_scoring = false;
+  const core::RunResult want = cobra::CobraSolver(inst, cfg).run();
+  cfg.compiled_scoring = true;
+  const core::RunResult got = cobra::CobraSolver(inst, cfg).run();
+  expect_same_run(want, got);
+}
+
+TEST(CompiledScoring, BatchMemoDeduplicatesButStillCharges) {
+  const Instance inst = make_instance();
+  common::Rng rng(83);
+  const gp::Tree tree = gp::generate_ramped(rng);
+  const gp::Tree copy = tree;  // same content, different object
+  const auto pricings = random_pricings(inst, 3, 11);
+
+  // 3 pricings x 2 aliases of one tree x 4 repeats = 24 jobs, 3 unique keys.
+  std::vector<HeuristicJob> jobs;
+  for (int rep = 0; rep < 4; ++rep) {
+    for (const auto& p : pricings) {
+      jobs.push_back({p, &tree, EvalPurpose::kLowerOnly});
+      jobs.push_back({p, &copy, EvalPurpose::kLowerOnly});
+    }
+  }
+
+  ParallelEvaluator par(inst, /*threads=*/4);
+  const auto got = par.evaluate_heuristic_batch(jobs);
+  ASSERT_EQ(got.size(), jobs.size());
+  // Budget counters charge every submitted job; the memo only avoids
+  // redundant solves.
+  EXPECT_EQ(par.ll_evaluations(), static_cast<long long>(jobs.size()));
+  EXPECT_EQ(par.heuristic_dedup_hits(),
+            static_cast<long long>(jobs.size()) - 3);
+  // All duplicates share the representative's bits.
+  Evaluator serial(inst);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    expect_same(serial.evaluate_with_heuristic(jobs[i].pricing, tree,
+                                               jobs[i].purpose),
+                got[i]);
+  }
+}
+
+TEST(CompiledScoring, MemoMergesCanonicallyEqualTrees) {
+  const Instance inst = make_instance();
+  const gp::Tree a = gp::parse("(add COST QSUM)");
+  const gp::Tree b = gp::parse("(add QSUM COST)");  // commuted twin
+  const auto pricings = random_pricings(inst, 2, 29);
+
+  std::vector<HeuristicJob> jobs;
+  for (const auto& p : pricings) {
+    jobs.push_back({p, &a, EvalPurpose::kLowerOnly});
+    jobs.push_back({p, &b, EvalPurpose::kLowerOnly});
+  }
+
+  // Compiled on: the canonical forms coincide, so each pricing costs one
+  // solve. Off: content differs, no merge.
+  Evaluator compiled(inst);
+  (void)compiled.evaluate_heuristic_batch(jobs);
+  EXPECT_EQ(compiled.heuristic_dedup_hits(), 2);
+
+  Evaluator interpreted(inst);
+  interpreted.set_compiled_scoring(false);
+  (void)interpreted.evaluate_heuristic_batch(jobs);
+  EXPECT_EQ(interpreted.heuristic_dedup_hits(), 0);
+}
+
+TEST(CompiledScoring, ConcurrentBatchesAreRaceFree) {
+  // Exercised under TSan by tools/run_sanitizers.sh: dedup planning happens
+  // on the submitting thread while the pool runs the unique jobs, and the
+  // per-context register scratch must never be shared between workers.
+  const Instance inst = make_instance();
+  common::Rng rng(97);
+  std::vector<gp::Tree> trees;
+  for (int t = 0; t < 3; ++t) trees.push_back(gp::generate_ramped(rng));
+  const auto pricings = random_pricings(inst, 6, 43);
+
+  std::vector<HeuristicJob> jobs;
+  for (const auto& tree : trees) {
+    for (const auto& p : pricings) {
+      jobs.push_back({p, &tree, EvalPurpose::kLowerOnly});
+      jobs.push_back({p, &tree, EvalPurpose::kLowerOnly});  // memo duplicate
+    }
+  }
+  ParallelEvaluator par(inst, /*threads=*/4);
+  std::vector<Evaluation> first;
+  for (int round = 0; round < 4; ++round) {
+    auto got = par.evaluate_heuristic_batch(jobs);
+    if (round == 0) {
+      first = std::move(got);
+    } else {
+      ASSERT_EQ(got.size(), first.size());
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        expect_same(first[i], got[i]);
+      }
+    }
+  }
+  EXPECT_GT(par.heuristic_dedup_hits(), 0);
+}
+
 }  // namespace
 }  // namespace carbon::bcpop

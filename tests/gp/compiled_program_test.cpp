@@ -1,0 +1,257 @@
+// Differential tests for gp::CompiledProgram: the compiled batch evaluator
+// must be bit-compatible with the Tree::evaluate interpreter (the reference
+// oracle) under the equivalence contract documented in compiled.hpp.
+#include "carbon/gp/compiled.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "carbon/common/rng.hpp"
+#include "carbon/cover/generator.hpp"
+#include "carbon/cover/greedy.hpp"
+#include "carbon/gp/generate.hpp"
+#include "carbon/gp/scoring.hpp"
+#include "carbon/gp/tree.hpp"
+
+namespace carbon::gp {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+/// Feature values that stress the protected-operator thresholds: exactly at,
+/// just below, and just above kProtectTol (1e-9), zeros of both signs, and
+/// the clamp boundary (1e12).
+const std::vector<double> kEdgeValues = {
+    0.0,   -0.0,  1e-10, -1e-10, 1e-9,    -1e-9,  2e-9,  -2e-9,
+    1.0,   -1.0,  0.125, 5.5,    -3.25,   123.456, 1e12, -1e12,
+    1e6,   -1e6,
+};
+
+double draw_feature(common::Rng& rng, bool allow_nonfinite) {
+  const double roll = rng.uniform();
+  if (allow_nonfinite && roll < 0.15) {
+    const std::vector<double> bad = {kInf, -kInf, kNan};
+    return bad[rng.below(bad.size())];
+  }
+  if (roll < 0.5) return kEdgeValues[rng.below(kEdgeValues.size())];
+  return rng.uniform(-100.0, 100.0);
+}
+
+std::array<double, kNumTerminals> draw_features(common::Rng& rng,
+                                                bool allow_nonfinite) {
+  std::array<double, kNumTerminals> f{};
+  for (double& v : f) v = draw_feature(rng, allow_nonfinite);
+  return f;
+}
+
+/// Bit-compatibility up to NaN identity: both NaN, or == (which treats
+/// -0.0 and +0.0 as equal — the only sign-of-zero divergence the rewrites
+/// can introduce, and one no downstream comparison can observe).
+void expect_equiv(double want, double got) {
+  if (std::isnan(want) || std::isnan(got)) {
+    EXPECT_TRUE(std::isnan(want) && std::isnan(got))
+        << "want " << want << " got " << got;
+  } else {
+    EXPECT_EQ(want, got);
+  }
+}
+
+TEST(CompiledProgram, FuzzMatchesInterpreterSimplifyOn) {
+  common::Rng rng(2024);
+  GenerateConfig gen;
+  gen.min_depth = 2;
+  gen.max_depth = 8;
+  std::vector<double> scratch;
+  for (int iter = 0; iter < 1200; ++iter) {
+    gen.use_constants = (iter % 3 == 0);
+    const Tree tree = generate_ramped(rng, gen);
+    const CompiledProgram program = CompiledProgram::compile(tree);
+    for (int rep = 0; rep < 3; ++rep) {
+      // Simplify-on equivalence holds for finite features within the value
+      // cap (the identities x/x=1, x-x=0 are exact there).
+      const auto f = draw_features(rng, /*allow_nonfinite=*/false);
+      const std::span<const double, kNumTerminals> fs(f);
+      const double want = tree.evaluate(fs);
+      expect_equiv(want, program.evaluate(fs));
+      expect_equiv(want, program.evaluate(fs, scratch));
+    }
+  }
+}
+
+TEST(CompiledProgram, FuzzMatchesInterpreterSimplifyOff) {
+  common::Rng rng(7);
+  GenerateConfig gen;
+  gen.min_depth = 2;
+  gen.max_depth = 7;
+  gen.use_constants = true;
+  const CompileOptions no_simplify{.simplify = false};
+  for (int iter = 0; iter < 500; ++iter) {
+    const Tree tree = generate_ramped(rng, gen);
+    const CompiledProgram program = CompiledProgram::compile(tree, no_simplify);
+    for (int rep = 0; rep < 3; ++rep) {
+      // Without rewrites, equivalence extends to non-finite features.
+      const auto f = draw_features(rng, /*allow_nonfinite=*/true);
+      const std::span<const double, kNumTerminals> fs(f);
+      expect_equiv(tree.evaluate(fs), program.evaluate(fs));
+    }
+  }
+}
+
+TEST(CompiledProgram, FuzzBatchMatchesScalar) {
+  common::Rng rng(99);
+  GenerateConfig gen;
+  gen.min_depth = 2;
+  gen.max_depth = 8;
+  gen.use_constants = true;
+  constexpr std::size_t kBatch = 33;
+  std::vector<double> scratch;
+  for (int iter = 0; iter < 300; ++iter) {
+    const Tree tree = generate_ramped(rng, gen);
+    const CompiledProgram program = CompiledProgram::compile(tree);
+
+    // Per-element columns for every terminal except BRES, which broadcasts
+    // a single round-scalar exactly as the greedy's feature view does.
+    std::array<std::vector<double>, kNumTerminals> columns;
+    for (std::size_t t = 0; t < kNumTerminals; ++t) {
+      if (t == static_cast<std::size_t>(Terminal::kBres)) {
+        columns[t] = {draw_feature(rng, false)};
+      } else {
+        for (std::size_t i = 0; i < kBatch; ++i) {
+          columns[t].push_back(draw_feature(rng, false));
+        }
+      }
+    }
+    CompiledProgram::TerminalBatch batch;
+    for (std::size_t t = 0; t < kNumTerminals; ++t) {
+      batch.columns[t] = columns[t];
+    }
+    batch.count = kBatch;
+
+    std::vector<double> out(kBatch);
+    program.evaluate_batch(batch, out, scratch);
+    for (std::size_t i = 0; i < kBatch; ++i) {
+      std::array<double, kNumTerminals> f{};
+      for (std::size_t t = 0; t < kNumTerminals; ++t) {
+        f[t] = columns[t].size() == 1 ? columns[t][0] : columns[t][i];
+      }
+      expect_equiv(tree.evaluate(std::span<const double, kNumTerminals>(f)),
+                   out[i]);
+    }
+  }
+}
+
+TEST(CompiledProgram, ProtectedDivModEdgeCases) {
+  const Tree div = parse("(div COST QSUM)");
+  const Tree mod = parse("(mod COST QSUM)");
+  const CompiledProgram cdiv = CompiledProgram::compile(div);
+  const CompiledProgram cmod = CompiledProgram::compile(mod);
+  for (double b : kEdgeValues) {
+    for (double a : {7.0, -7.0, 0.0, 1e12}) {
+      std::array<double, kNumTerminals> f{};
+      f[static_cast<std::size_t>(Terminal::kCost)] = a;
+      f[static_cast<std::size_t>(Terminal::kQsum)] = b;
+      const std::span<const double, kNumTerminals> fs(f);
+      expect_equiv(div.evaluate(fs), cdiv.evaluate(fs));
+      expect_equiv(mod.evaluate(fs), cmod.evaluate(fs));
+    }
+  }
+}
+
+TEST(CompiledProgram, CseSharesRepeatedSubexpressions) {
+  // (div COST QSUM) appears twice; value numbering must emit it once:
+  // load COST, load QSUM, div, add = 4 instructions for 7 tree nodes.
+  const Tree tree = parse("(add (div COST QSUM) (div COST QSUM))");
+  const CompiledProgram program = CompiledProgram::compile(tree);
+  EXPECT_EQ(program.num_instructions(), 4u);
+}
+
+TEST(CompiledProgram, CanonicalFormMergesCommutedTrees) {
+  const CompiledProgram a = CompiledProgram::compile(parse("(add COST QSUM)"));
+  const CompiledProgram b = CompiledProgram::compile(parse("(add QSUM COST)"));
+  EXPECT_EQ(a.canonical_hash(), b.canonical_hash());
+  EXPECT_EQ(a.canonical_nodes(), b.canonical_nodes());
+  // Subtraction is not commutative: the canonical forms stay distinct.
+  const CompiledProgram c = CompiledProgram::compile(parse("(sub COST QSUM)"));
+  const CompiledProgram d = CompiledProgram::compile(parse("(sub QSUM COST)"));
+  EXPECT_NE(c.canonical_nodes(), d.canonical_nodes());
+}
+
+TEST(CompiledProgram, IsStaticSeesThroughSimplification) {
+  // Syntactically dynamic, semantically static: QCOV - QCOV folds to 0.
+  const Tree tree = parse("(sub QCOV QCOV)");
+  EXPECT_FALSE(is_static_heuristic(tree));
+  const CompiledProgram program = CompiledProgram::compile(tree);
+  EXPECT_TRUE(program.is_static());
+  EXPECT_FALSE(program.uses_terminal(Terminal::kQcov));
+  // A genuinely dynamic tree stays dynamic.
+  const CompiledProgram dyn =
+      CompiledProgram::compile(parse("(div QCOV COST)"));
+  EXPECT_FALSE(dyn.is_static());
+  EXPECT_TRUE(dyn.uses_terminal(Terminal::kQcov));
+}
+
+TEST(CompiledProgram, LargeTreeUsesScratchOverload) {
+  // Grow a deep comb so the interpreter's operand stack and the compiled
+  // register file both exceed any stack-local fast path.
+  common::Rng rng(5);
+  GenerateConfig gen;
+  gen.min_depth = 9;
+  gen.max_depth = 9;
+  Tree tree = generate_full(rng, 9, gen);
+  ASSERT_GT(tree.size(), 64u);
+  const CompiledProgram program = CompiledProgram::compile(tree);
+  std::vector<double> tree_scratch;
+  std::vector<double> prog_scratch;
+  for (int rep = 0; rep < 20; ++rep) {
+    const auto f = draw_features(rng, false);
+    const std::span<const double, kNumTerminals> fs(f);
+    const double want = tree.evaluate(fs);
+    expect_equiv(want, tree.evaluate(fs, tree_scratch));
+    expect_equiv(want, program.evaluate(fs, prog_scratch));
+  }
+}
+
+TEST(CompiledProgram, GreedyBatchedMatchesGreedyWith) {
+  common::Rng rng(314);
+  GenerateConfig gen;
+  gen.min_depth = 2;
+  gen.max_depth = 6;
+  gen.use_constants = true;
+  for (int iter = 0; iter < 25; ++iter) {
+    cover::GeneratorConfig icfg;
+    icfg.num_bundles = 40;
+    icfg.num_services = 5;
+    icfg.seed = 1000 + static_cast<std::uint64_t>(iter);
+    const cover::Instance inst = cover::generate(icfg);
+
+    std::vector<double> duals(inst.num_services());
+    for (double& d : duals) d = rng.uniform(0.0, 50.0);
+    std::vector<double> xbar(inst.num_bundles());
+    for (double& x : xbar) x = rng.uniform(0.0, 1.0);
+
+    const Tree tree = generate_ramped(rng, gen);
+    const auto program = std::make_shared<const CompiledProgram>(
+        CompiledProgram::compile(tree));
+
+    const cover::SolveResult want = cover::greedy_solve_with(
+        inst,
+        [&tree](const cover::BundleFeatures& f) {
+          const auto arr = features_to_array(f);
+          return tree.evaluate(std::span<const double, kNumTerminals>(arr));
+        },
+        duals, xbar);
+    const cover::SolveResult got = cover::greedy_solve_batched(
+        inst, make_batch_score_function(program), duals, xbar);
+
+    EXPECT_EQ(want.feasible, got.feasible);
+    EXPECT_EQ(want.selection, got.selection);
+    EXPECT_EQ(want.value, got.value);  // bitwise
+  }
+}
+
+}  // namespace
+}  // namespace carbon::gp

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Builds and runs the GP-evaluation microbenchmark, leaving its results in
+# BENCH_gp_eval.json at the repository root.
+#
+# Usage: tools/run_bench.sh [build-dir]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release -DCARBON_BUILD_BENCH=ON
+cmake --build "${BUILD_DIR}" -j --target micro_gp_eval
+"./${BUILD_DIR}/bench/micro_gp_eval" BENCH_gp_eval.json

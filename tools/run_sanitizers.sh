@@ -8,9 +8,12 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 # The tests that exercise shared-state code paths: the thread pool, the
-# sharded relaxation cache, and the parallel evaluator (including the
-# capacity-1 eviction churn and the thread-count-invariance runs).
-TESTS=(thread_pool_test bcpop_evaluator_test parallel_evaluator_test)
+# sharded relaxation cache, the parallel evaluator (including the
+# capacity-1 eviction churn, the thread-count-invariance runs, and the
+# compiled-scoring batch memo), and the compiled-program fuzz (per-context
+# register scratch must stay thread-private).
+TESTS=(thread_pool_test bcpop_evaluator_test parallel_evaluator_test
+       gp_compiled_test)
 
 run_flavor() {
   local name="$1" flags="$2" dir="build-$1"
