@@ -27,6 +27,7 @@
 #include "carbon/bcpop/relaxation_cache.hpp"
 #include "carbon/cover/greedy.hpp"
 #include "carbon/gp/tree.hpp"
+#include "carbon/obs/metrics.hpp"
 
 namespace carbon::bcpop {
 
@@ -119,6 +120,16 @@ class Evaluator final : public EvaluatorInterface {
     return dedup_hits_;
   }
 
+  /// Uniform telemetry snapshot (cache + memo counters).
+  [[nodiscard]] BackendStats backend_stats() const override;
+
+  /// Attaches a metrics registry: LP-relaxation solves and LL greedy solves
+  /// are then timed under "time/lp_relaxation" and "time/ll_solve".
+  /// Trajectory-neutral — results are bit-identical with or without it.
+  void set_metrics(obs::MetricsRegistry* metrics) noexcept override {
+    metrics_ = metrics;
+  }
+
  private:
   /// Charges the budget counters for one evaluation of `purpose`.
   void charge(EvalPurpose purpose) noexcept;
@@ -128,6 +139,7 @@ class Evaluator final : public EvaluatorInterface {
   ShardedRelaxationCache cache_;
   bool polish_ = false;
   bool compiled_scoring_ = true;
+  obs::MetricsRegistry* metrics_ = nullptr;
   long long ul_evals_ = 0;
   long long ll_evals_ = 0;
   long long dedup_hits_ = 0;

@@ -16,6 +16,10 @@
 #include "carbon/ea/real_ops.hpp"
 #include "carbon/gp/tree.hpp"
 
+namespace carbon::obs {
+class MetricsRegistry;
+}  // namespace carbon::obs
+
 namespace carbon::bcpop {
 
 /// What an evaluation is being used for — determines which budget counters
@@ -51,6 +55,22 @@ struct SelectionJob {
   std::span<const double> pricing;
   std::span<const std::uint8_t> selection;
   EvalPurpose purpose = EvalPurpose::kBoth;
+};
+
+/// Uniform backend-statistics surface for telemetry (run journal records,
+/// CLI --metrics). Counters are cumulative over the evaluator's lifetime;
+/// backends without a given mechanism report 0 for it. This replaces the
+/// former pattern of per-backend getters that every observer had to know
+/// about individually.
+struct BackendStats {
+  long long relaxation_cache_hits = 0;
+  /// Lookups that ran the LP solver (== relaxations solved).
+  long long relaxation_cache_misses = 0;
+  /// Entries dropped by the LRU capacity bound (pinned entries held by
+  /// callers survive eviction; this counts cache-side drops only).
+  long long relaxation_cache_evictions = 0;
+  /// Batch heuristic jobs answered by the per-batch score memo.
+  long long heuristic_dedup_hits = 0;
 };
 
 class EvaluatorInterface {
@@ -115,6 +135,16 @@ class EvaluatorInterface {
 
   [[nodiscard]] virtual long long ul_evaluations() const = 0;
   [[nodiscard]] virtual long long ll_evaluations() const = 0;
+
+  /// Cumulative backend statistics snapshot; the default (for backends with
+  /// no caches or memos) is all-zero. Must be safe to call between batches.
+  [[nodiscard]] virtual BackendStats backend_stats() const { return {}; }
+
+  /// Attaches a metrics registry for instrumentation (per-phase timers);
+  /// null detaches. Instrumentation must be trajectory-neutral — attaching
+  /// a registry may never change evaluation results — so the default is to
+  /// ignore it. Configure between batches, not during one.
+  virtual void set_metrics(obs::MetricsRegistry* /*metrics*/) noexcept {}
 };
 
 }  // namespace carbon::bcpop

@@ -88,6 +88,12 @@ class MultiFollowerEvaluator final : public EvaluatorInterface {
     return last_breakdown_;
   }
 
+  /// Sum of the per-follower evaluators' cache/memo statistics.
+  [[nodiscard]] BackendStats backend_stats() const override;
+
+  /// Forwards the registry to every per-follower evaluator.
+  void set_metrics(obs::MetricsRegistry* metrics) noexcept override;
+
  private:
   Evaluation aggregate(std::span<const double> pricing, EvalPurpose purpose);
 

@@ -34,6 +34,7 @@
 #include "carbon/bcpop/instance.hpp"
 #include "carbon/bcpop/relaxation_cache.hpp"
 #include "carbon/common/thread_pool.hpp"
+#include "carbon/obs/metrics.hpp"
 
 namespace carbon::bcpop {
 
@@ -117,6 +118,17 @@ class ParallelEvaluator final : public EvaluatorInterface {
     return dedup_hits_.load(std::memory_order_relaxed);
   }
 
+  /// Uniform telemetry snapshot (cache + memo counters).
+  [[nodiscard]] BackendStats backend_stats() const override;
+
+  /// Attaches a metrics registry; workers then time LP-relaxation solves
+  /// ("time/lp_relaxation") and LL greedy solves ("time/ll_solve") from
+  /// their own threads (the registry is thread-sharded). Configure between
+  /// batches, like the other toggles; trajectory-neutral.
+  void set_metrics(obs::MetricsRegistry* metrics) noexcept override {
+    metrics_ = metrics;
+  }
+
  private:
   /// RAII lease of one evaluation context from the free list.
   class ContextLease;
@@ -145,6 +157,7 @@ class ParallelEvaluator final : public EvaluatorInterface {
   std::atomic<long long> dedup_hits_{0};
   bool polish_ = false;
   bool compiled_scoring_ = true;
+  obs::MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace carbon::bcpop

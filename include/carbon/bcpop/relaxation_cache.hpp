@@ -72,6 +72,13 @@ class ShardedRelaxationCache {
   [[nodiscard]] long long hits() const noexcept {
     return hits_.load(std::memory_order_relaxed);
   }
+  /// Ready entries dropped by the per-shard capacity bound. Pinned entries
+  /// (shared_ptrs held by callers) stay valid past their eviction; this
+  /// counts only the cache-side drops, so absent clear() the invariant
+  /// size() == solves() - evictions() holds under any schedule.
+  [[nodiscard]] long long evictions() const noexcept {
+    return evictions_.load(std::memory_order_relaxed);
+  }
   /// Currently cached (ready) entries, summed over shards.
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] std::size_t num_shards() const noexcept {
@@ -105,6 +112,7 @@ class ShardedRelaxationCache {
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<long long> solves_{0};
   std::atomic<long long> hits_{0};
+  std::atomic<long long> evictions_{0};
 };
 
 }  // namespace carbon::bcpop

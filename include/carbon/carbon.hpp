@@ -14,6 +14,7 @@
 //   ea/        GA operators and archives
 //   bilevel/   %-gap metric, linear bi-level examples
 //   bcpop/     the Bi-level Cloud Pricing problem (+ multi-follower)
+//   obs/       run telemetry: metrics registry, JSONL run journal
 //   core/      CARBON and the experiment harness
 //   cobra/     the COBRA baseline
 //   baselines/ nested GA, BIGA, CODBA
@@ -61,4 +62,7 @@
 #include "carbon/graph/graph.hpp"
 #include "carbon/lp/problem.hpp"
 #include "carbon/lp/simplex.hpp"
+#include "carbon/obs/json.hpp"
+#include "carbon/obs/metrics.hpp"
+#include "carbon/obs/run_journal.hpp"
 #include "carbon/toll/toll_problem.hpp"

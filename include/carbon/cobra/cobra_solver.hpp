@@ -23,6 +23,7 @@
 #include "carbon/core/result.hpp"
 #include "carbon/ea/binary_ops.hpp"
 #include "carbon/ea/real_ops.hpp"
+#include "carbon/obs/run_journal.hpp"
 
 namespace carbon::cobra {
 
@@ -66,6 +67,10 @@ struct CobraConfig {
 
   std::uint64_t seed = 1;
   bool record_convergence = true;
+
+  /// Optional run telemetry; same semantics (borrowed sinks, bit-identical
+  /// trajectories either way) as CarbonConfig::telemetry.
+  obs::TelemetryConfig telemetry{};
 };
 
 class CobraSolver {

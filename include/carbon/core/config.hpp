@@ -5,6 +5,7 @@
 
 #include "carbon/ea/real_ops.hpp"
 #include "carbon/gp/operators.hpp"
+#include "carbon/obs/run_journal.hpp"
 
 namespace carbon::core {
 
@@ -85,6 +86,13 @@ struct CarbonConfig {
 
   std::uint64_t seed = 1;
   bool record_convergence = true;
+
+  /// Optional run telemetry (metrics registry and/or JSONL run journal,
+  /// both borrowed — the caller keeps them alive past run()). Attaching
+  /// telemetry never changes the trajectory: results are bit-identical
+  /// with telemetry on or off, for any eval_threads
+  /// (see docs/ALGORITHMS.md §9).
+  obs::TelemetryConfig telemetry{};
 };
 
 }  // namespace carbon::core

@@ -1,0 +1,106 @@
+// Minimal JSON support for the run journal: a one-line object writer and a
+// strict recursive-descent parser.
+//
+// The writer produces exactly the subset the journal schema needs — flat or
+// nested objects with string/number/bool/null values — one record per line
+// (JSONL). Doubles are printed with round-trip precision ("%.17g");
+// non-finite doubles become `null` (JSON has no Inf/NaN). The parser reads
+// that subset back (plus arrays, for forward compatibility) so tests can
+// round-trip every emitted record and tools can diff two journals without
+// an external dependency.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace carbon::obs {
+
+/// A parsed JSON value. Only the variant member matching `kind` is
+/// meaningful; accessors throw std::runtime_error on kind mismatch so
+/// schema violations fail loudly in tests.
+struct JsonValue {
+  enum class Kind : unsigned char {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  [[nodiscard]] bool is_null() const noexcept { return kind == Kind::kNull; }
+  [[nodiscard]] bool is_object() const noexcept {
+    return kind == Kind::kObject;
+  }
+
+  /// True if the value is an object containing `key`.
+  [[nodiscard]] bool has(std::string_view key) const;
+  /// Member access; throws if not an object or the key is missing.
+  [[nodiscard]] const JsonValue& at(std::string_view key) const;
+  /// Typed accessors; throw on kind mismatch.
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] long long as_integer() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] bool as_bool() const;
+};
+
+/// Parses one complete JSON document (trailing whitespace allowed, trailing
+/// garbage rejected). Throws std::runtime_error with a position on error.
+[[nodiscard]] JsonValue parse_json(std::string_view text);
+
+/// Appends `text` JSON-escaped (quotes, backslash, control characters) to
+/// `out`, without surrounding quotes.
+void append_json_escaped(std::string& out, std::string_view text);
+
+/// Incremental single-object writer:
+///
+///   JsonObjectWriter w;
+///   w.field("type", "generation").field("gen", 3).field("best", 1.5);
+///   journal << w.finish();   // {"type":"generation","gen":3,"best":1.5}
+///
+/// Nested objects are added with object_field() (a prebuilt writer) — depth
+/// one is all the journal schema uses.
+class JsonObjectWriter {
+ public:
+  JsonObjectWriter() : buffer_("{") {}
+
+  JsonObjectWriter& field(std::string_view key, std::string_view value);
+  JsonObjectWriter& field(std::string_view key, const char* value) {
+    return field(key, std::string_view(value));
+  }
+  JsonObjectWriter& field(std::string_view key, double value);
+  JsonObjectWriter& field(std::string_view key, long long value);
+  JsonObjectWriter& field(std::string_view key, unsigned long long value);
+  JsonObjectWriter& field(std::string_view key, int value) {
+    return field(key, static_cast<long long>(value));
+  }
+  JsonObjectWriter& field(std::string_view key, std::size_t value) {
+    return field(key, static_cast<unsigned long long>(value));
+  }
+  JsonObjectWriter& field(std::string_view key, bool value);
+  JsonObjectWriter& null_field(std::string_view key);
+  /// Embeds `inner` (a finished writer) as a nested object value.
+  JsonObjectWriter& object_field(std::string_view key,
+                                 JsonObjectWriter inner);
+
+  /// Closes the object and returns it. The writer is spent afterwards.
+  [[nodiscard]] std::string finish();
+
+ private:
+  void key_prefix(std::string_view key);
+
+  std::string buffer_;
+  bool first_ = true;
+};
+
+}  // namespace carbon::obs

@@ -14,8 +14,18 @@ Evaluator::Evaluator(const Instance& instance,
 Evaluator::RelaxationPtr Evaluator::relaxation(
     std::span<const double> pricing) {
   return cache_.get_or_compute(pricing, [this](std::span<const double> p) {
+    obs::ScopedTimer timer(metrics_, "time/lp_relaxation");
     return solve_relaxation(ctx_, p);
   });
+}
+
+BackendStats Evaluator::backend_stats() const {
+  BackendStats s;
+  s.relaxation_cache_hits = cache_.hits();
+  s.relaxation_cache_misses = cache_.solves();
+  s.relaxation_cache_evictions = cache_.evictions();
+  s.heuristic_dedup_hits = dedup_hits_;
+  return s;
 }
 
 void Evaluator::charge(EvalPurpose purpose) noexcept {
@@ -28,6 +38,7 @@ Evaluation Evaluator::evaluate_with_heuristic(std::span<const double> pricing,
                                               EvalPurpose purpose) {
   const RelaxationPtr relax = relaxation(pricing);
   charge(purpose);
+  obs::ScopedTimer timer(metrics_, "time/ll_solve");
   cover::SolveResult solved;
   if (compiled_scoring_) {
     const gp::CompiledProgram program = gp::CompiledProgram::compile(heuristic);
@@ -35,6 +46,7 @@ Evaluation Evaluator::evaluate_with_heuristic(std::span<const double> pricing,
   } else {
     solved = solve_with_heuristic(ctx_, *relax, pricing, heuristic, polish_);
   }
+  timer.stop();
   return finalize_evaluation(inst_, pricing, solved, *relax, purpose);
 }
 
@@ -49,12 +61,14 @@ std::vector<Evaluation> Evaluator::evaluate_heuristic_batch(
     const HeuristicBatchPlan::Unique& uq = plan.uniques[u];
     const HeuristicJob& job = jobs[uq.job_index];
     const RelaxationPtr relax = relaxation(job.pricing);
+    obs::ScopedTimer timer(metrics_, "time/ll_solve");
     const cover::SolveResult solved =
         uq.program
             ? solve_with_program(ctx_, *relax, job.pricing, *uq.program,
                                  polish_)
             : solve_with_heuristic(ctx_, *relax, job.pricing, *job.heuristic,
                                    polish_);
+    timer.stop();
     unique_results[u] =
         finalize_evaluation(inst_, job.pricing, solved, *relax, job.purpose);
   }
@@ -74,8 +88,10 @@ Evaluation Evaluator::evaluate_with_score(std::span<const double> pricing,
                                           EvalPurpose purpose) {
   const RelaxationPtr relax = relaxation(pricing);
   charge(purpose);
+  obs::ScopedTimer timer(metrics_, "time/ll_solve");
   const cover::SolveResult solved =
       solve_with_score(ctx_, *relax, pricing, score);
+  timer.stop();
   return finalize_evaluation(inst_, pricing, solved, *relax, purpose);
 }
 
@@ -84,8 +100,10 @@ Evaluation Evaluator::evaluate_with_selection(
     EvalPurpose purpose) {
   const RelaxationPtr relax = relaxation(pricing);
   charge(purpose);
+  obs::ScopedTimer timer(metrics_, "time/ll_solve");
   const cover::SolveResult solved =
       solve_with_selection(ctx_, *relax, pricing, selection);
+  timer.stop();
   return finalize_evaluation(inst_, pricing, solved, *relax, purpose);
 }
 

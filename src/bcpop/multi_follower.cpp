@@ -144,4 +144,21 @@ Evaluation MultiFollowerEvaluator::evaluate_with_selection(
   return aggregate(pricing, purpose);
 }
 
+BackendStats MultiFollowerEvaluator::backend_stats() const {
+  BackendStats total;
+  for (const auto& eval : per_follower_) {
+    const BackendStats s = eval->backend_stats();
+    total.relaxation_cache_hits += s.relaxation_cache_hits;
+    total.relaxation_cache_misses += s.relaxation_cache_misses;
+    total.relaxation_cache_evictions += s.relaxation_cache_evictions;
+    total.heuristic_dedup_hits += s.heuristic_dedup_hits;
+  }
+  return total;
+}
+
+void MultiFollowerEvaluator::set_metrics(
+    obs::MetricsRegistry* metrics) noexcept {
+  for (const auto& eval : per_follower_) eval->set_metrics(metrics);
+}
+
 }  // namespace carbon::bcpop

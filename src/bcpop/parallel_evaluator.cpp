@@ -61,26 +61,43 @@ void ParallelEvaluator::charge(EvalPurpose purpose) noexcept {
 Evaluation ParallelEvaluator::evaluate_heuristic_job(
     EvalContext& ctx, const HeuristicJob& job,
     const gp::CompiledProgram* program) {
-  const auto relax = cache_.get_or_compute(
-      job.pricing,
-      [&ctx](std::span<const double> p) { return solve_relaxation(ctx, p); });
+  const auto relax =
+      cache_.get_or_compute(job.pricing, [&](std::span<const double> p) {
+        obs::ScopedTimer timer(metrics_, "time/lp_relaxation");
+        return solve_relaxation(ctx, p);
+      });
+  obs::ScopedTimer timer(metrics_, "time/ll_solve");
   const cover::SolveResult solved =
       program
           ? solve_with_program(ctx, *relax, job.pricing, *program, polish_)
           : solve_with_heuristic(ctx, *relax, job.pricing, *job.heuristic,
                                  polish_);
+  timer.stop();
   return finalize_evaluation(inst_, job.pricing, solved, *relax, job.purpose);
 }
 
 Evaluation ParallelEvaluator::evaluate_one(EvalContext& ctx,
                                            const SelectionJob& job) {
-  const auto relax = cache_.get_or_compute(
-      job.pricing,
-      [&ctx](std::span<const double> p) { return solve_relaxation(ctx, p); });
+  const auto relax =
+      cache_.get_or_compute(job.pricing, [&](std::span<const double> p) {
+        obs::ScopedTimer timer(metrics_, "time/lp_relaxation");
+        return solve_relaxation(ctx, p);
+      });
   charge(job.purpose);
+  obs::ScopedTimer timer(metrics_, "time/ll_solve");
   const cover::SolveResult solved =
       solve_with_selection(ctx, *relax, job.pricing, job.selection);
+  timer.stop();
   return finalize_evaluation(inst_, job.pricing, solved, *relax, job.purpose);
+}
+
+BackendStats ParallelEvaluator::backend_stats() const {
+  BackendStats s;
+  s.relaxation_cache_hits = cache_.hits();
+  s.relaxation_cache_misses = cache_.solves();
+  s.relaxation_cache_evictions = cache_.evictions();
+  s.heuristic_dedup_hits = dedup_hits_.load(std::memory_order_relaxed);
+  return s;
 }
 
 template <typename Job>

@@ -86,6 +86,7 @@ ShardedRelaxationCache::RelaxationPtr ShardedRelaxationCache::get_or_compute(
   while (s.lru.size() > shard_capacity_ && s.lru.back() != it->first) {
     s.map.erase(s.lru.back());
     s.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
   }
   s.ready_cv.notify_all();
   return value;

@@ -22,6 +22,22 @@ struct ArchivedSolution {
 
 using Basket = std::vector<std::uint8_t>;
 
+/// Backend counters accumulated since run() entry (the evaluator may be
+/// external and carry history from earlier runs).
+obs::JournalBackendStats backend_delta(const bcpop::BackendStats& now,
+                                       const bcpop::BackendStats& start) {
+  obs::JournalBackendStats d;
+  d.relaxation_cache_hits =
+      now.relaxation_cache_hits - start.relaxation_cache_hits;
+  d.relaxation_cache_misses =
+      now.relaxation_cache_misses - start.relaxation_cache_misses;
+  d.relaxation_cache_evictions =
+      now.relaxation_cache_evictions - start.relaxation_cache_evictions;
+  d.heuristic_dedup_hits =
+      now.heuristic_dedup_hits - start.heuristic_dedup_hits;
+  return d;
+}
+
 }  // namespace
 
 namespace {
@@ -66,6 +82,17 @@ core::RunResult CobraSolver::run_with(bcpop::EvaluatorInterface& eval) {
   const std::size_t num_bundles = eval.genome_length();
   const long long ul_start = eval.ul_evaluations();
   const long long ll_start = eval.ll_evaluations();
+
+  // Telemetry is pure observation: nothing below reads it back, so the
+  // trajectory is bit-identical whether or not sinks are attached.
+  obs::MetricsRegistry* const metrics = cfg_.telemetry.metrics;
+  obs::RunJournal* const journal = cfg_.telemetry.journal;
+  if (metrics != nullptr) eval.set_metrics(metrics);
+  const bcpop::BackendStats backend_start = eval.backend_stats();
+  if (journal != nullptr) {
+    journal->begin_run("cobra", cfg_.seed, cfg_.eval_threads,
+                       cfg_.compiled_scoring);
+  }
 
   // --- Initial populations (Algorithm 1 lines 1-3) ---
   std::vector<bcpop::Pricing> ul_pop;
@@ -114,51 +141,77 @@ core::RunResult CobraSolver::run_with(bcpop::EvaluatorInterface& eval) {
   };
 
   const auto record = [&](int generation, const char* phase,
-                          double current_best_ul, double current_mean_gap) {
-    if (!cfg_.record_convergence) return;
-    core::ConvergencePoint pt;
-    pt.generation = generation;
-    pt.ul_evaluations = eval.ul_evaluations() - ul_start;
-    pt.ll_evaluations = eval.ll_evaluations() - ll_start;
-    pt.best_ul_so_far = result.best_ul_objective;
-    pt.best_gap_so_far = result.best_gap;
-    pt.current_best_ul = current_best_ul;
-    pt.current_mean_gap = current_mean_gap;
-    pt.phase = phase;
-    result.convergence.push_back(std::move(pt));
+                          const common::RunningStats& uls,
+                          const common::RunningStats& gaps) {
+    if (cfg_.record_convergence) {
+      core::ConvergencePoint pt;
+      pt.generation = generation;
+      pt.ul_evaluations = eval.ul_evaluations() - ul_start;
+      pt.ll_evaluations = eval.ll_evaluations() - ll_start;
+      pt.best_ul_so_far = result.best_ul_objective;
+      pt.best_gap_so_far = result.best_gap;
+      pt.current_best_ul = uls.max();
+      pt.current_mean_gap = gaps.mean();
+      pt.phase = phase;
+      result.convergence.push_back(std::move(pt));
+    }
+    if (journal != nullptr) {
+      obs::GenerationRecord rec;
+      rec.generation = generation;
+      rec.phase = phase;
+      rec.best_ul = uls.max();
+      rec.mean_ul = uls.mean();
+      rec.std_ul = uls.stddev();
+      rec.best_gap = gaps.min();
+      rec.mean_gap = gaps.mean();
+      rec.std_gap = gaps.stddev();
+      rec.best_ul_so_far = result.best_ul_objective;
+      rec.best_gap_so_far = result.best_gap;
+      rec.archive_size = upper_archive.size();
+      rec.ll_archive_size = lower_archive.size();
+      rec.ul_evals = eval.ul_evaluations() - ul_start;
+      rec.ll_evals = eval.ll_evaluations() - ll_start;
+      rec.backend = backend_delta(eval.backend_stats(), backend_start);
+      journal->write_generation(rec);
+    }
   };
 
   int generation = 0;
   while (budget_left()) {
     // ================= Upper improvement phase =================
     for (int g = 0; g < cfg_.upper_phase_generations && budget_left(); ++g) {
-      double cur_best = -std::numeric_limits<double>::infinity();
+      common::RunningStats uls;
       common::RunningStats gaps;
       std::vector<bcpop::SelectionJob> jobs;
       jobs.reserve(ul_pop.size());
       for (const bcpop::Pricing& x : ul_pop) {
         jobs.push_back({x, paired_basket, bcpop::EvalPurpose::kBoth});
       }
+      obs::ScopedTimer batch_timer(metrics, "time/eval_batch");
       std::vector<bcpop::Evaluation> evals =
           eval.evaluate_selection_batch(jobs);
+      batch_timer.stop();
       for (std::size_t i = 0; i < ul_pop.size(); ++i) {
         const bcpop::Evaluation& e = evals[i];
         ul_fitness[i] = e.ul_objective;
-        cur_best = std::max(cur_best, e.ul_objective);
+        uls.add(e.ul_objective);
         gaps.add(e.gap_percent);
         note_solution(ul_pop[i], paired_basket, e);
       }
-      record(generation, "upper", cur_best, gaps.mean());
+      record(generation, "upper", uls, gaps);
       ++generation;
 
       // Selection + variation (same GA as CARBON's upper level).
       std::vector<bcpop::Pricing> next;
       next.reserve(ul_pop.size());
       while (next.size() < ul_pop.size()) {
+        obs::ScopedTimer sel_timer(metrics, "time/selection");
         const std::size_t ia = ea::binary_tournament(rng, ul_fitness, true);
         const std::size_t ib = ea::binary_tournament(rng, ul_fitness, true);
+        sel_timer.stop();
         bcpop::Pricing a = ul_pop[ia];
         bcpop::Pricing b = ul_pop[ib];
+        obs::ScopedTimer var_timer(metrics, "time/variation");
         if (rng.chance(cfg_.ul_crossover_prob)) {
           ea::sbx_crossover(rng, a, b, bounds, cfg_.sbx);
         }
@@ -168,6 +221,7 @@ core::RunResult CobraSolver::run_with(bcpop::EvaluatorInterface& eval) {
         if (rng.chance(cfg_.ul_mutation_prob)) {
           ea::polynomial_mutation(rng, b, bounds, cfg_.mutation);
         }
+        var_timer.stop();
         next.push_back(std::move(a));
         if (next.size() < ul_pop.size()) next.push_back(std::move(b));
       }
@@ -180,37 +234,43 @@ core::RunResult CobraSolver::run_with(bcpop::EvaluatorInterface& eval) {
 
     // ================= Lower improvement phase =================
     for (int g = 0; g < cfg_.lower_phase_generations && budget_left(); ++g) {
-      double cur_best = -std::numeric_limits<double>::infinity();
+      common::RunningStats uls;
       common::RunningStats gaps;
       std::vector<bcpop::SelectionJob> jobs;
       jobs.reserve(ll_pop.size());
       for (const Basket& y : ll_pop) {
         jobs.push_back({paired_pricing, y, bcpop::EvalPurpose::kBoth});
       }
+      obs::ScopedTimer batch_timer(metrics, "time/eval_batch");
       std::vector<bcpop::Evaluation> evals =
           eval.evaluate_selection_batch(jobs);
+      batch_timer.stop();
       for (std::size_t i = 0; i < ll_pop.size(); ++i) {
         const bcpop::Evaluation& e = evals[i];
         ll_fitness[i] = e.ll_objective;  // minimize customer cost
-        cur_best = std::max(cur_best, e.ul_objective);
+        uls.add(e.ul_objective);
         gaps.add(e.gap_percent);
         note_solution(paired_pricing, ll_pop[i], e);
       }
-      record(generation, "lower", cur_best, gaps.mean());
+      record(generation, "lower", uls, gaps);
       ++generation;
 
       std::vector<Basket> next;
       next.reserve(ll_pop.size());
       while (next.size() < ll_pop.size()) {
+        obs::ScopedTimer sel_timer(metrics, "time/selection");
         const std::size_t ia = ea::binary_tournament(rng, ll_fitness, false);
         const std::size_t ib = ea::binary_tournament(rng, ll_fitness, false);
+        sel_timer.stop();
         Basket a = ll_pop[ia];
         Basket b = ll_pop[ib];
+        obs::ScopedTimer var_timer(metrics, "time/variation");
         if (rng.chance(cfg_.ll_crossover_prob)) {
           ea::two_point_crossover(rng, a, b);
         }
         ea::swap_mutation(rng, a, cfg_.ll_mutation_prob);
         ea::swap_mutation(rng, b, cfg_.ll_mutation_prob);
+        var_timer.stop();
         next.push_back(std::move(a));
         if (next.size() < ll_pop.size()) next.push_back(std::move(b));
       }
@@ -226,18 +286,20 @@ core::RunResult CobraSolver::run_with(bcpop::EvaluatorInterface& eval) {
     // individual pairs, which a batch cannot replicate for an arbitrary
     // evaluator; the operator is only ~coevolution_pairs evals per round.
     if (budget_left()) {
-      double cur_best = -std::numeric_limits<double>::infinity();
+      common::RunningStats uls;
       common::RunningStats gaps;
       for (std::size_t p = 0; p < cfg_.coevolution_pairs && budget_left();
            ++p) {
         const bcpop::Pricing& x = ul_pop[rng.below(ul_pop.size())];
         const Basket& y = ll_pop[rng.below(ll_pop.size())];
+        obs::ScopedTimer pair_timer(metrics, "time/eval_batch");
         const bcpop::Evaluation e = eval.evaluate_with_selection(x, y);
-        cur_best = std::max(cur_best, e.ul_objective);
+        pair_timer.stop();
+        uls.add(e.ul_objective);
         gaps.add(e.gap_percent);
         note_solution(x, y, e);
       }
-      record(generation, "coevolution", cur_best, gaps.mean());
+      record(generation, "coevolution", uls, gaps);
       ++generation;
     }
 
@@ -261,6 +323,16 @@ core::RunResult CobraSolver::run_with(bcpop::EvaluatorInterface& eval) {
   result.ll_evaluations = eval.ll_evaluations() - ll_start;
   if (!std::isfinite(result.best_ul_objective)) result.best_ul_objective = 0.0;
   if (!std::isfinite(result.best_gap)) result.best_gap = 1e9;
+  if (journal != nullptr) {
+    obs::RunSummary summary;
+    summary.generations = result.generations;
+    summary.ul_evals = result.ul_evaluations;
+    summary.ll_evals = result.ll_evaluations;
+    summary.best_ul = result.best_ul_objective;
+    summary.best_gap = result.best_gap;
+    summary.backend = backend_delta(eval.backend_stats(), backend_start);
+    journal->finish_run(summary);
+  }
   return result;
 }
 

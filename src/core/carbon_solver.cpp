@@ -22,6 +22,22 @@ struct ArchivedSolution {
   bcpop::Evaluation evaluation;
 };
 
+/// Backend counters accumulated since run() entry (the evaluator may be
+/// external and carry history from earlier runs).
+obs::JournalBackendStats backend_delta(const bcpop::BackendStats& now,
+                                       const bcpop::BackendStats& start) {
+  obs::JournalBackendStats d;
+  d.relaxation_cache_hits =
+      now.relaxation_cache_hits - start.relaxation_cache_hits;
+  d.relaxation_cache_misses =
+      now.relaxation_cache_misses - start.relaxation_cache_misses;
+  d.relaxation_cache_evictions =
+      now.relaxation_cache_evictions - start.relaxation_cache_evictions;
+  d.heuristic_dedup_hits =
+      now.heuristic_dedup_hits - start.heuristic_dedup_hits;
+  return d;
+}
+
 }  // namespace
 
 namespace {
@@ -68,6 +84,17 @@ CarbonResult CarbonSolver::run_with(bcpop::EvaluatorInterface& eval) {
   const auto bounds = eval.price_bounds();
   const long long ul_start = eval.ul_evaluations();
   const long long ll_start = eval.ll_evaluations();
+
+  // Telemetry is pure observation: nothing below reads it back, so the
+  // trajectory is bit-identical whether or not sinks are attached.
+  obs::MetricsRegistry* const metrics = cfg_.telemetry.metrics;
+  obs::RunJournal* const journal = cfg_.telemetry.journal;
+  if (metrics != nullptr) eval.set_metrics(metrics);
+  const bcpop::BackendStats backend_start = eval.backend_stats();
+  if (journal != nullptr) {
+    journal->begin_run("carbon", cfg_.seed, cfg_.eval_threads,
+                       cfg_.compiled_scoring);
+  }
 
   // --- Initial populations ---
   std::vector<bcpop::Pricing> ul_pop;
@@ -124,8 +151,10 @@ CarbonResult CarbonSolver::run_with(bcpop::EvaluatorInterface& eval) {
               {*x, &gp_pop[h], bcpop::EvalPurpose::kLowerOnly});
         }
       }
+      obs::ScopedTimer timer(metrics, "time/eval_batch");
       const std::vector<bcpop::Evaluation> evals =
           eval.evaluate_heuristic_batch(jobs);
+      timer.stop();
       for (std::size_t h = 0; h < gp_pop.size(); ++h) {
         common::RunningStats gaps;
         for (std::size_t s = 0; s < sample.size(); ++s) {
@@ -170,8 +199,10 @@ CarbonResult CarbonSolver::run_with(bcpop::EvaluatorInterface& eval) {
                              bcpop::EvalPurpose::kBoth});
       }
     }
+    obs::ScopedTimer prey_timer(metrics, "time/eval_batch");
     std::vector<bcpop::Evaluation> prey_evals =
         eval.evaluate_heuristic_batch(prey_jobs);
+    prey_timer.stop();
     for (std::size_t i = 0; i < ul_pop.size(); ++i) {
       bcpop::Evaluation e = std::move(prey_evals[i * ensemble]);
       for (std::size_t h = 1; h < ensemble; ++h) {
@@ -211,18 +242,44 @@ CarbonResult CarbonSolver::run_with(bcpop::EvaluatorInterface& eval) {
       pt.phase = "carbon";
       result.convergence.push_back(std::move(pt));
     }
+    if (journal != nullptr) {
+      common::RunningStats ul_stats;
+      for (const double f : ul_fitness) ul_stats.add(f);
+      obs::GenerationRecord rec;
+      rec.generation = generation;
+      rec.phase = "carbon";
+      rec.best_ul = ul_stats.max();
+      rec.mean_ul = ul_stats.mean();
+      rec.std_ul = ul_stats.stddev();
+      // Predator-population fitness: the mean %-gap per heuristic under the
+      // paper's default (raw LL value under the kValue ablation).
+      rec.best_gap = generation_gap.min();
+      rec.mean_gap = generation_gap.mean();
+      rec.std_gap = generation_gap.stddev();
+      rec.best_ul_so_far = result.best_ul_objective;
+      rec.best_gap_so_far = result.best_gap;
+      rec.archive_size = solution_archive.size();
+      rec.ll_archive_size = heuristic_archive.size();
+      rec.ul_evals = eval.ul_evaluations() - ul_start;
+      rec.ll_evals = eval.ll_evaluations() - ll_start;
+      rec.backend = backend_delta(eval.backend_stats(), backend_start);
+      journal->write_generation(rec);
+    }
 
     // ---- 5. Breed prey (GA: tournament + SBX + polynomial mutation) ----
     {
       std::vector<bcpop::Pricing> next;
       next.reserve(ul_pop.size());
       while (next.size() < ul_pop.size()) {
+        obs::ScopedTimer sel_timer(metrics, "time/selection");
         const std::size_t ia =
             ea::binary_tournament(rng, ul_fitness, /*maximize=*/true);
         const std::size_t ib =
             ea::binary_tournament(rng, ul_fitness, /*maximize=*/true);
+        sel_timer.stop();
         bcpop::Pricing a = ul_pop[ia];
         bcpop::Pricing b = ul_pop[ib];
+        obs::ScopedTimer var_timer(metrics, "time/variation");
         if (rng.chance(cfg_.ul_crossover_prob)) {
           ea::sbx_crossover(rng, a, b, bounds, cfg_.sbx);
         }
@@ -232,6 +289,7 @@ CarbonResult CarbonSolver::run_with(bcpop::EvaluatorInterface& eval) {
         if (rng.chance(cfg_.ul_mutation_prob)) {
           ea::polynomial_mutation(rng, b, bounds, cfg_.mutation);
         }
+        var_timer.stop();
         next.push_back(std::move(a));
         if (next.size() < ul_pop.size()) next.push_back(std::move(b));
       }
@@ -254,27 +312,39 @@ CarbonResult CarbonSolver::run_with(bcpop::EvaluatorInterface& eval) {
       while (next.size() < gp_pop.size()) {
         const double op = rng.uniform();
         if (op < cfg_.gp_reproduction_prob) {
+          obs::ScopedTimer sel_timer(metrics, "time/selection");
           const std::size_t i = ea::tournament_select(
               rng, gp_fitness, cfg_.gp_tournament_size, /*maximize=*/false);
+          sel_timer.stop();
           next.push_back(gp_pop[i]);
         } else if (op < cfg_.gp_reproduction_prob + cfg_.gp_crossover_prob) {
+          obs::ScopedTimer sel_timer(metrics, "time/selection");
           const std::size_t ia = ea::tournament_select(
               rng, gp_fitness, cfg_.gp_tournament_size, /*maximize=*/false);
           const std::size_t ib = ea::tournament_select(
               rng, gp_fitness, cfg_.gp_tournament_size, /*maximize=*/false);
+          sel_timer.stop();
+          obs::ScopedTimer var_timer(metrics, "time/variation");
           auto [ca, cb] =
               gp::subtree_crossover(rng, gp_pop[ia], gp_pop[ib], cfg_.gp_ops);
+          var_timer.stop();
           next.push_back(std::move(ca));
           if (next.size() < gp_pop.size()) next.push_back(std::move(cb));
         } else {
+          obs::ScopedTimer sel_timer(metrics, "time/selection");
           const std::size_t i = ea::tournament_select(
               rng, gp_fitness, cfg_.gp_tournament_size, /*maximize=*/false);
-          next.push_back(gp::uniform_mutation(rng, gp_pop[i], cfg_.gp_ops));
+          sel_timer.stop();
+          obs::ScopedTimer var_timer(metrics, "time/variation");
+          gp::Tree mutant = gp::uniform_mutation(rng, gp_pop[i], cfg_.gp_ops);
+          var_timer.stop();
+          next.push_back(std::move(mutant));
         }
       }
       // Independent mutation sweep at the configured rate.
       for (std::size_t i = 1; i < next.size(); ++i) {
         if (rng.chance(cfg_.gp_mutation_prob)) {
+          obs::ScopedTimer var_timer(metrics, "time/variation");
           next[i] = gp::uniform_mutation(rng, next[i], cfg_.gp_ops);
         }
       }
@@ -295,6 +365,16 @@ CarbonResult CarbonSolver::run_with(bcpop::EvaluatorInterface& eval) {
     result.best_ul_objective = 0.0;  // nothing feasible was found
   }
   if (!std::isfinite(result.best_gap)) result.best_gap = 1e9;
+  if (journal != nullptr) {
+    obs::RunSummary summary;
+    summary.generations = result.generations;
+    summary.ul_evals = result.ul_evaluations;
+    summary.ll_evals = result.ll_evaluations;
+    summary.best_ul = result.best_ul_objective;
+    summary.best_gap = result.best_gap;
+    summary.backend = backend_delta(eval.backend_stats(), backend_start);
+    journal->finish_run(summary);
+  }
   return result;
 }
 

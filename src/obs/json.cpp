@@ -1,0 +1,388 @@
+#include "carbon/obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <utility>
+
+namespace carbon::obs {
+
+// ---- JsonValue accessors ---------------------------------------------------
+
+bool JsonValue::has(std::string_view key) const {
+  return kind == Kind::kObject && object.find(std::string(key)) != object.end();
+}
+
+const JsonValue& JsonValue::at(std::string_view key) const {
+  if (kind != Kind::kObject) {
+    throw std::runtime_error("JsonValue::at: not an object");
+  }
+  const auto it = object.find(std::string(key));
+  if (it == object.end()) {
+    throw std::runtime_error("JsonValue::at: missing key '" +
+                             std::string(key) + "'");
+  }
+  return it->second;
+}
+
+double JsonValue::as_number() const {
+  if (kind != Kind::kNumber) {
+    throw std::runtime_error("JsonValue: not a number");
+  }
+  return number;
+}
+
+long long JsonValue::as_integer() const {
+  const double v = as_number();
+  const auto i = static_cast<long long>(v);
+  if (static_cast<double>(i) != v) {
+    throw std::runtime_error("JsonValue: number is not an integer");
+  }
+  return i;
+}
+
+const std::string& JsonValue::as_string() const {
+  if (kind != Kind::kString) {
+    throw std::runtime_error("JsonValue: not a string");
+  }
+  return string;
+}
+
+bool JsonValue::as_bool() const {
+  if (kind != Kind::kBool) {
+    throw std::runtime_error("JsonValue: not a bool");
+  }
+  return boolean;
+}
+
+// ---- Parser ----------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("json parse error at offset " +
+                             std::to_string(pos_) + ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    switch (peek()) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"': {
+        JsonValue v;
+        v.kind = JsonValue::Kind::kString;
+        v.string = parse_string();
+        return v;
+      }
+      case 't': {
+        if (!consume_literal("true")) fail("bad literal");
+        JsonValue v;
+        v.kind = JsonValue::Kind::kBool;
+        v.boolean = true;
+        return v;
+      }
+      case 'f': {
+        if (!consume_literal("false")) fail("bad literal");
+        JsonValue v;
+        v.kind = JsonValue::Kind::kBool;
+        v.boolean = false;
+        return v;
+      }
+      case 'n': {
+        if (!consume_literal("null")) fail("bad literal");
+        return JsonValue{};
+      }
+      default:
+        return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      v.object[std::move(key)] = parse_value();
+      skip_ws();
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return v;
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.array.push_back(parse_value());
+      skip_ws();
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return v;
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("raw control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case '/':
+          out.push_back('/');
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'u': {
+          // BMP code points only (no surrogate pairing) — the writer never
+          // emits \u beyond control characters, this covers round-trips.
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') {
+              cp |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              cp |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              cp |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail("bad hex digit in \\u escape");
+            }
+          }
+          if (cp < 0x80) {
+            out.push_back(static_cast<char>(cp));
+          } else if (cp < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          }
+          break;
+        }
+        default:
+          fail("unknown escape");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           ((text_[pos_] >= '0' && text_[pos_] <= '9') || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start || (pos_ == start + 1 && text_[start] == '-')) {
+      fail("expected a value");
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') fail("malformed number");
+    JsonValue out;
+    out.kind = JsonValue::Kind::kNumber;
+    out.number = v;
+    return out;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue parse_json(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+// ---- Writer ----------------------------------------------------------------
+
+void append_json_escaped(std::string& out, std::string_view text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+}
+
+void JsonObjectWriter::key_prefix(std::string_view key) {
+  if (!first_) buffer_.push_back(',');
+  first_ = false;
+  buffer_.push_back('"');
+  append_json_escaped(buffer_, key);
+  buffer_ += "\":";
+}
+
+JsonObjectWriter& JsonObjectWriter::field(std::string_view key,
+                                          std::string_view value) {
+  key_prefix(key);
+  buffer_.push_back('"');
+  append_json_escaped(buffer_, value);
+  buffer_.push_back('"');
+  return *this;
+}
+
+JsonObjectWriter& JsonObjectWriter::field(std::string_view key, double value) {
+  if (!std::isfinite(value)) return null_field(key);
+  key_prefix(key);
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  buffer_ += buf;
+  return *this;
+}
+
+JsonObjectWriter& JsonObjectWriter::field(std::string_view key,
+                                          long long value) {
+  key_prefix(key);
+  buffer_ += std::to_string(value);
+  return *this;
+}
+
+JsonObjectWriter& JsonObjectWriter::field(std::string_view key,
+                                          unsigned long long value) {
+  key_prefix(key);
+  buffer_ += std::to_string(value);
+  return *this;
+}
+
+JsonObjectWriter& JsonObjectWriter::field(std::string_view key, bool value) {
+  key_prefix(key);
+  buffer_ += value ? "true" : "false";
+  return *this;
+}
+
+JsonObjectWriter& JsonObjectWriter::null_field(std::string_view key) {
+  key_prefix(key);
+  buffer_ += "null";
+  return *this;
+}
+
+JsonObjectWriter& JsonObjectWriter::object_field(std::string_view key,
+                                                 JsonObjectWriter inner) {
+  key_prefix(key);
+  buffer_ += inner.finish();
+  return *this;
+}
+
+std::string JsonObjectWriter::finish() {
+  buffer_.push_back('}');
+  return std::move(buffer_);
+}
+
+}  // namespace carbon::obs

@@ -422,6 +422,100 @@ TEST(CompiledScoring, MemoMergesCanonicallyEqualTrees) {
   EXPECT_EQ(interpreted.heuristic_dedup_hits(), 0);
 }
 
+TEST(CompiledScoring, MixedDuplicateAndUniqueJobsAccountExactly) {
+  // A batch interleaving unique (tree, pricing) pairs with duplicates at
+  // several multiplicities: dedup must charge every job to the budget but
+  // count exactly jobs - unique memo hits, serial and parallel alike.
+  const Instance inst = make_instance();
+  common::Rng rng(53);
+  std::vector<gp::Tree> trees;
+  for (int t = 0; t < 3; ++t) trees.push_back(gp::generate_ramped(rng));
+  const auto pricings = random_pricings(inst, 4, 19);
+
+  std::vector<HeuristicJob> jobs;
+  std::size_t unique = 0;
+  for (std::size_t t = 0; t < trees.size(); ++t) {
+    for (std::size_t p = 0; p < pricings.size(); ++p) {
+      // Multiplicity 1, 2, or 3 depending on the pair.
+      const int copies = 1 + static_cast<int>((t + p) % 3);
+      for (int c = 0; c < copies; ++c) {
+        jobs.push_back({pricings[p], &trees[t], EvalPurpose::kLowerOnly});
+      }
+      ++unique;
+    }
+  }
+  ASSERT_GT(jobs.size(), unique);
+
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    ParallelEvaluator par(inst, threads);
+    const auto got = par.evaluate_heuristic_batch(jobs);
+    ASSERT_EQ(got.size(), jobs.size());
+    EXPECT_EQ(par.ll_evaluations(), static_cast<long long>(jobs.size()));
+    EXPECT_EQ(par.heuristic_dedup_hits(),
+              static_cast<long long>(jobs.size() - unique));
+    // A second identical batch starts a fresh memo: same hit count again.
+    (void)par.evaluate_heuristic_batch(jobs);
+    EXPECT_EQ(par.heuristic_dedup_hits(),
+              2 * static_cast<long long>(jobs.size() - unique));
+  }
+}
+
+TEST(BackendStats, MirrorsTheIndividualCountersOnBothEvaluators) {
+  const Instance inst = make_instance();
+  common::Rng rng(59);
+  const gp::Tree tree = gp::generate_ramped(rng);
+  const auto pricings = random_pricings(inst, 6, 37);
+
+  std::vector<HeuristicJob> jobs;
+  for (int rep = 0; rep < 3; ++rep) {
+    for (const auto& p : pricings) {
+      jobs.push_back({p, &tree, EvalPurpose::kLowerOnly});
+    }
+  }
+
+  Evaluator serial(inst);
+  (void)serial.evaluate_heuristic_batch(jobs);
+  const BackendStats ss = serial.backend_stats();
+  EXPECT_EQ(ss.relaxation_cache_hits, serial.relaxation_cache_hits());
+  EXPECT_EQ(ss.relaxation_cache_misses, serial.relaxations_solved());
+  EXPECT_EQ(ss.heuristic_dedup_hits, serial.heuristic_dedup_hits());
+  EXPECT_EQ(ss.relaxation_cache_evictions, 0);
+  EXPECT_GT(ss.heuristic_dedup_hits, 0);
+
+  ParallelEvaluator par(inst, /*threads=*/4);
+  (void)par.evaluate_heuristic_batch(jobs);
+  const BackendStats ps = par.backend_stats();
+  EXPECT_EQ(ps.relaxation_cache_hits, par.relaxation_cache_hits());
+  EXPECT_EQ(ps.relaxation_cache_misses, par.relaxations_solved());
+  EXPECT_EQ(ps.heuristic_dedup_hits, par.heuristic_dedup_hits());
+  // Same workload => same backend accounting as the serial evaluator.
+  EXPECT_EQ(ps.relaxation_cache_misses, ss.relaxation_cache_misses);
+  EXPECT_EQ(ps.heuristic_dedup_hits, ss.heuristic_dedup_hits);
+}
+
+TEST(BackendStats, ReportsEvictionsUnderATinyCache) {
+  const Instance inst = make_instance();
+  ParallelEvaluator::Options opt;
+  opt.threads = 4;
+  opt.relaxation_cache_capacity = 1;
+  opt.cache_shards = 1;
+  ParallelEvaluator par(inst, opt);
+
+  const auto pricings = random_pricings(inst, 16, 67);
+  const std::vector<std::uint8_t> everything(inst.num_bundles(), 1);
+  std::vector<SelectionJob> jobs;
+  for (const auto& p : pricings) {
+    jobs.push_back({p, everything, EvalPurpose::kLowerOnly});
+  }
+  (void)par.evaluate_selection_batch(jobs);
+
+  const BackendStats s = par.backend_stats();
+  EXPECT_GT(s.relaxation_cache_evictions, 0);
+  EXPECT_EQ(s.relaxation_cache_evictions, par.cache().evictions());
+  EXPECT_EQ(static_cast<long long>(par.cache().size()),
+            s.relaxation_cache_misses - s.relaxation_cache_evictions);
+}
+
 TEST(CompiledScoring, ConcurrentBatchesAreRaceFree) {
   // Exercised under TSan by tools/run_sanitizers.sh: dedup planning happens
   // on the submitting thread while the pool runs the unique jobs, and the

@@ -1,0 +1,156 @@
+#include "carbon/obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "carbon/common/thread_pool.hpp"
+
+namespace carbon::obs {
+namespace {
+
+TEST(MetricsRegistry, CountersAccumulate) {
+  MetricsRegistry m;
+  m.add_counter("a");
+  m.add_counter("a", 4);
+  m.add_counter("b", -2);
+  const auto snap = m.snapshot();
+  EXPECT_EQ(snap.counters.at("a"), 5);
+  EXPECT_EQ(snap.counters.at("b"), -2);
+  EXPECT_EQ(snap.counters.size(), 2u);
+}
+
+TEST(MetricsRegistry, GaugeKeepsTheLatestWrite) {
+  MetricsRegistry m;
+  m.set_gauge("g", 1.0);
+  m.set_gauge("g", 7.5);
+  m.set_gauge("g", 3.25);
+  EXPECT_DOUBLE_EQ(m.snapshot().gauges.at("g"), 3.25);
+}
+
+TEST(MetricsRegistry, TimersAccumulateCountTotalMax) {
+  MetricsRegistry m;
+  m.record_timer("t", 0.5);
+  m.record_timer("t", 0.25);
+  m.record_timer("t", 1.0);
+  const auto t = m.snapshot().timers.at("t");
+  EXPECT_EQ(t.count, 3);
+  EXPECT_DOUBLE_EQ(t.total_seconds, 1.75);
+  EXPECT_DOUBLE_EQ(t.max_seconds, 1.0);
+}
+
+TEST(MetricsRegistry, ResetDropsEverything) {
+  MetricsRegistry m;
+  m.add_counter("a");
+  m.set_gauge("g", 1.0);
+  m.record_timer("t", 0.5);
+  m.reset();
+  const auto snap = m.snapshot();
+  EXPECT_TRUE(snap.counters.empty());
+  EXPECT_TRUE(snap.gauges.empty());
+  EXPECT_TRUE(snap.timers.empty());
+}
+
+TEST(MetricsRegistry, ConcurrentCounterHammeringLosesNothing) {
+  // Exercised under TSan by tools/run_sanitizers.sh: many pool workers write
+  // the same counter names while a reader snapshots concurrently.
+  MetricsRegistry m;
+  common::ThreadPool pool(8);
+  constexpr int kTasks = 64;
+  constexpr int kPerTask = 250;
+  std::thread reader([&] {
+    for (int i = 0; i < 50; ++i) (void)m.snapshot();
+  });
+  pool.parallel_for(kTasks, [&](std::size_t i) {
+    for (int k = 0; k < kPerTask; ++k) {
+      m.add_counter("evals");
+      m.add_counter(i % 2 == 0 ? "even" : "odd");
+    }
+  });
+  reader.join();
+  const auto snap = m.snapshot();
+  EXPECT_EQ(snap.counters.at("evals"), kTasks * kPerTask);
+  EXPECT_EQ(snap.counters.at("even") + snap.counters.at("odd"),
+            kTasks * kPerTask);
+}
+
+TEST(MetricsRegistry, ConcurrentTimerHammeringMergesExactly) {
+  MetricsRegistry m;
+  common::ThreadPool pool(8);
+  constexpr int kTasks = 32;
+  constexpr int kPerTask = 100;
+  // 0.5 is exactly representable, so the merged total is exact regardless
+  // of the shard the writes landed in or the merge order.
+  pool.parallel_for(kTasks, [&](std::size_t) {
+    for (int k = 0; k < kPerTask; ++k) m.record_timer("t", 0.5);
+  });
+  const auto t = m.snapshot().timers.at("t");
+  EXPECT_EQ(t.count, kTasks * kPerTask);
+  EXPECT_DOUBLE_EQ(t.total_seconds, 0.5 * kTasks * kPerTask);
+  EXPECT_DOUBLE_EQ(t.max_seconds, 0.5);
+}
+
+TEST(MetricsRegistry, ConcurrentGaugeWritersLeaveOneOfTheWrittenValues) {
+  MetricsRegistry m;
+  common::ThreadPool pool(4);
+  pool.parallel_for(16, [&](std::size_t i) {
+    m.set_gauge("g", static_cast<double>(i));
+  });
+  const double got = m.snapshot().gauges.at("g");
+  EXPECT_GE(got, 0.0);
+  EXPECT_LT(got, 16.0);
+  EXPECT_EQ(got, static_cast<double>(static_cast<int>(got)));  // integral
+}
+
+TEST(MetricsRegistry, SnapshotIsSortedByName) {
+  MetricsRegistry m;
+  m.add_counter("z");
+  m.add_counter("a");
+  m.add_counter("m");
+  const auto snap = m.snapshot();
+  std::vector<std::string> names;
+  for (const auto& [name, v] : snap.counters) names.push_back(name);
+  EXPECT_EQ(names, (std::vector<std::string>{"a", "m", "z"}));
+}
+
+TEST(NullSafeHelpers, AreNoOpsOnNullRegistry) {
+  count(nullptr, "c");
+  gauge(nullptr, "g", 1.0);
+  {
+    ScopedTimer t(nullptr, "t");
+    t.stop();
+    t.stop();  // idempotent
+  }
+  // Nothing to assert beyond "did not crash"; also confirm a live registry
+  // sees nothing from the calls above.
+  MetricsRegistry m;
+  EXPECT_TRUE(m.snapshot().counters.empty());
+}
+
+TEST(ScopedTimer, RecordsOneIntervalPerScope) {
+  MetricsRegistry m;
+  {
+    ScopedTimer t(&m, "t");
+  }
+  {
+    ScopedTimer t(&m, "t");
+    t.stop();
+    t.stop();  // second stop must not double-record
+  }
+  const auto t = m.snapshot().timers.at("t");
+  EXPECT_EQ(t.count, 2);
+  EXPECT_GE(t.total_seconds, 0.0);
+  EXPECT_GE(t.max_seconds, 0.0);
+}
+
+TEST(MetricsRegistry, ShardCountIsConfigurable) {
+  MetricsRegistry one(1);
+  EXPECT_EQ(one.num_shards(), 1u);
+  one.add_counter("a", 3);
+  EXPECT_EQ(one.snapshot().counters.at("a"), 3);
+}
+
+}  // namespace
+}  // namespace carbon::obs

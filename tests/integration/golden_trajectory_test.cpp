@@ -1,0 +1,284 @@
+// Golden-trajectory regression harness: the per-generation best-objective
+// sequence of a fixed-seed run must be bit-identical across every
+// implementation toggle that claims trajectory neutrality —
+//   eval_threads in {1, 4}  x  compiled_scoring in {on, off}
+//   x  telemetry in {off, metrics+journal}
+// for CARBON, and the analogous matrix (no compiled-scoring axis is
+// exercised by its evaluation path, but the toggle must still be inert)
+// for COBRA. A regression in the parallel reduction order, the compiled
+// scorer, or an instrumentation site that consumes RNG shows up here as a
+// diverging trajectory, not as a flaky end-result comparison.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "carbon/cobra/cobra_solver.hpp"
+#include "carbon/core/carbon_solver.hpp"
+#include "carbon/cover/generator.hpp"
+#include "carbon/obs/json.hpp"
+#include "carbon/obs/run_journal.hpp"
+
+namespace carbon {
+namespace {
+
+bcpop::Instance make_instance() {
+  cover::GeneratorConfig cfg;
+  cfg.num_bundles = 30;
+  cfg.num_services = 4;
+  cfg.seed = 21;
+  return bcpop::Instance(cover::generate(cfg), /*num_owned=*/3);
+}
+
+core::CarbonConfig carbon_config() {
+  core::CarbonConfig cfg;
+  cfg.ul_population_size = 8;
+  cfg.ul_archive_size = 8;
+  cfg.gp_population_size = 8;
+  cfg.gp_archive_size = 8;
+  cfg.heuristic_sample_size = 2;
+  cfg.archive_reinjection = 2;
+  cfg.ul_eval_budget = 48;
+  cfg.ll_eval_budget = 480;
+  cfg.seed = 7;
+  return cfg;
+}
+
+cobra::CobraConfig cobra_config() {
+  cobra::CobraConfig cfg;
+  cfg.ul_population_size = 8;
+  cfg.ll_population_size = 8;
+  cfg.ul_archive_size = 8;
+  cfg.ll_archive_size = 8;
+  cfg.upper_phase_generations = 2;
+  cfg.lower_phase_generations = 2;
+  cfg.coevolution_pairs = 4;
+  cfg.archive_reinjection = 2;
+  cfg.ul_eval_budget = 80;
+  cfg.ll_eval_budget = 800;
+  cfg.seed = 7;
+  return cfg;
+}
+
+/// The trajectory under test: one entry per recorded generation. Doubles
+/// are compared bitwise (EXPECT_EQ), not within a tolerance.
+struct Trajectory {
+  std::vector<double> best_ul_so_far;
+  std::vector<double> best_gap_so_far;
+  std::vector<double> current_best_ul;
+  std::vector<double> current_mean_gap;
+  std::vector<long long> ul_evals;
+  std::vector<long long> ll_evals;
+  double final_best_ul = 0.0;
+  double final_best_gap = 0.0;
+  int generations = 0;
+};
+
+Trajectory trajectory_of(const core::RunResult& r) {
+  Trajectory t;
+  for (const auto& pt : r.convergence) {
+    t.best_ul_so_far.push_back(pt.best_ul_so_far);
+    t.best_gap_so_far.push_back(pt.best_gap_so_far);
+    t.current_best_ul.push_back(pt.current_best_ul);
+    t.current_mean_gap.push_back(pt.current_mean_gap);
+    t.ul_evals.push_back(pt.ul_evaluations);
+    t.ll_evals.push_back(pt.ll_evaluations);
+  }
+  t.final_best_ul = r.best_ul_objective;
+  t.final_best_gap = r.best_gap;
+  t.generations = r.generations;
+  return t;
+}
+
+void expect_same_trajectory(const Trajectory& want, const Trajectory& got,
+                            const std::string& label) {
+  SCOPED_TRACE(label);
+  EXPECT_EQ(want.generations, got.generations);
+  ASSERT_EQ(want.best_ul_so_far.size(), got.best_ul_so_far.size());
+  for (std::size_t g = 0; g < want.best_ul_so_far.size(); ++g) {
+    SCOPED_TRACE("generation " + std::to_string(g));
+    EXPECT_EQ(want.best_ul_so_far[g], got.best_ul_so_far[g]);    // bitwise
+    EXPECT_EQ(want.best_gap_so_far[g], got.best_gap_so_far[g]);  // bitwise
+    EXPECT_EQ(want.current_best_ul[g], got.current_best_ul[g]);
+    EXPECT_EQ(want.current_mean_gap[g], got.current_mean_gap[g]);
+    EXPECT_EQ(want.ul_evals[g], got.ul_evals[g]);
+    EXPECT_EQ(want.ll_evals[g], got.ll_evals[g]);
+  }
+  EXPECT_EQ(want.final_best_ul, got.final_best_ul);
+  EXPECT_EQ(want.final_best_gap, got.final_best_gap);
+}
+
+std::vector<obs::JsonValue> parse_journal(const std::string& text) {
+  std::vector<obs::JsonValue> out;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) out.push_back(obs::parse_json(line));
+  }
+  return out;
+}
+
+TEST(GoldenTrajectory, CarbonIsInvariantAcrossThreadsCompilationTelemetry) {
+  const bcpop::Instance inst = make_instance();
+
+  // Baseline: serial, interpreted, no telemetry.
+  core::CarbonConfig base = carbon_config();
+  base.eval_threads = 1;
+  base.compiled_scoring = false;
+  const Trajectory golden =
+      trajectory_of(core::CarbonSolver(inst, base).run());
+  ASSERT_GT(golden.generations, 1);
+
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    for (const bool compiled : {false, true}) {
+      for (const bool telemetry : {false, true}) {
+        core::CarbonConfig cfg = carbon_config();
+        cfg.eval_threads = threads;
+        cfg.compiled_scoring = compiled;
+
+        obs::MetricsRegistry metrics;
+        std::ostringstream sink;
+        obs::RunJournal journal(sink, &metrics);
+        if (telemetry) {
+          cfg.telemetry.metrics = &metrics;
+          cfg.telemetry.journal = &journal;
+        }
+
+        const core::CarbonResult r = core::CarbonSolver(inst, cfg).run();
+        const std::string label =
+            "threads=" + std::to_string(threads) +
+            " compiled=" + std::to_string(compiled) +
+            " telemetry=" + std::to_string(telemetry);
+        expect_same_trajectory(golden, trajectory_of(r), label);
+
+        if (telemetry) {
+          // run_start + one record per generation + summary, all parsable.
+          const auto records = parse_journal(sink.str());
+          ASSERT_EQ(records.size(),
+                    static_cast<std::size_t>(r.generations) + 2)
+              << label;
+          EXPECT_EQ(records.front().at("type").as_string(), "run_start");
+          EXPECT_EQ(records.back().at("type").as_string(), "summary");
+          EXPECT_EQ(records.back().at("best_ul").as_number(),
+                    r.best_ul_objective);
+        }
+      }
+    }
+  }
+}
+
+TEST(GoldenTrajectory, CarbonJournalTrajectoryIsThreadCountInvariant) {
+  // Beyond the in-memory trace: the *journal contents* (minus wall-clock
+  // noise) must agree between a serial and a 4-thread run.
+  const bcpop::Instance inst = make_instance();
+
+  const auto journal_of = [&](std::size_t threads) {
+    core::CarbonConfig cfg = carbon_config();
+    cfg.eval_threads = threads;
+    std::ostringstream sink;
+    obs::RunJournal journal(sink);
+    cfg.telemetry.journal = &journal;
+    (void)core::CarbonSolver(inst, cfg).run();
+    return parse_journal(sink.str());
+  };
+
+  const auto serial = journal_of(1);
+  const auto parallel = journal_of(4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  const char* kTrajectoryFields[] = {
+      "best_ul", "mean_ul", "std_ul", "best_gap", "mean_gap", "std_gap",
+      "best_ul_so_far", "best_gap_so_far"};
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    if (serial[i].at("type").as_string() != "generation") continue;
+    SCOPED_TRACE("record " + std::to_string(i));
+    for (const char* field : kTrajectoryFields) {
+      EXPECT_EQ(serial[i].at(field).as_number(),
+                parallel[i].at(field).as_number())
+          << field;
+    }
+    EXPECT_EQ(serial[i].at("ul_evals").as_integer(),
+              parallel[i].at("ul_evals").as_integer());
+    EXPECT_EQ(serial[i].at("ll_evals").as_integer(),
+              parallel[i].at("ll_evals").as_integer());
+  }
+}
+
+TEST(GoldenTrajectory, CobraIsInvariantAcrossThreadsAndTelemetry) {
+  const bcpop::Instance inst = make_instance();
+
+  cobra::CobraConfig base = cobra_config();
+  base.eval_threads = 1;
+  const Trajectory golden =
+      trajectory_of(cobra::CobraSolver(inst, base).run());
+  ASSERT_GT(golden.generations, 1);
+
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    for (const bool telemetry : {false, true}) {
+      cobra::CobraConfig cfg = cobra_config();
+      cfg.eval_threads = threads;
+
+      obs::MetricsRegistry metrics;
+      std::ostringstream sink;
+      obs::RunJournal journal(sink, &metrics);
+      if (telemetry) {
+        cfg.telemetry.metrics = &metrics;
+        cfg.telemetry.journal = &journal;
+      }
+
+      const core::RunResult r = cobra::CobraSolver(inst, cfg).run();
+      const std::string label = "threads=" + std::to_string(threads) +
+                                " telemetry=" + std::to_string(telemetry);
+      expect_same_trajectory(golden, trajectory_of(r), label);
+
+      if (telemetry) {
+        const auto records = parse_journal(sink.str());
+        ASSERT_EQ(records.size(),
+                  static_cast<std::size_t>(r.generations) + 2)
+            << label;
+        // COBRA phases round-robin through the schedule.
+        bool saw_upper = false;
+        bool saw_lower = false;
+        bool saw_coevolution = false;
+        for (const auto& rec : records) {
+          if (rec.at("type").as_string() != "generation") continue;
+          const std::string& phase = rec.at("phase").as_string();
+          saw_upper = saw_upper || phase == "upper";
+          saw_lower = saw_lower || phase == "lower";
+          saw_coevolution = saw_coevolution || phase == "coevolution";
+        }
+        EXPECT_TRUE(saw_upper && saw_lower && saw_coevolution) << label;
+      }
+    }
+  }
+}
+
+TEST(GoldenTrajectory, ReusedTelemetrySinksDoNotPerturbLaterRuns) {
+  // One registry + journal observing two back-to-back runs: the second
+  // run's trajectory must match a fresh-sink run (the journal diffs timers
+  // against begin_run, so history cannot leak into the records either).
+  const bcpop::Instance inst = make_instance();
+  core::CarbonConfig cfg = carbon_config();
+
+  obs::MetricsRegistry metrics;
+  std::ostringstream sink;
+  obs::RunJournal journal(sink, &metrics);
+  cfg.telemetry.metrics = &metrics;
+  cfg.telemetry.journal = &journal;
+
+  const Trajectory first =
+      trajectory_of(core::CarbonSolver(inst, cfg).run());
+  const Trajectory second =
+      trajectory_of(core::CarbonSolver(inst, cfg).run());
+  expect_same_trajectory(first, second, "second run, reused sinks");
+
+  const auto records = parse_journal(sink.str());
+  EXPECT_EQ(static_cast<long long>(records.size()),
+            journal.records_written());
+  EXPECT_EQ(records.size(),
+            2 * (static_cast<std::size_t>(first.generations) + 2));
+}
+
+}  // namespace
+}  // namespace carbon

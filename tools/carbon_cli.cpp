@@ -15,15 +15,20 @@
 //
 //   carbon solve --in FILE --owned L --algo carbon|cobra|biga|codba|nested
 //                [--ul-budget U] [--ll-budget L] [--pop P] [--seed S]
-//                [--convergence OUT.csv] [--memetic]
+//                [--threads T] [--convergence OUT.csv] [--memetic]
+//                [--journal OUT.jsonl] [--metrics]
 //       Treats the first L bundles as the leader's and solves the bi-level
-//       pricing problem.
+//       pricing problem. --journal appends one JSON record per generation
+//       plus a run summary (schema: docs/ALGORITHMS.md §9); --metrics
+//       prints counter/timer totals after the run. Telemetry never alters
+//       the trajectory (carbon and cobra only).
 //
 // Exit codes: 0 success, 1 usage error, 2 runtime failure.
 
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "carbon/baselines/biga.hpp"
@@ -38,6 +43,8 @@
 #include "carbon/cover/orlib_io.hpp"
 #include "carbon/cover/relaxation.hpp"
 #include "carbon/gp/scoring.hpp"
+#include "carbon/obs/metrics.hpp"
+#include "carbon/obs/run_journal.hpp"
 
 namespace {
 
@@ -164,6 +171,27 @@ int cmd_solve(const common::CliArgs& args) {
   const long long ul_budget = args.get_int("ul-budget", 1'000);
   const long long ll_budget = args.get_int("ll-budget", 3'000);
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const auto threads = static_cast<std::size_t>(args.get_int("threads", 1));
+
+  // Optional telemetry sinks (outlive the solver run below).
+  const std::string journal_path = args.get("journal", "");
+  const bool want_metrics = args.get_bool("metrics");
+  std::unique_ptr<obs::MetricsRegistry> metrics;
+  std::unique_ptr<obs::RunJournal> journal;
+  obs::TelemetryConfig telemetry;
+  if (want_metrics || !journal_path.empty()) {
+    metrics = std::make_unique<obs::MetricsRegistry>();
+    telemetry.metrics = metrics.get();
+  }
+  if (!journal_path.empty()) {
+    journal = std::make_unique<obs::RunJournal>(journal_path, metrics.get());
+    telemetry.journal = journal.get();
+  }
+  if (telemetry.enabled() && algo != "carbon" && algo != "cobra") {
+    std::fprintf(stderr,
+                 "solve: --journal/--metrics require --algo carbon|cobra\n");
+    return 1;
+  }
 
   core::RunResult result;
   std::string heuristic_repr;
@@ -175,6 +203,8 @@ int cmd_solve(const common::CliArgs& args) {
     cfg.ll_eval_budget = ll_budget;
     cfg.memetic_polish = args.get_bool("memetic");
     cfg.seed = seed;
+    cfg.eval_threads = threads;
+    cfg.telemetry = telemetry;
     const core::CarbonResult r = core::CarbonSolver(inst, cfg).run();
     heuristic_repr = gp::simplify(r.best_heuristic).to_string();
     result = r;
@@ -185,6 +215,8 @@ int cmd_solve(const common::CliArgs& args) {
     cfg.ul_eval_budget = ul_budget;
     cfg.ll_eval_budget = ll_budget;
     cfg.seed = seed;
+    cfg.eval_threads = threads;
+    cfg.telemetry = telemetry;
     result = cobra::CobraSolver(inst, cfg).run();
   } else if (algo == "biga") {
     baselines::BigaConfig cfg;
@@ -251,6 +283,24 @@ int cmd_solve(const common::CliArgs& args) {
     }
     std::printf("convergence written to %s (%zu rows)\n", conv.c_str(),
                 result.convergence.size());
+  }
+  if (journal != nullptr) {
+    std::printf("journal written to %s (%lld records)\n", journal_path.c_str(),
+                journal->records_written());
+  }
+  if (want_metrics) {
+    const obs::MetricsRegistry::Snapshot snap = metrics->snapshot();
+    std::printf("metrics:\n");
+    for (const auto& [name, value] : snap.counters) {
+      std::printf("  %s: %lld\n", name.c_str(), value);
+    }
+    for (const auto& [name, value] : snap.gauges) {
+      std::printf("  %s: %.6g\n", name.c_str(), value);
+    }
+    for (const auto& [name, t] : snap.timers) {
+      std::printf("  %s: %.4fs over %lld intervals (max %.4fs)\n",
+                  name.c_str(), t.total_seconds, t.count, t.max_seconds);
+    }
   }
   return 0;
 }

@@ -2,18 +2,26 @@
 # Builds the concurrency-sensitive tests under ThreadSanitizer and runs them.
 # With --asan, additionally runs the same tests under Address+UB sanitizers.
 #
+# Every suite in every flavor runs even after a failure; the script exits
+# nonzero if any of them failed and lists the failures at the end.
+#
 # Usage: tools/run_sanitizers.sh [--asan]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 # The tests that exercise shared-state code paths: the thread pool, the
-# sharded relaxation cache, the parallel evaluator (including the
-# capacity-1 eviction churn, the thread-count-invariance runs, and the
-# compiled-scoring batch memo), and the compiled-program fuzz (per-context
-# register scratch must stay thread-private).
-TESTS=(thread_pool_test bcpop_evaluator_test parallel_evaluator_test
-       gp_compiled_test)
+# sharded relaxation cache (direct eviction/pinning contention), the
+# parallel evaluator (including the capacity-1 eviction churn, the
+# thread-count-invariance runs, and the compiled-scoring batch memo), the
+# compiled-program fuzz (per-context register scratch must stay
+# thread-private), and the metrics registry (sharded counters/timers
+# hammered from pool workers while a reader snapshots). This is the same
+# set labeled `sanitizer-critical` in tests/CMakeLists.txt.
+TESTS=(thread_pool_test metrics_test relaxation_cache_test
+       bcpop_evaluator_test parallel_evaluator_test gp_compiled_test)
+
+FAILED=()
 
 run_flavor() {
   local name="$1" flags="$2" dir="build-$1"
@@ -29,7 +37,9 @@ run_flavor() {
   cmake --build "${dir}" -j --target "${TESTS[@]}"
   for t in "${TESTS[@]}"; do
     echo "=== ${name}: ${t} ==="
-    "./${dir}/tests/${t}"
+    if ! "./${dir}/tests/${t}"; then
+      FAILED+=("${name}/${t}")
+    fi
   done
 }
 
@@ -39,4 +49,8 @@ if [[ "${1:-}" == "--asan" ]]; then
   run_flavor asan "-fsanitize=address,undefined"
 fi
 
+if ((${#FAILED[@]})); then
+  echo "=== sanitizer runs FAILED: ${FAILED[*]} ==="
+  exit 1
+fi
 echo "=== sanitizer runs passed ==="

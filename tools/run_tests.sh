@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Tiered test runner over the ctest labels declared in tests/CMakeLists.txt.
+#
+# Usage: tools/run_tests.sh [tier] [build-dir]
+#   tier: unit | integration | sanitizer-critical | all   (default: all)
+#   build-dir: defaults to ./build (configured+built if missing)
+#
+# Tiers:
+#   unit               — fast single-subsystem tests; the inner-loop tier
+#   integration        — whole-solver runs (reproduction, umbrella, CLI,
+#                        golden-trajectory)
+#   sanitizer-critical — the concurrency surface; tools/run_sanitizers.sh
+#                        runs the same set again under TSan/ASan
+#   all                — every registered test
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+TIER="${1:-all}"
+BUILD_DIR="${2:-build}"
+
+case "${TIER}" in
+  unit|integration|sanitizer-critical|all) ;;
+  *)
+    echo "usage: tools/run_tests.sh [unit|integration|sanitizer-critical|all] [build-dir]" >&2
+    exit 1
+    ;;
+esac
+
+if [[ ! -f "${BUILD_DIR}/CMakeCache.txt" ]]; then
+  cmake -B "${BUILD_DIR}" -S .
+fi
+cmake --build "${BUILD_DIR}" -j
+
+CTEST_ARGS=(--output-on-failure -j)
+if [[ "${TIER}" != "all" ]]; then
+  CTEST_ARGS+=(-L "^${TIER}$")
+fi
+
+echo "=== ctest tier: ${TIER} ==="
+ctest --test-dir "${BUILD_DIR}" "${CTEST_ARGS[@]}"
