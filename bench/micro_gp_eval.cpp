@@ -7,9 +7,11 @@
 // prefix node vector per bundle; the compiled path runs the linearized
 // program once with elementwise instruction loops over the whole batch.
 //
-// Usage: micro_gp_eval [output.json]
+// Usage: micro_gp_eval [--smoke] [output.json]
 //   Prints a table to stdout and writes machine-readable results (with
-//   speedups) to the JSON file (default: BENCH_gp_eval.json).
+//   speedups) to the JSON file (default: BENCH_gp_eval.json). --smoke
+//   shrinks the grid and repetition counts to a sub-second run for the
+//   bench-smoke ctest label.
 
 #include <chrono>
 #include <cstdio>
@@ -58,7 +60,7 @@ Columns make_columns(common::Rng& rng, std::size_t m) {
   return c;
 }
 
-Case run_case(common::Rng& rng, int depth, std::size_t m) {
+Case run_case(common::Rng& rng, int depth, std::size_t m, bool smoke) {
   gp::GenerateConfig gen;
   gen.min_depth = depth;
   gen.max_depth = depth;
@@ -66,9 +68,11 @@ Case run_case(common::Rng& rng, int depth, std::size_t m) {
   const gp::CompiledProgram program = gp::CompiledProgram::compile(tree);
   const Columns cols = make_columns(rng, m);
 
-  // Enough repetitions that each timing covers a few million evaluations.
+  // Enough repetitions that each timing covers a few million evaluations
+  // (a few thousand in smoke mode).
+  const std::size_t budget = smoke ? 4'000 : 4'000'000;
   const std::size_t reps =
-      std::max<std::size_t>(4, 4'000'000 / std::max<std::size_t>(1, m));
+      std::max<std::size_t>(4, budget / std::max<std::size_t>(1, m));
 
   double sink = 0.0;
   std::vector<double> op_scratch;
@@ -111,14 +115,27 @@ Case run_case(common::Rng& rng, int depth, std::size_t m) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string json_path = argc > 1 ? argv[1] : "BENCH_gp_eval.json";
+  bool smoke = false;
+  std::string json_path = "BENCH_gp_eval.json";
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else {
+      json_path = arg;
+    }
+  }
   common::Rng rng(12345);
 
   std::vector<Case> cases;
-  for (const int depth : {2, 4, 6, 8}) {
-    for (const std::size_t m : {std::size_t{50}, std::size_t{200},
-                                std::size_t{1000}}) {
-      cases.push_back(run_case(rng, depth, m));
+  const std::vector<int> depths = smoke ? std::vector<int>{4}
+                                        : std::vector<int>{2, 4, 6, 8};
+  const std::vector<std::size_t> batches =
+      smoke ? std::vector<std::size_t>{50}
+            : std::vector<std::size_t>{50, 200, 1000};
+  for (const int depth : depths) {
+    for (const std::size_t m : batches) {
+      cases.push_back(run_case(rng, depth, m, smoke));
     }
   }
 

@@ -1,0 +1,395 @@
+// Microbenchmark of the sparse revised-simplex kernels vs the dense
+// reference kernels (SimplexOptions::use_dense_kernels).
+//
+// Part 1 — kernel grid: for relaxation-shaped problems (n = 4m covering
+// columns, >= rows) across an m x density grid, times the two inner loops
+// the solver spends its life in — the pricing sweep (column_dot over every
+// column) and FTRAN column formation (B^-1 A_j) — against dense columns
+// materialized exactly as the pre-sparse lp::Problem stored them. The loops
+// here mirror SimplexSolver's kernels over the same storage; both variants
+// compute bit-identical results (asserted).
+//
+// Part 2 — end-to-end: replays eval_core's hot path (warm-started
+// cover::solve_relaxation_lp with per-pricing objective swaps) on generated
+// covering instances, dense vs sparse mode, asserting bit-identical
+// iteration counts and objectives.
+//
+// Usage: micro_lp_simplex [--smoke] [output.json]
+//   Prints tables to stdout and writes machine-readable results to the JSON
+//   file (default: BENCH_lp_simplex.json). --smoke shrinks the grid and
+//   repetition counts to a sub-second run for the bench-smoke ctest label.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "carbon/common/rng.hpp"
+#include "carbon/cover/generator.hpp"
+#include "carbon/cover/relaxation.hpp"
+#include "carbon/lp/simplex.hpp"
+
+namespace {
+
+using namespace carbon;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Covering-relaxation-shaped LP: n columns in [0,1], m >= rows, integer
+/// coefficients, nonzero with probability `density`.
+lp::Problem make_relaxation_shaped(common::Rng& rng, std::size_t m,
+                                   std::size_t n, double density) {
+  lp::Problem p;
+  for (std::size_t j = 0; j < n; ++j) {
+    p.add_variable(rng.uniform(1.0, 1000.0), 0.0, 1.0);
+  }
+  std::vector<lp::RowEntry> entries;
+  for (std::size_t i = 0; i < m; ++i) {
+    entries.clear();
+    double total = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (!rng.chance(density)) continue;
+      const double q = std::floor(rng.uniform(1.0, 1000.0));
+      entries.push_back({j, q});
+      total += q;
+    }
+    p.add_constraint(entries, lp::RowSense::kGreaterEqual, 0.25 * total);
+  }
+  return p;
+}
+
+/// Dense column materialization (the pre-sparse storage layout).
+std::vector<std::vector<double>> densify(const lp::Problem& p) {
+  std::vector<std::vector<double>> cols(p.num_vars(),
+                                        std::vector<double>(p.num_rows(), 0.0));
+  for (std::size_t j = 0; j < p.num_vars(); ++j) {
+    const lp::SparseColumn& col = p.columns[j];
+    for (std::size_t k = 0; k < col.nnz(); ++k) {
+      cols[j][static_cast<std::size_t>(col.rows[k])] = col.values[k];
+    }
+  }
+  return cols;
+}
+
+struct KernelCase {
+  std::size_t m, n;
+  double density;
+  double nnz_frac;  ///< measured nonzero fraction of the matrix
+  double pricing_dense_ns;   ///< full pricing sweep, per column
+  double pricing_sparse_ns;
+  double pricing_speedup;
+  double ftran_dense_ns;     ///< one B^-1 A_j, per column
+  double ftran_sparse_ns;
+  double ftran_speedup;
+};
+
+KernelCase run_kernel_case(common::Rng& rng, std::size_t m, std::size_t n,
+                           double density, bool smoke) {
+  const lp::Problem p = make_relaxation_shaped(rng, m, n, density);
+  const auto dense_cols = densify(p);
+
+  std::vector<double> y(m);
+  for (auto& v : y) v = rng.uniform(-1.0, 1.0);
+  // Stand-in B^-1 (row-major, like the solver's DenseMatrix).
+  std::vector<double> binv(m * m);
+  for (auto& v : binv) v = rng.uniform(-1.0, 1.0);
+
+  const std::size_t target_macs = smoke ? 2'000'000 : 400'000'000;
+  const std::size_t sweep_reps =
+      std::max<std::size_t>(3, target_macs / std::max<std::size_t>(1, n * m));
+
+  double sink = 0.0;
+
+  // Pricing sweep, dense: every column is an m-length dot product.
+  const auto t0 = Clock::now();
+  for (std::size_t r = 0; r < sweep_reps; ++r) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const auto& col = dense_cols[j];
+      double acc = 0.0;
+      for (std::size_t i = 0; i < m; ++i) acc += col[i] * y[i];
+      sink += acc;
+    }
+  }
+  const double dense_sweep_s = seconds_since(t0);
+
+  // Pricing sweep, sparse: only stored nonzeros. Bit-identical accumulation.
+  double check = 0.0;
+  const auto t1 = Clock::now();
+  for (std::size_t r = 0; r < sweep_reps; ++r) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const lp::SparseColumn& col = p.columns[j];
+      double acc = 0.0;
+      for (std::size_t k = 0; k < col.nnz(); ++k) {
+        acc += col.values[k] * y[static_cast<std::size_t>(col.rows[k])];
+      }
+      check += acc;
+    }
+  }
+  const double sparse_sweep_s = seconds_since(t1);
+  sink += check;
+
+  // FTRAN: alpha = B^-1 A_j for a rotating set of columns.
+  const std::size_t ftran_reps = std::max<std::size_t>(
+      3, target_macs / std::max<std::size_t>(1, m * m * 8));
+  std::vector<double> alpha(m);
+  const auto t2 = Clock::now();
+  for (std::size_t r = 0; r < ftran_reps; ++r) {
+    for (std::size_t j = 0; j < 8; ++j) {
+      const auto& col = dense_cols[(r * 8 + j) % n];
+      for (std::size_t i = 0; i < m; ++i) {
+        double acc = 0.0;
+        const double* brow = binv.data() + i * m;
+        for (std::size_t c = 0; c < m; ++c) acc += brow[c] * col[c];
+        alpha[i] = acc;
+      }
+      sink += alpha[r % m];
+    }
+  }
+  const double dense_ftran_s = seconds_since(t2);
+
+  std::vector<double> alpha2(m);
+  const auto t3 = Clock::now();
+  for (std::size_t r = 0; r < ftran_reps; ++r) {
+    for (std::size_t j = 0; j < 8; ++j) {
+      const lp::SparseColumn& col = p.columns[(r * 8 + j) % n];
+      for (std::size_t i = 0; i < m; ++i) {
+        double acc = 0.0;
+        const double* brow = binv.data() + i * m;
+        for (std::size_t k = 0; k < col.nnz(); ++k) {
+          acc += brow[static_cast<std::size_t>(col.rows[k])] * col.values[k];
+        }
+        alpha2[i] = acc;
+      }
+      sink += alpha2[r % m];
+    }
+  }
+  const double sparse_ftran_s = seconds_since(t3);
+
+  // Bitwise agreement of the final FTRAN column (same (r, j) sequence).
+  for (std::size_t i = 0; i < m; ++i) {
+    if (alpha[i] != alpha2[i]) {
+      std::fprintf(stderr, "kernel mismatch at m=%zu density=%.2f row %zu\n",
+                   m, density, i);
+      std::abort();
+    }
+  }
+  if (sink == 0.12345) std::printf("# sink %f\n", sink);
+
+  KernelCase c;
+  c.m = m;
+  c.n = n;
+  c.density = density;
+  c.nnz_frac = static_cast<double>(p.num_nonzeros()) /
+               static_cast<double>(n * m);
+  const double sweep_cols =
+      static_cast<double>(sweep_reps) * static_cast<double>(n);
+  c.pricing_dense_ns = dense_sweep_s * 1e9 / sweep_cols;
+  c.pricing_sparse_ns = sparse_sweep_s * 1e9 / sweep_cols;
+  c.pricing_speedup = c.pricing_dense_ns / c.pricing_sparse_ns;
+  const double ftran_cols = static_cast<double>(ftran_reps) * 8.0;
+  c.ftran_dense_ns = dense_ftran_s * 1e9 / ftran_cols;
+  c.ftran_sparse_ns = sparse_ftran_s * 1e9 / ftran_cols;
+  c.ftran_speedup = c.ftran_dense_ns / c.ftran_sparse_ns;
+  return c;
+}
+
+struct EndToEndCase {
+  std::size_t m, n;  ///< rows (services), columns (bundles)
+  double density;
+  std::size_t solves;
+  double dense_us;   ///< per warm-started solve
+  double sparse_us;
+  double speedup;
+  long long iterations;  ///< total pivots (identical in both modes)
+};
+
+EndToEndCase run_end_to_end_case(std::size_t services, std::size_t bundles,
+                                 double density, bool smoke) {
+  cover::GeneratorConfig cfg;
+  cfg.num_bundles = bundles;
+  cfg.num_services = services;
+  cfg.density = density;
+  cfg.seed = 1000 + services + bundles;
+  const cover::Instance inst = cover::generate(cfg);
+  lp::Problem p = cover::build_relaxation_lp(inst);
+
+  // Baseline basis, exactly as EvalContext pins it at construction.
+  lp::Basis baseline;
+  {
+    const lp::Solution sol = lp::solve(p, {}, &baseline);
+    if (!sol.optimal()) {
+      std::fprintf(stderr, "baseline solve failed\n");
+      std::abort();
+    }
+  }
+
+  // Deterministic batch of leader pricings: multiplicative perturbations of
+  // the base costs, the shape of load the EA's price mutations produce (and
+  // the regime the fixed warm-start basis is designed for).
+  common::Rng rng(99 + services);
+  const std::size_t num_pricings = smoke ? 3 : 24;
+  std::vector<std::vector<double>> pricings(num_pricings);
+  for (auto& pr : pricings) {
+    pr.resize(bundles);
+    for (std::size_t j = 0; j < bundles; ++j) {
+      pr[j] = inst.cost(j) * rng.uniform(0.5, 1.5);
+    }
+  }
+
+  lp::SimplexOptions sparse_opts;
+  sparse_opts.max_iterations = 400'000;  // headroom for degenerate stalls
+  lp::SimplexOptions dense_opts = sparse_opts;
+  dense_opts.use_dense_kernels = true;
+
+  long long sparse_iters = 0;
+  long long dense_iters = 0;
+  double sparse_obj = 0.0;
+  double dense_obj = 0.0;
+  lp::Basis scratch;
+
+  const auto run_mode = [&](const lp::SimplexOptions& opts, long long& iters,
+                            double& obj_acc) {
+    const auto t0 = Clock::now();
+    for (const auto& pr : pricings) {
+      for (std::size_t j = 0; j < bundles; ++j) p.objective[j] = pr[j];
+      scratch = baseline;
+      const cover::Relaxation relax = cover::solve_relaxation_lp(
+          p, opts, scratch.empty() ? nullptr : &scratch);
+      iters += relax.stats.iterations;
+      obj_acc += relax.lower_bound;
+    }
+    return seconds_since(t0);
+  };
+
+  const double dense_s = run_mode(dense_opts, dense_iters, dense_obj);
+  const double sparse_s = run_mode(sparse_opts, sparse_iters, sparse_obj);
+
+  if (sparse_iters != dense_iters || sparse_obj != dense_obj) {
+    std::fprintf(stderr,
+                 "end-to-end mismatch at m=%zu n=%zu density=%.2f "
+                 "(iters %lld vs %lld)\n",
+                 services, bundles, density, sparse_iters, dense_iters);
+    std::abort();
+  }
+
+  EndToEndCase c;
+  c.m = services;
+  c.n = bundles;
+  c.density = density;
+  c.solves = num_pricings;
+  c.dense_us = dense_s * 1e6 / static_cast<double>(num_pricings);
+  c.sparse_us = sparse_s * 1e6 / static_cast<double>(num_pricings);
+  c.speedup = c.dense_us / c.sparse_us;
+  c.iterations = sparse_iters;
+  return c;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path = "BENCH_lp_simplex.json";
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else {
+      json_path = arg;
+    }
+  }
+
+  common::Rng rng(424242);
+
+  // Kernel grid: relaxation shape n = 4m across the density ladder. The
+  // paper-shaped regime is the sparse end (most bundles cover few services).
+  std::vector<KernelCase> kernels;
+  const std::vector<std::size_t> kernel_ms =
+      smoke ? std::vector<std::size_t>{50}
+            : std::vector<std::size_t>{50, 200, 400};
+  const std::vector<double> densities =
+      smoke ? std::vector<double>{0.10} : std::vector<double>{0.05, 0.10, 0.25, 0.75};
+  for (const std::size_t m : kernel_ms) {
+    for (const double d : densities) {
+      kernels.push_back(run_kernel_case(rng, m, 4 * m, d, smoke));
+    }
+  }
+
+  std::printf("kernel grid (pricing sweep + FTRAN, per column)\n");
+  std::printf("%5s %6s %8s %8s | %11s %11s %8s | %11s %11s %8s\n", "m", "n",
+              "density", "nnz", "price dn/ns", "price sp/ns", "speedup",
+              "ftran dn/ns", "ftran sp/ns", "speedup");
+  for (const KernelCase& c : kernels) {
+    std::printf(
+        "%5zu %6zu %8.2f %8.3f | %11.1f %11.1f %7.2fx | %11.1f %11.1f "
+        "%7.2fx\n",
+        c.m, c.n, c.density, c.nnz_frac, c.pricing_dense_ns,
+        c.pricing_sparse_ns, c.pricing_speedup, c.ftran_dense_ns,
+        c.ftran_sparse_ns, c.ftran_speedup);
+  }
+
+  // End-to-end: eval_core's warm-started relaxation path on generated
+  // covering instances (services = LP rows, bundles = LP columns).
+  std::vector<EndToEndCase> e2e;
+  struct Shape {
+    std::size_t services, bundles;
+    double density;
+  };
+  const std::vector<Shape> shapes =
+      smoke ? std::vector<Shape>{{20, 80, 0.10}}
+            : std::vector<Shape>{{50, 400, 0.10},  {200, 800, 0.05},
+                                 {200, 800, 0.10}, {200, 800, 0.25},
+                                 {400, 1600, 0.10}};
+  for (const Shape& s : shapes) {
+    std::fprintf(stderr, "# end-to-end m=%zu n=%zu density=%.2f...\n",
+                 s.services, s.bundles, s.density);
+    e2e.push_back(run_end_to_end_case(s.services, s.bundles, s.density, smoke));
+  }
+
+  std::printf("\nend-to-end warm-started solve_relaxation batch\n");
+  std::printf("%5s %6s %8s %7s %8s | %12s %12s %8s\n", "m", "n", "density",
+              "solves", "pivots", "dense us/sv", "sparse us/sv", "speedup");
+  for (const EndToEndCase& c : e2e) {
+    std::printf("%5zu %6zu %8.2f %7zu %8lld | %12.1f %12.1f %7.2fx\n", c.m,
+                c.n, c.density, c.solves, c.iterations, c.dense_us,
+                c.sparse_us, c.speedup);
+  }
+
+  std::FILE* f = std::fopen(json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"lp_simplex\",\n  \"kernel_grid\": [\n");
+  for (std::size_t i = 0; i < kernels.size(); ++i) {
+    const KernelCase& c = kernels[i];
+    std::fprintf(
+        f,
+        "    {\"m\": %zu, \"n\": %zu, \"density\": %.3f, \"nnz_frac\": %.4f, "
+        "\"pricing_dense_ns_per_col\": %.2f, \"pricing_sparse_ns_per_col\": "
+        "%.2f, \"pricing_speedup\": %.3f, \"ftran_dense_ns_per_col\": %.2f, "
+        "\"ftran_sparse_ns_per_col\": %.2f, \"ftran_speedup\": %.3f}%s\n",
+        c.m, c.n, c.density, c.nnz_frac, c.pricing_dense_ns,
+        c.pricing_sparse_ns, c.pricing_speedup, c.ftran_dense_ns,
+        c.ftran_sparse_ns, c.ftran_speedup,
+        i + 1 < kernels.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"end_to_end\": [\n");
+  for (std::size_t i = 0; i < e2e.size(); ++i) {
+    const EndToEndCase& c = e2e[i];
+    std::fprintf(
+        f,
+        "    {\"services_m\": %zu, \"bundles_n\": %zu, \"density\": %.3f, "
+        "\"solves\": %zu, \"total_pivots\": %lld, \"dense_us_per_solve\": "
+        "%.2f, \"sparse_us_per_solve\": %.2f, \"speedup\": %.3f}%s\n",
+        c.m, c.n, c.density, c.solves, c.iterations, c.dense_us, c.sparse_us,
+        c.speedup, i + 1 < e2e.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", json_path.c_str());
+  return 0;
+}

@@ -29,6 +29,10 @@
 #include "carbon/gp/tree.hpp"
 #include "carbon/lp/simplex.hpp"
 
+namespace carbon::obs {
+class MetricsRegistry;
+}  // namespace carbon::obs
+
 namespace carbon::bcpop {
 
 /// Per-thread mutable evaluation state for one market.
@@ -39,6 +43,10 @@ struct EvalContext {
   cover::Instance ll;        ///< Working copy; leader prices substituted.
   lp::Problem ll_lp;         ///< Relaxation LP; only the objective changes.
   lp::Basis baseline_basis;  ///< Optimal basis of the base-market LP.
+  /// Per-solve working copy of baseline_basis. Assigned (not constructed)
+  /// each call, so the two basis vectors keep their capacity and the hot
+  /// path stops paying two heap allocations per evaluation.
+  lp::Basis basis_scratch;
   // Evaluation scratch, reused across solves so the hot path never
   // allocates: the interpreter's operand stack (trees > 64 nodes) and the
   // compiled program's register file (num_registers x bundles doubles).
@@ -52,6 +60,13 @@ struct EvalContext {
 /// std::runtime_error on solver failure (not on infeasibility).
 [[nodiscard]] cover::Relaxation solve_relaxation(
     EvalContext& ctx, std::span<const double> pricing);
+
+/// Records the solver-effort counters of a freshly computed relaxation into
+/// `metrics` (lp/iterations, lp/refactorizations, lp/warm_start_hits,
+/// lp/ftran_nnz_skipped). Null-safe; call only on cache MISSES so the
+/// counters measure actual simplex work, not cache hits.
+void record_lp_metrics(obs::MetricsRegistry* metrics,
+                       const cover::Relaxation& relax);
 
 /// Greedy driven by a GP scoring tree; takes the sort-based static fast path
 /// when the tree ignores residual-dependent terminals. When `polish` is set,

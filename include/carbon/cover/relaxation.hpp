@@ -10,22 +10,42 @@
 
 #include "carbon/cover/instance.hpp"
 #include "carbon/lp/problem.hpp"
+#include "carbon/lp/simplex.hpp"
 
 namespace carbon::cover {
+
+/// Solver-side counters from the simplex run that produced a Relaxation.
+/// Consumed by the obs layer (lp/* metrics); never part of the trajectory.
+struct LpStats {
+  int iterations = 0;
+  int refactorizations = 0;
+  bool warm_start_used = false;
+  long long ftran_nnz_skipped = 0;
+};
 
 struct Relaxation {
   bool feasible = false;
   double lower_bound = 0.0;          ///< LP optimum = LB(x).
   std::vector<double> duals;         ///< One per service (>= 0).
   std::vector<double> relaxed_x;     ///< One per bundle, in [0, 1].
+  LpStats stats;                     ///< Solve-effort counters (observability).
 };
 
-/// Builds the LP  min c'x, Qx >= b, 0 <= x <= 1  for the instance.
+/// Builds the LP  min c'x, Qx >= b, 0 <= x <= 1  for the instance, emitting
+/// only the nonzero coefficients (via the instance's supplier index).
 [[nodiscard]] lp::Problem build_relaxation_lp(const Instance& instance);
 
-/// Solves the relaxation. Throws std::runtime_error on solver failure
-/// (iteration limit / numerical breakdown), which indicates a bug rather
-/// than a property of the instance.
+/// Solves a relaxation LP (as built by build_relaxation_lp, possibly with a
+/// different objective) into a Relaxation. This is the one kernel path shared
+/// by cover::relax() and bcpop's per-evaluation solve: warm-started when
+/// `warm` is non-null, crash-started otherwise. Throws std::runtime_error on
+/// solver failure (iteration limit / numerical breakdown), which indicates a
+/// bug rather than a property of the instance.
+[[nodiscard]] Relaxation solve_relaxation_lp(const lp::Problem& problem,
+                                             const lp::SimplexOptions& options,
+                                             lp::Basis* warm);
+
+/// Solves the relaxation of `instance` from scratch via the shared kernel.
 [[nodiscard]] Relaxation relax(const Instance& instance);
 
 }  // namespace carbon::cover

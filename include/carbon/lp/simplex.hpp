@@ -1,4 +1,4 @@
-// Bounded-variable revised primal simplex.
+// Bounded-variable revised primal simplex over sparse (CSC) columns.
 //
 // Two phases: Phase 1 drives artificial variables out of an all-artificial
 // start basis, Phase 2 optimizes the real objective. Variables carry explicit
@@ -7,9 +7,16 @@
 // per-evaluation LP bounds affordable inside an evolutionary loop.
 //
 // The inverse basis is maintained densely with product-form pivot updates and
-// periodic refactorization (Gauss-Jordan with partial pivoting). Pricing is
-// Dantzig's rule with an automatic switch to Bland's rule after a stall
-// threshold, which guarantees termination.
+// periodic refactorization (Gauss-Jordan with partial pivoting), but every
+// kernel that touches constraint columns — pricing (column_dot), FTRAN
+// column formation, crash/residual accumulation, basis assembly — iterates
+// only the stored nonzeros. Skipping a `+= 0.0` term (and transposing a loop
+// whose skipped terms are exact zeros) is IEEE-exact, so the pivot sequence,
+// duals and primal values are bit-for-bit identical to the dense reference
+// kernels; SimplexOptions::use_dense_kernels keeps that reference path alive
+// for differential tests and benchmarks. Pricing is Dantzig's rule with an
+// automatic switch to Bland's rule after a stall threshold, which guarantees
+// termination.
 #pragma once
 
 #include <cstddef>
@@ -30,6 +37,11 @@ struct SimplexOptions {
   double feasibility_tol = 1e-7;
   double optimality_tol = 1e-7;
   double pivot_tol = 1e-9;
+  /// Route pricing/FTRAN/accumulation through dense reference kernels that
+  /// materialize every column (the pre-sparse implementation). Produces
+  /// bit-identical solutions to the sparse kernels; exists for differential
+  /// tests and the dense-vs-sparse microbenchmark.
+  bool use_dense_kernels = false;
 };
 
 /// An optimal basis snapshot usable to warm-start a subsequent solve of a
@@ -63,6 +75,14 @@ class SimplexSolver {
   // Column j of the full (structural + slack + artificial) matrix, densely.
   void full_column(std::size_t j, std::vector<double>& out) const;
   double column_dot(std::size_t j, const std::vector<double>& y) const;
+  /// out[i] += scale * A(i, j) over the stored nonzeros of column j.
+  void axpy_column(std::size_t j, double scale, std::vector<double>& out) const;
+  /// alpha = B^-1 A_j (the simplex FTRAN); tracks skipped MACs.
+  void ftran(std::size_t j, std::vector<double>& alpha);
+  /// (row i of B^-1) . A_j.
+  double binv_row_dot_column(std::size_t i, std::size_t j) const;
+  /// y^T = cB^T B^-1.
+  void compute_duals(std::vector<double>& y) const;
 
   void setup_phase1();
   /// Tries an all-slack "crash" basis with structural variables parked at
@@ -82,6 +102,7 @@ class SimplexSolver {
   double nonbasic_value(std::size_t j) const;
   /// Drives remaining basic artificials out (or pins redundant rows).
   void purge_artificials();
+  void export_stats(Solution& sol) const;
 
   const Problem& p_;
   SimplexOptions opt_;
@@ -96,12 +117,20 @@ class SimplexSolver {
   std::vector<double> slack_sign_;  // +1 for <=/=, -1 for >=
   std::vector<double> art_sign_;    // chosen at phase-1 setup
 
+  // Dense reference path only: structural columns materialized with their
+  // zeros, exactly as the pre-sparse Problem stored them.
+  std::vector<std::vector<double>> dense_cols_;
+  std::vector<double> col_scratch_;
+
   std::vector<VarStatus> status_;
   std::vector<std::size_t> basis_;  // basis_[i] = variable basic in row i
   DenseMatrix binv_;
   std::vector<double> xb_;          // values of basic variables
 
   int iterations_ = 0;
+  int refactorizations_ = 0;
+  long long ftran_skipped_ = 0;
+  bool warm_start_used_ = false;
   bool numerical_failure_ = false;
 };
 

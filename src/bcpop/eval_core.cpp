@@ -12,6 +12,7 @@
 #include "carbon/bilevel/gap.hpp"
 #include "carbon/cover/local_search.hpp"
 #include "carbon/gp/scoring.hpp"
+#include "carbon/obs/metrics.hpp"
 
 namespace carbon::bcpop {
 
@@ -99,22 +100,23 @@ cover::Relaxation solve_relaxation(EvalContext& ctx,
     ctx.ll_lp.objective[j] = pricing[j];
   }
   // Warm-start from a COPY of the fixed baseline so the basis stored in the
-  // context never drifts with evaluation order.
-  lp::Basis basis = ctx.baseline_basis;
-  const lp::Solution sol =
-      lp::solve(ctx.ll_lp, {}, basis.empty() ? nullptr : &basis);
-  cover::Relaxation relax;
-  if (sol.status == lp::SolveStatus::kOptimal) {
-    relax.feasible = true;
-    relax.lower_bound = sol.objective;
-    relax.duals = sol.duals;
-    relax.relaxed_x = sol.x;
-  } else if (sol.status != lp::SolveStatus::kInfeasible) {
-    throw std::runtime_error(
-        std::string("bcpop: LP relaxation failed with status ") +
-        lp::to_string(sol.status));
+  // context never drifts with evaluation order. The copy lands in the
+  // context's scratch basis, whose vectors keep their capacity across calls.
+  ctx.basis_scratch = ctx.baseline_basis;
+  return cover::solve_relaxation_lp(
+      ctx.ll_lp, {},
+      ctx.basis_scratch.empty() ? nullptr : &ctx.basis_scratch);
+}
+
+void record_lp_metrics(obs::MetricsRegistry* metrics,
+                       const cover::Relaxation& relax) {
+  if (metrics == nullptr) return;
+  metrics->add_counter("lp/iterations", relax.stats.iterations);
+  metrics->add_counter("lp/refactorizations", relax.stats.refactorizations);
+  if (relax.stats.warm_start_used) {
+    metrics->add_counter("lp/warm_start_hits");
   }
-  return relax;
+  metrics->add_counter("lp/ftran_nnz_skipped", relax.stats.ftran_nnz_skipped);
 }
 
 cover::SolveResult solve_with_heuristic(EvalContext& ctx,

@@ -15,7 +15,10 @@ Evaluator::RelaxationPtr Evaluator::relaxation(
     std::span<const double> pricing) {
   return cache_.get_or_compute(pricing, [this](std::span<const double> p) {
     obs::ScopedTimer timer(metrics_, "time/lp_relaxation");
-    return solve_relaxation(ctx_, p);
+    cover::Relaxation relax = solve_relaxation(ctx_, p);
+    timer.stop();
+    record_lp_metrics(metrics_, relax);
+    return relax;
   });
 }
 

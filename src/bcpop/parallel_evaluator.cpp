@@ -64,7 +64,10 @@ Evaluation ParallelEvaluator::evaluate_heuristic_job(
   const auto relax =
       cache_.get_or_compute(job.pricing, [&](std::span<const double> p) {
         obs::ScopedTimer timer(metrics_, "time/lp_relaxation");
-        return solve_relaxation(ctx, p);
+        cover::Relaxation r = solve_relaxation(ctx, p);
+        timer.stop();
+        record_lp_metrics(metrics_, r);
+        return r;
       });
   obs::ScopedTimer timer(metrics_, "time/ll_solve");
   const cover::SolveResult solved =
@@ -81,7 +84,10 @@ Evaluation ParallelEvaluator::evaluate_one(EvalContext& ctx,
   const auto relax =
       cache_.get_or_compute(job.pricing, [&](std::span<const double> p) {
         obs::ScopedTimer timer(metrics_, "time/lp_relaxation");
-        return solve_relaxation(ctx, p);
+        cover::Relaxation r = solve_relaxation(ctx, p);
+        timer.stop();
+        record_lp_metrics(metrics_, r);
+        return r;
       });
   charge(job.purpose);
   obs::ScopedTimer timer(metrics_, "time/ll_solve");

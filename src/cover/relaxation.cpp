@@ -1,6 +1,7 @@
 #include "carbon/cover/relaxation.hpp"
 
 #include <stdexcept>
+#include <vector>
 
 #include "carbon/lp/simplex.hpp"
 
@@ -14,22 +15,35 @@ lp::Problem build_relaxation_lp(const Instance& instance) {
   for (std::size_t j = 0; j < m; ++j) {
     p.add_variable(instance.cost(j), 0.0, 1.0);
   }
-  std::vector<double> row(m);
+  // Row k's nonzeros are exactly the suppliers of service k (quantities are
+  // validated non-negative, so q_jk > 0 <=> q_jk != 0). Constraints are added
+  // in ascending k, which keeps every column's row indices sorted.
+  std::vector<lp::RowEntry> entries;
   for (std::size_t k = 0; k < n; ++k) {
-    for (std::size_t j = 0; j < m; ++j) {
-      row[j] = static_cast<double>(instance.quantity(j, k));
+    const auto suppliers = instance.suppliers(k);
+    const auto quantities = instance.supplier_quantities(k);
+    entries.clear();
+    entries.reserve(suppliers.size());
+    for (std::size_t s = 0; s < suppliers.size(); ++s) {
+      entries.push_back({static_cast<std::size_t>(suppliers[s]),
+                         static_cast<double>(quantities[s])});
     }
-    p.add_constraint(row, lp::RowSense::kGreaterEqual,
+    p.add_constraint(entries, lp::RowSense::kGreaterEqual,
                      static_cast<double>(instance.demand(k)));
   }
   return p;
 }
 
-Relaxation relax(const Instance& instance) {
-  const lp::Problem p = build_relaxation_lp(instance);
-  const lp::Solution sol = lp::solve(p);
+Relaxation solve_relaxation_lp(const lp::Problem& problem,
+                               const lp::SimplexOptions& options,
+                               lp::Basis* warm) {
+  const lp::Solution sol = lp::solve(problem, options, warm);
 
   Relaxation out;
+  out.stats.iterations = sol.iterations;
+  out.stats.refactorizations = sol.refactorizations;
+  out.stats.warm_start_used = sol.warm_start_used;
+  out.stats.ftran_nnz_skipped = sol.ftran_nnz_skipped;
   switch (sol.status) {
     case lp::SolveStatus::kOptimal:
       out.feasible = true;
@@ -42,9 +56,14 @@ Relaxation relax(const Instance& instance) {
       return out;
     default:
       throw std::runtime_error(
-          std::string("cover::relax: LP solver failed with status ") +
+          std::string("cover: relaxation LP solver failed with status ") +
           lp::to_string(sol.status));
   }
+}
+
+Relaxation relax(const Instance& instance) {
+  const lp::Problem p = build_relaxation_lp(instance);
+  return solve_relaxation_lp(p, {}, nullptr);
 }
 
 }  // namespace carbon::cover

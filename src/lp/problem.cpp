@@ -1,22 +1,51 @@
 #include "carbon/lp/problem.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 
 namespace carbon::lp {
 
+std::size_t Problem::num_nonzeros() const noexcept {
+  std::size_t total = 0;
+  for (const SparseColumn& col : columns) total += col.nnz();
+  return total;
+}
+
+double Problem::coefficient(std::size_t row, std::size_t col) const {
+  const SparseColumn& c = columns[col];
+  const auto it = std::lower_bound(c.rows.begin(), c.rows.end(),
+                                   static_cast<std::int32_t>(row));
+  if (it == c.rows.end() || *it != static_cast<std::int32_t>(row)) return 0.0;
+  return c.values[static_cast<std::size_t>(it - c.rows.begin())];
+}
+
 std::size_t Problem::add_variable(double cost, double lo, double hi) {
   objective.push_back(cost);
   lower.push_back(lo);
   upper.push_back(hi);
-  columns.emplace_back(num_rows(), 0.0);
+  columns.emplace_back();
   return num_vars() - 1;
 }
 
 std::size_t Problem::add_constraint(const std::vector<double>& row,
                                     RowSense s, double b) {
-  for (std::size_t j = 0; j < num_vars(); ++j) {
-    columns[j].push_back(j < row.size() ? row[j] : 0.0);
+  const auto r = static_cast<std::int32_t>(num_rows());
+  for (std::size_t j = 0; j < num_vars() && j < row.size(); ++j) {
+    if (row[j] != 0.0) columns[j].push_back(r, row[j]);
+  }
+  rhs.push_back(b);
+  sense.push_back(s);
+  return num_rows() - 1;
+}
+
+std::size_t Problem::add_constraint(std::span<const RowEntry> entries,
+                                    RowSense s, double b) {
+  const auto r = static_cast<std::int32_t>(num_rows());
+  for (const RowEntry& e : entries) {
+    if (e.value != 0.0 && e.column < num_vars()) {
+      columns[e.column].push_back(r, e.value);
+    }
   }
   rhs.push_back(b);
   sense.push_back(s);
@@ -40,10 +69,22 @@ std::string Problem::validate() const {
     return err.str();
   }
   for (std::size_t j = 0; j < n; ++j) {
-    if (columns[j].size() != m) {
-      err << "column " << j << " has " << columns[j].size() << " rows, want "
-          << m;
+    const SparseColumn& col = columns[j];
+    if (col.rows.size() != col.values.size()) {
+      err << "column " << j << " has " << col.rows.size() << " row indices but "
+          << col.values.size() << " values";
       return err.str();
+    }
+    for (std::size_t k = 0; k < col.rows.size(); ++k) {
+      if (col.rows[k] < 0 || static_cast<std::size_t>(col.rows[k]) >= m) {
+        err << "column " << j << " references row " << col.rows[k]
+            << ", but the problem has " << m << " rows";
+        return err.str();
+      }
+      if (k > 0 && col.rows[k] <= col.rows[k - 1]) {
+        err << "column " << j << " row indices are not strictly increasing";
+        return err.str();
+      }
     }
     if (!std::isfinite(lower[j])) {
       err << "variable " << j << " must have a finite lower bound";

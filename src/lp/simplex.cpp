@@ -59,13 +59,32 @@ SimplexSolver::SimplexSolver(const Problem& problem,
         break;
     }
   }
+
+  if (opt_.use_dense_kernels) {
+    // Materialize the structural columns with their zeros — the layout (and
+    // memory traffic) of the pre-sparse implementation.
+    dense_cols_.assign(n_struct_, std::vector<double>(m_, 0.0));
+    for (std::size_t j = 0; j < n_struct_; ++j) {
+      const SparseColumn& col = p_.columns[j];
+      for (std::size_t k = 0; k < col.nnz(); ++k) {
+        dense_cols_[j][static_cast<std::size_t>(col.rows[k])] = col.values[k];
+      }
+    }
+  }
 }
 
 void SimplexSolver::full_column(std::size_t j, std::vector<double>& out) const {
   out.assign(m_, 0.0);
   if (j < n_struct_) {
-    const auto& col = p_.columns[j];
-    std::copy(col.begin(), col.end(), out.begin());
+    if (opt_.use_dense_kernels) {
+      const auto& col = dense_cols_[j];
+      std::copy(col.begin(), col.end(), out.begin());
+    } else {
+      const SparseColumn& col = p_.columns[j];
+      for (std::size_t k = 0; k < col.nnz(); ++k) {
+        out[static_cast<std::size_t>(col.rows[k])] = col.values[k];
+      }
+    }
   } else if (j < n_struct_ + m_) {
     out[j - n_struct_] = slack_sign_[j - n_struct_];
   } else {
@@ -76,15 +95,129 @@ void SimplexSolver::full_column(std::size_t j, std::vector<double>& out) const {
 double SimplexSolver::column_dot(std::size_t j,
                                  const std::vector<double>& y) const {
   if (j < n_struct_) {
-    const auto& col = p_.columns[j];
+    if (opt_.use_dense_kernels) {
+      const auto& col = dense_cols_[j];
+      double acc = 0.0;
+      for (std::size_t i = 0; i < m_; ++i) acc += col[i] * y[i];
+      return acc;
+    }
+    // Skipped terms are exact zeros (0.0 * y_i adds +-0.0, which never
+    // changes a sum that starts at +0.0), so this is bit-identical to the
+    // dense loop.
+    const SparseColumn& col = p_.columns[j];
+    const std::size_t nnz = col.nnz();
     double acc = 0.0;
-    for (std::size_t i = 0; i < m_; ++i) acc += col[i] * y[i];
+    for (std::size_t k = 0; k < nnz; ++k) {
+      acc += col.values[k] * y[static_cast<std::size_t>(col.rows[k])];
+    }
     return acc;
   }
   if (j < n_struct_ + m_) {
     return slack_sign_[j - n_struct_] * y[j - n_struct_];
   }
   return art_sign_[j - n_struct_ - m_] * y[j - n_struct_ - m_];
+}
+
+void SimplexSolver::axpy_column(std::size_t j, double scale,
+                                std::vector<double>& out) const {
+  if (j < n_struct_) {
+    if (opt_.use_dense_kernels) {
+      const auto& col = dense_cols_[j];
+      for (std::size_t i = 0; i < m_; ++i) out[i] += scale * col[i];
+      return;
+    }
+    const SparseColumn& col = p_.columns[j];
+    const std::size_t nnz = col.nnz();
+    for (std::size_t k = 0; k < nnz; ++k) {
+      out[static_cast<std::size_t>(col.rows[k])] += scale * col.values[k];
+    }
+  } else if (j < n_struct_ + m_) {
+    out[j - n_struct_] += scale * slack_sign_[j - n_struct_];
+  } else {
+    out[j - n_struct_ - m_] += scale * art_sign_[j - n_struct_ - m_];
+  }
+}
+
+void SimplexSolver::ftran(std::size_t j, std::vector<double>& alpha) {
+  if (opt_.use_dense_kernels) {
+    full_column(j, col_scratch_);
+    for (std::size_t i = 0; i < m_; ++i) {
+      double acc = 0.0;
+      const auto brow = binv_.row(i);
+      for (std::size_t r = 0; r < m_; ++r) acc += brow[r] * col_scratch_[r];
+      alpha[i] = acc;
+    }
+    return;
+  }
+  if (j < n_struct_) {
+    const SparseColumn& col = p_.columns[j];
+    const std::size_t nnz = col.nnz();
+    for (std::size_t i = 0; i < m_; ++i) {
+      double acc = 0.0;
+      const auto brow = binv_.row(i);
+      for (std::size_t k = 0; k < nnz; ++k) {
+        acc += brow[static_cast<std::size_t>(col.rows[k])] * col.values[k];
+      }
+      alpha[i] = acc;
+    }
+    ftran_skipped_ +=
+        static_cast<long long>(m_) * static_cast<long long>(m_ - nnz);
+  } else {
+    const bool slack = j < n_struct_ + m_;
+    const std::size_t r = slack ? j - n_struct_ : j - n_struct_ - m_;
+    const double sign = slack ? slack_sign_[r] : art_sign_[r];
+    for (std::size_t i = 0; i < m_; ++i) alpha[i] = binv_(i, r) * sign;
+    ftran_skipped_ +=
+        static_cast<long long>(m_) * static_cast<long long>(m_ - 1);
+  }
+}
+
+double SimplexSolver::binv_row_dot_column(std::size_t i, std::size_t j) const {
+  const auto brow = binv_.row(i);
+  if (j >= n_struct_ || opt_.use_dense_kernels) {
+    double acc = 0.0;
+    if (j >= n_struct_) {
+      const bool slack = j < n_struct_ + m_;
+      const std::size_t r = slack ? j - n_struct_ : j - n_struct_ - m_;
+      return brow[r] * (slack ? slack_sign_[r] : art_sign_[r]);
+    }
+    const auto& col = dense_cols_[j];
+    for (std::size_t r = 0; r < m_; ++r) acc += brow[r] * col[r];
+    return acc;
+  }
+  const SparseColumn& col = p_.columns[j];
+  const std::size_t nnz = col.nnz();
+  double acc = 0.0;
+  for (std::size_t k = 0; k < nnz; ++k) {
+    acc += brow[static_cast<std::size_t>(col.rows[k])] * col.values[k];
+  }
+  return acc;
+}
+
+void SimplexSolver::compute_duals(std::vector<double>& y) const {
+  if (opt_.use_dense_kernels) {
+    // Reference kernel: column-strided walk of B^-1, no zero-cost skip.
+    for (std::size_t i = 0; i < m_; ++i) {
+      double acc = 0.0;
+      for (std::size_t r = 0; r < m_; ++r) {
+        acc += cost_[basis_[r]] * binv_(r, i);
+      }
+      y[i] = acc;
+    }
+    return;
+  }
+  // Transposed accumulation: per y[i] the terms arrive in the same ascending
+  // r order as the reference loop, minus exact-zero cB terms, so the result
+  // is bit-identical — but B^-1 is now streamed row-major, and rows whose
+  // basic variable has zero cost (all of Phase 1's non-artificials, every
+  // slack-basic row of Phase 2) are skipped outright.
+  std::fill(y.begin(), y.end(), 0.0);
+  for (std::size_t r = 0; r < m_; ++r) {
+    const double cr = cost_[basis_[r]];
+    if (cr == 0.0) continue;
+    const auto brow = binv_.row(r);
+    for (std::size_t i = 0; i < m_; ++i) y[i] += cr * brow[i];
+  }
 }
 
 double SimplexSolver::nonbasic_value(std::size_t j) const {
@@ -102,12 +235,7 @@ void SimplexSolver::setup_phase1() {
   for (std::size_t j = 0; j < n_struct_ + m_; ++j) {
     const double v = nonbasic_value(j);
     if (v == 0.0) continue;
-    if (j < n_struct_) {
-      const auto& col = p_.columns[j];
-      for (std::size_t i = 0; i < m_; ++i) residual[i] -= col[i] * v;
-    } else {
-      residual[j - n_struct_] -= slack_sign_[j - n_struct_] * v;
-    }
+    axpy_column(j, -v, residual);
   }
 
   basis_.resize(m_);
@@ -208,8 +336,7 @@ bool SimplexSolver::try_crash_start(bool structural_at_upper) {
     const double v =
         status[j] == VarStatus::kAtUpper ? upper_[j] : lower_[j];
     if (v == 0.0) continue;
-    const auto& col = p_.columns[j];
-    for (std::size_t i = 0; i < m_; ++i) activity[i] += col[i] * v;
+    axpy_column(j, v, activity);
   }
 
   // Slack i value solving (Ax)_i + sign_i * s_i = b_i.
@@ -251,11 +378,30 @@ void SimplexSolver::enter_phase2() {
 }
 
 bool SimplexSolver::refactorize() {
+  ++refactorizations_;
   DenseMatrix b(m_, m_);
-  std::vector<double> col;
-  for (std::size_t i = 0; i < m_; ++i) {
-    full_column(basis_[i], col);
-    for (std::size_t r = 0; r < m_; ++r) b(r, i) = col[r];
+  if (opt_.use_dense_kernels) {
+    std::vector<double> col;
+    for (std::size_t i = 0; i < m_; ++i) {
+      full_column(basis_[i], col);
+      for (std::size_t r = 0; r < m_; ++r) b(r, i) = col[r];
+    }
+  } else {
+    // Scatter only the nonzeros; b starts zero-filled, so the assembled
+    // matrix is bit-identical to the dense copy above.
+    for (std::size_t i = 0; i < m_; ++i) {
+      const std::size_t j = basis_[i];
+      if (j < n_struct_) {
+        const SparseColumn& col = p_.columns[j];
+        for (std::size_t k = 0; k < col.nnz(); ++k) {
+          b(static_cast<std::size_t>(col.rows[k]), i) = col.values[k];
+        }
+      } else if (j < n_struct_ + m_) {
+        b(j - n_struct_, i) = slack_sign_[j - n_struct_];
+      } else {
+        b(j - n_struct_ - m_, i) = art_sign_[j - n_struct_ - m_];
+      }
+    }
   }
   if (!b.invert(opt_.pivot_tol)) return false;
   binv_ = std::move(b);
@@ -266,23 +412,16 @@ bool SimplexSolver::refactorize() {
 void SimplexSolver::recompute_basic_values() {
   // xB = B^-1 (b - N xN)
   std::vector<double> rhs(p_.rhs);
-  std::vector<double> col;
   for (std::size_t j = 0; j < n_total_; ++j) {
     if (status_[j] == VarStatus::kBasic) continue;
     const double v = nonbasic_value(j);
     if (v == 0.0) continue;
-    if (j < n_struct_) {
-      const auto& c = p_.columns[j];
-      for (std::size_t i = 0; i < m_; ++i) rhs[i] -= c[i] * v;
-    } else if (j < n_struct_ + m_) {
-      rhs[j - n_struct_] -= slack_sign_[j - n_struct_] * v;
-    } else {
-      rhs[j - n_struct_ - m_] -= art_sign_[j - n_struct_ - m_] * v;
-    }
+    axpy_column(j, -v, rhs);
   }
   for (std::size_t i = 0; i < m_; ++i) {
     double acc = 0.0;
-    for (std::size_t r = 0; r < m_; ++r) acc += binv_(i, r) * rhs[r];
+    const auto brow = binv_.row(i);
+    for (std::size_t r = 0; r < m_; ++r) acc += brow[r] * rhs[r];
     xb_[i] = acc;
   }
 }
@@ -290,7 +429,6 @@ void SimplexSolver::recompute_basic_values() {
 SolveStatus SimplexSolver::iterate(bool phase1) {
   std::vector<double> y(m_);
   std::vector<double> alpha(m_);
-  std::vector<double> col;
   int phase_iterations = 0;
 
   for (;;) {
@@ -303,13 +441,7 @@ SolveStatus SimplexSolver::iterate(bool phase1) {
     }
 
     // Duals: y^T = cB^T B^-1.
-    for (std::size_t i = 0; i < m_; ++i) {
-      double acc = 0.0;
-      for (std::size_t r = 0; r < m_; ++r) {
-        acc += cost_[basis_[r]] * binv_(r, i);
-      }
-      y[i] = acc;
-    }
+    compute_duals(y);
 
     // Pricing. Entering direction sigma: +1 when increasing from lower,
     // -1 when decreasing from upper.
@@ -349,12 +481,7 @@ SolveStatus SimplexSolver::iterate(bool phase1) {
     }
 
     // FTRAN: alpha = B^-1 A_entering.
-    full_column(entering, col);
-    for (std::size_t i = 0; i < m_; ++i) {
-      double acc = 0.0;
-      for (std::size_t r = 0; r < m_; ++r) acc += binv_(i, r) * col[r];
-      alpha[i] = acc;
-    }
+    ftran(entering, alpha);
 
     // Ratio test. Basic value change: xB_i -= sigma * alpha_i * t, t >= 0.
     double t_max = upper_[entering] - lower_[entering];  // bound flip
@@ -429,7 +556,9 @@ SolveStatus SimplexSolver::iterate(bool phase1) {
     basis_[leaving_row] = entering;
     status_[entering] = VarStatus::kBasic;
 
-    // Product-form update of B^-1.
+    // Product-form update of B^-1. A rank-1 update row whose pivot-column
+    // entry is exactly zero is skipped — the update would add 0 * row, which
+    // is the identity, so skipping it is IEEE-exact.
     const double inv_pivot = 1.0 / pivot;
     for (std::size_t c = 0; c < m_; ++c) binv_(leaving_row, c) *= inv_pivot;
     for (std::size_t i = 0; i < m_; ++i) {
@@ -445,7 +574,6 @@ SolveStatus SimplexSolver::iterate(bool phase1) {
 
 void SimplexSolver::purge_artificials() {
   std::vector<double> alpha(m_);
-  std::vector<double> col;
   for (std::size_t i = 0; i < m_; ++i) {
     if (basis_[i] < n_struct_ + m_) continue;  // not artificial
     // Degenerate pivot: replace the artificial with any non-artificial column
@@ -453,9 +581,7 @@ void SimplexSolver::purge_artificials() {
     bool replaced = false;
     for (std::size_t j = 0; j < n_struct_ + m_ && !replaced; ++j) {
       if (status_[j] == VarStatus::kBasic) continue;
-      full_column(j, col);
-      double entry = 0.0;
-      for (std::size_t r = 0; r < m_; ++r) entry += binv_(i, r) * col[r];
+      const double entry = binv_row_dot_column(i, j);
       if (std::abs(entry) < 1e-7) continue;
       // t = 0 pivot (the artificial is at value 0, so nothing moves).
       const std::size_t art = basis_[i];
@@ -464,11 +590,7 @@ void SimplexSolver::purge_artificials() {
       status_[j] = VarStatus::kBasic;
       const double inv_pivot = 1.0 / entry;
       // alpha = B^-1 A_j for the binv update.
-      for (std::size_t r = 0; r < m_; ++r) {
-        double acc = 0.0;
-        for (std::size_t c = 0; c < m_; ++c) acc += binv_(r, c) * col[c];
-        alpha[r] = acc;
-      }
+      ftran(j, alpha);
       for (std::size_t c = 0; c < m_; ++c) binv_(i, c) *= inv_pivot;
       for (std::size_t r = 0; r < m_; ++r) {
         if (r == i) continue;
@@ -486,10 +608,18 @@ void SimplexSolver::purge_artificials() {
   }
 }
 
+void SimplexSolver::export_stats(Solution& sol) const {
+  sol.iterations = iterations_;
+  sol.refactorizations = refactorizations_;
+  sol.warm_start_used = warm_start_used_;
+  sol.ftran_nnz_skipped = ftran_skipped_;
+}
+
 Solution SimplexSolver::run(Basis* warm) {
   Solution sol;
 
-  bool started = warm != nullptr && !warm->empty() && try_warm_start(*warm);
+  warm_start_used_ = warm != nullptr && !warm->empty() && try_warm_start(*warm);
+  bool started = warm_start_used_;
   if (!started) {
     started = try_crash_start(/*structural_at_upper=*/false) ||
               try_crash_start(/*structural_at_upper=*/true);
@@ -500,7 +630,7 @@ Solution SimplexSolver::run(Basis* warm) {
     if (phase1_status == SolveStatus::kIterationLimit ||
         phase1_status == SolveStatus::kNumericalFailure) {
       sol.status = phase1_status;
-      sol.iterations = iterations_;
+      export_stats(sol);
       return sol;
     }
     // Phase-1 objective = sum of artificial values.
@@ -510,7 +640,7 @@ Solution SimplexSolver::run(Basis* warm) {
     }
     if (infeas > opt_.feasibility_tol * (1.0 + std::abs(infeas))) {
       sol.status = SolveStatus::kInfeasible;
-      sol.iterations = iterations_;
+      export_stats(sol);
       return sol;
     }
     purge_artificials();
@@ -521,7 +651,7 @@ Solution SimplexSolver::run(Basis* warm) {
   recompute_basic_values();
   st = iterate(/*phase1=*/false);
   sol.status = st;
-  sol.iterations = iterations_;
+  export_stats(sol);
   if (st != SolveStatus::kOptimal) return sol;
 
   // Extract the primal point.
@@ -545,13 +675,7 @@ Solution SimplexSolver::run(Basis* warm) {
 
   // Duals and reduced costs.
   sol.duals.assign(m_, 0.0);
-  for (std::size_t i = 0; i < m_; ++i) {
-    double acc = 0.0;
-    for (std::size_t r = 0; r < m_; ++r) {
-      acc += cost_[basis_[r]] * binv_(r, i);
-    }
-    sol.duals[i] = acc;
-  }
+  compute_duals(sol.duals);
   sol.reduced_costs.assign(n_struct_, 0.0);
   for (std::size_t j = 0; j < n_struct_; ++j) {
     sol.reduced_costs[j] = p_.objective[j] - column_dot(j, sol.duals);

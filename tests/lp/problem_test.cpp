@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+
 namespace carbon::lp {
 namespace {
 
@@ -12,8 +14,9 @@ TEST(Problem, AddVariableAndConstraintShapes) {
   EXPECT_EQ(p.add_constraint({1.0, 2.0}, RowSense::kLessEqual, 3.0), 0u);
   EXPECT_EQ(p.num_vars(), 2u);
   EXPECT_EQ(p.num_rows(), 1u);
-  EXPECT_DOUBLE_EQ(p.columns[0][0], 1.0);
-  EXPECT_DOUBLE_EQ(p.columns[1][0], 2.0);
+  EXPECT_DOUBLE_EQ(p.coefficient(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(p.coefficient(0, 1), 2.0);
+  EXPECT_EQ(p.num_nonzeros(), 2u);
   EXPECT_TRUE(p.validate().empty());
 }
 
@@ -22,17 +25,68 @@ TEST(Problem, ShortRowIsZeroPadded) {
   p.add_variable(1.0, 0.0, 1.0);
   p.add_variable(1.0, 0.0, 1.0);
   p.add_constraint({5.0}, RowSense::kEqual, 5.0);  // second coeff implied 0
-  EXPECT_DOUBLE_EQ(p.columns[1][0], 0.0);
+  EXPECT_DOUBLE_EQ(p.coefficient(0, 1), 0.0);
+  EXPECT_EQ(p.columns[1].nnz(), 0u);  // implied zero is not stored
   EXPECT_TRUE(p.validate().empty());
+}
+
+TEST(Problem, DenseRowZerosAreNotStored) {
+  Problem p;
+  p.add_variable(1.0, 0.0, 1.0);
+  p.add_variable(1.0, 0.0, 1.0);
+  p.add_variable(1.0, 0.0, 1.0);
+  p.add_constraint({1.0, 0.0, 3.0}, RowSense::kGreaterEqual, 1.0);
+  EXPECT_EQ(p.num_nonzeros(), 2u);
+  EXPECT_DOUBLE_EQ(p.coefficient(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(p.coefficient(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(p.coefficient(0, 2), 3.0);
+  EXPECT_TRUE(p.validate().empty());
+}
+
+TEST(Problem, SparseConstraintOverload) {
+  Problem p;
+  p.add_variable(1.0, 0.0, 1.0);
+  p.add_variable(1.0, 0.0, 1.0);
+  p.add_variable(1.0, 0.0, 1.0);
+  const std::array<RowEntry, 2> row0 = {{{0, 2.0}, {2, 4.0}}};
+  const std::array<RowEntry, 2> row1 = {{{1, 5.0}, {2, 0.0}}};  // 0 dropped
+  EXPECT_EQ(p.add_constraint(row0, RowSense::kGreaterEqual, 1.0), 0u);
+  EXPECT_EQ(p.add_constraint(row1, RowSense::kLessEqual, 7.0), 1u);
+  EXPECT_EQ(p.num_nonzeros(), 3u);
+  EXPECT_DOUBLE_EQ(p.coefficient(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(p.coefficient(0, 2), 4.0);
+  EXPECT_DOUBLE_EQ(p.coefficient(1, 1), 5.0);
+  EXPECT_DOUBLE_EQ(p.coefficient(1, 2), 0.0);
+  EXPECT_TRUE(p.validate().empty());
+}
+
+TEST(Problem, SparseAndDenseConstraintsBuildIdenticalColumns) {
+  Problem dense;
+  Problem sparse;
+  for (int j = 0; j < 3; ++j) {
+    dense.add_variable(1.0, 0.0, 1.0);
+    sparse.add_variable(1.0, 0.0, 1.0);
+  }
+  dense.add_constraint({1.0, 0.0, 2.0}, RowSense::kGreaterEqual, 1.0);
+  dense.add_constraint({0.0, 3.0, 4.0}, RowSense::kGreaterEqual, 2.0);
+  const std::array<RowEntry, 2> row0 = {{{0, 1.0}, {2, 2.0}}};
+  const std::array<RowEntry, 2> row1 = {{{1, 3.0}, {2, 4.0}}};
+  sparse.add_constraint(row0, RowSense::kGreaterEqual, 1.0);
+  sparse.add_constraint(row1, RowSense::kGreaterEqual, 2.0);
+  ASSERT_EQ(dense.columns.size(), sparse.columns.size());
+  for (std::size_t j = 0; j < dense.columns.size(); ++j) {
+    EXPECT_EQ(dense.columns[j].rows, sparse.columns[j].rows);
+    EXPECT_EQ(dense.columns[j].values, sparse.columns[j].values);
+  }
 }
 
 TEST(Problem, VariablesAddedAfterConstraints) {
   Problem p;
   p.add_variable(1.0, 0.0, 1.0);
   p.add_constraint({1.0}, RowSense::kGreaterEqual, 0.5);
-  p.add_variable(2.0, 0.0, 1.0);  // new column must have the row slot
-  EXPECT_EQ(p.columns[1].size(), 1u);
-  EXPECT_DOUBLE_EQ(p.columns[1][0], 0.0);
+  p.add_variable(2.0, 0.0, 1.0);  // new column starts empty
+  EXPECT_EQ(p.columns[1].nnz(), 0u);
+  EXPECT_DOUBLE_EQ(p.coefficient(0, 1), 0.0);
   EXPECT_TRUE(p.validate().empty());
 }
 
@@ -55,11 +109,28 @@ TEST(Problem, ValidateCatchesNonFiniteRhs) {
   EXPECT_FALSE(p.validate().empty());
 }
 
-TEST(Problem, ValidateCatchesColumnSizeMismatch) {
+TEST(Problem, ValidateCatchesRaggedColumn) {
   Problem p;
   p.add_variable(1.0, 0.0, 1.0);
   p.add_constraint({1.0}, RowSense::kLessEqual, 1.0);
-  p.columns[0].push_back(9.0);  // corrupt
+  p.columns[0].values.push_back(9.0);  // value with no row index
+  EXPECT_FALSE(p.validate().empty());
+}
+
+TEST(Problem, ValidateCatchesOutOfRangeRowIndex) {
+  Problem p;
+  p.add_variable(1.0, 0.0, 1.0);
+  p.add_constraint({1.0}, RowSense::kLessEqual, 1.0);
+  p.columns[0].push_back(5, 9.0);  // row 5 does not exist
+  EXPECT_FALSE(p.validate().empty());
+}
+
+TEST(Problem, ValidateCatchesUnsortedRowIndices) {
+  Problem p;
+  p.add_variable(1.0, 0.0, 1.0);
+  p.add_constraint({1.0}, RowSense::kLessEqual, 1.0);
+  p.add_constraint({2.0}, RowSense::kLessEqual, 1.0);
+  std::swap(p.columns[0].rows[0], p.columns[0].rows[1]);
   EXPECT_FALSE(p.validate().empty());
 }
 

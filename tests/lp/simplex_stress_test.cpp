@@ -18,7 +18,7 @@ double brute_force_2var(const Problem& p) {
   };
   std::vector<Line> lines;
   for (std::size_t i = 0; i < p.num_rows(); ++i) {
-    lines.push_back({p.columns[0][i], p.columns[1][i], p.rhs[i]});
+    lines.push_back({p.coefficient(i, 0), p.coefficient(i, 1), p.rhs[i]});
   }
   // Bounds as lines.
   for (int v = 0; v < 2; ++v) {
@@ -46,7 +46,7 @@ double brute_force_2var(const Problem& p) {
     if (std::isfinite(p.upper[0]) && x > p.upper[0] + 1e-7) return false;
     if (std::isfinite(p.upper[1]) && y > p.upper[1] + 1e-7) return false;
     for (std::size_t i = 0; i < p.num_rows(); ++i) {
-      const double lhs = p.columns[0][i] * x + p.columns[1][i] * y;
+      const double lhs = p.coefficient(i, 0) * x + p.coefficient(i, 1) * y;
       switch (p.sense[i]) {
         case RowSense::kLessEqual:
           if (lhs > p.rhs[i] + 1e-7) return false;

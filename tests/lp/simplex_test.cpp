@@ -284,7 +284,107 @@ TEST(SimplexWarmStart, GarbageBasisFallsBackGracefully) {
   garbage.basic_vars = {999};    // out of range
   const Solution s = solve(p, {}, &garbage);
   ASSERT_TRUE(s.optimal());
+  EXPECT_FALSE(s.warm_start_used);
   EXPECT_NEAR(s.objective, 0.5, 1e-9);
+}
+
+// Each rejection path must fall back to the crash/Phase-1 start and land on
+// the same solution a cold solve computes, bit for bit (the fallback runs
+// the identical deterministic code path).
+namespace {
+
+void expect_identical_to_cold(const Problem& p, Basis bad) {
+  const Solution cold = solve(p);
+  const Solution fell_back = solve(p, {}, &bad);
+  ASSERT_TRUE(cold.optimal());
+  ASSERT_TRUE(fell_back.optimal());
+  EXPECT_FALSE(fell_back.warm_start_used);
+  EXPECT_EQ(fell_back.iterations, cold.iterations);
+  EXPECT_EQ(fell_back.objective, cold.objective);
+  EXPECT_EQ(fell_back.x, cold.x);
+  EXPECT_EQ(fell_back.duals, cold.duals);
+  EXPECT_EQ(fell_back.reduced_costs, cold.reduced_costs);
+}
+
+/// min x0+x1 s.t. x0+x1 >= 0.5, x in [0,1]; the problems below corrupt a
+/// basis for this LP (n_struct = 2, m = 1: status size 3, one basic var).
+Problem tiny_covering_lp() {
+  Problem p;
+  p.add_variable(1, 0, 1);
+  p.add_variable(1, 0, 1);
+  p.add_constraint({1, 1}, RowSense::kGreaterEqual, 0.5);
+  return p;
+}
+
+}  // namespace
+
+TEST(SimplexWarmStart, WrongSizeBasisRejected) {
+  const Problem p = tiny_covering_lp();
+  Basis bad;
+  bad.status = {2, 0};      // too short: needs n_struct + m = 3 entries
+  bad.basic_vars = {0};
+  expect_identical_to_cold(p, bad);
+
+  Basis bad2;
+  bad2.status = {2, 0, 0};
+  bad2.basic_vars = {0, 1};  // too many basic variables for one row
+  expect_identical_to_cold(p, bad2);
+}
+
+TEST(SimplexWarmStart, SingularBasisRejected) {
+  // Two variables with identical columns: a basis made of both is singular,
+  // so refactorize() must fail and the solve fall back.
+  Problem p;
+  p.add_variable(1, 0, kInfinity);
+  p.add_variable(2, 0, kInfinity);
+  p.add_constraint({1, 1}, RowSense::kGreaterEqual, 1);
+  p.add_constraint({1, 1}, RowSense::kLessEqual, 3);
+  Basis singular;
+  singular.status = {2, 2, 0, 0};
+  singular.basic_vars = {0, 1};
+  expect_identical_to_cold(p, singular);
+}
+
+TEST(SimplexWarmStart, PrimalInfeasibleBasisRejected) {
+  // With x1 parked at its upper bound, the basic x0 would need value
+  // 0.5 - 1 = -0.5 < lower: the basis refactorizes fine but fails the
+  // primal feasibility check.
+  const Problem p = tiny_covering_lp();
+  Basis infeasible;
+  infeasible.status = {2, 1, 0};
+  infeasible.basic_vars = {0};
+  expect_identical_to_cold(p, infeasible);
+}
+
+TEST(SimplexWarmStart, AtUpperStatusWithInfiniteBoundRejected) {
+  Problem p;
+  p.add_variable(1, 0, kInfinity);
+  p.add_variable(1, 0, 1);
+  p.add_constraint({1, 1}, RowSense::kGreaterEqual, 0.5);
+  Basis bad;
+  bad.status = {1, 0, 2};  // x0 "at upper" but its upper bound is infinite
+  bad.basic_vars = {2};    // slack basic
+  expect_identical_to_cold(p, bad);
+}
+
+TEST(SimplexWarmStart, BasicStatusWithoutBasisEntryRejected) {
+  const Problem p = tiny_covering_lp();
+  Basis bad;
+  bad.status = {2, 2, 0};  // claims two basic variables...
+  bad.basic_vars = {0};    // ...but only one row/basis slot
+  expect_identical_to_cold(p, bad);
+}
+
+TEST(SimplexWarmStart, AcceptedBasisReportsWarmStartUsed) {
+  Problem p = tiny_covering_lp();
+  Basis warm;
+  const Solution first = solve(p, {}, &warm);
+  ASSERT_TRUE(first.optimal());
+  ASSERT_FALSE(warm.empty());
+  p.objective[0] = 3.0;  // cost change keeps the basis primal-feasible
+  const Solution again = solve(p, {}, &warm);
+  ASSERT_TRUE(again.optimal());
+  EXPECT_TRUE(again.warm_start_used);
 }
 
 }  // namespace

@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
-# Builds and runs the GP-evaluation microbenchmark, leaving its results in
-# BENCH_gp_eval.json at the repository root.
+# Builds and runs the microbenchmarks, leaving their results at the
+# repository root: BENCH_gp_eval.json (GP scoring-tree evaluation) and
+# BENCH_lp_simplex.json (dense-vs-sparse simplex kernels + end-to-end
+# warm-started relaxation batch).
 #
 # Usage: tools/run_bench.sh [build-dir]   (default: build)
 set -euo pipefail
@@ -9,5 +11,6 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
 
 cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release -DCARBON_BUILD_BENCH=ON
-cmake --build "${BUILD_DIR}" -j --target micro_gp_eval
+cmake --build "${BUILD_DIR}" -j --target micro_gp_eval micro_lp_simplex
 "./${BUILD_DIR}/bench/micro_gp_eval" BENCH_gp_eval.json
+"./${BUILD_DIR}/bench/micro_lp_simplex" BENCH_lp_simplex.json

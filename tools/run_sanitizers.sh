@@ -15,11 +15,15 @@ cd "$(dirname "$0")/.."
 # parallel evaluator (including the capacity-1 eviction churn, the
 # thread-count-invariance runs, and the compiled-scoring batch memo), the
 # compiled-program fuzz (per-context register scratch must stay
-# thread-private), and the metrics registry (sharded counters/timers
-# hammered from pool workers while a reader snapshots). This is the same
+# thread-private), the metrics registry (sharded counters/timers
+# hammered from pool workers while a reader snapshots), and the LP
+# dense-vs-sparse differential suite (the sparse kernels index through
+# CSC arrays in every inner loop; ASan/UBSan verify those accesses on
+# randomized degenerate/infeasible/unbounded instances). This is the same
 # set labeled `sanitizer-critical` in tests/CMakeLists.txt.
 TESTS=(thread_pool_test metrics_test relaxation_cache_test
-       bcpop_evaluator_test parallel_evaluator_test gp_compiled_test)
+       bcpop_evaluator_test parallel_evaluator_test gp_compiled_test
+       simplex_differential_test)
 
 FAILED=()
 

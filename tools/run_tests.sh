@@ -2,7 +2,8 @@
 # Tiered test runner over the ctest labels declared in tests/CMakeLists.txt.
 #
 # Usage: tools/run_tests.sh [tier] [build-dir]
-#   tier: unit | integration | sanitizer-critical | all   (default: all)
+#   tier: unit | integration | sanitizer-critical | bench-smoke | all
+#         (default: all)
 #   build-dir: defaults to ./build (configured+built if missing)
 #
 # Tiers:
@@ -11,6 +12,9 @@
 #                        golden-trajectory)
 #   sanitizer-critical — the concurrency surface; tools/run_sanitizers.sh
 #                        runs the same set again under TSan/ASan
+#   bench-smoke        — microbenchmarks (micro_lp_simplex, micro_gp_eval)
+#                        with tiny iteration counts: exercises their
+#                        bit-exactness guards and JSON output, not timings
 #   all                — every registered test
 set -euo pipefail
 
@@ -20,9 +24,9 @@ TIER="${1:-all}"
 BUILD_DIR="${2:-build}"
 
 case "${TIER}" in
-  unit|integration|sanitizer-critical|all) ;;
+  unit|integration|sanitizer-critical|bench-smoke|all) ;;
   *)
-    echo "usage: tools/run_tests.sh [unit|integration|sanitizer-critical|all] [build-dir]" >&2
+    echo "usage: tools/run_tests.sh [unit|integration|sanitizer-critical|bench-smoke|all] [build-dir]" >&2
     exit 1
     ;;
 esac
