@@ -40,6 +40,10 @@ struct Evaluation {
   double lower_bound = 0.0;   ///< LB(x): relaxation optimum.
   double gap_percent = 0.0;   ///< Eq. (1).
   std::vector<std::uint8_t> selection;  ///< Follower decision vector.
+
+  /// Field-wise (bitwise for doubles) equality; the checkpoint round-trip
+  /// tests rely on this being exact.
+  bool operator==(const Evaluation&) const = default;
 };
 
 /// One heuristic-driven evaluation request in a batch. The referenced

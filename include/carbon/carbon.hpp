@@ -39,6 +39,7 @@
 #include "carbon/common/stopwatch.hpp"
 #include "carbon/common/thread_pool.hpp"
 #include "carbon/core/carbon_solver.hpp"
+#include "carbon/core/checkpoint.hpp"
 #include "carbon/core/config.hpp"
 #include "carbon/core/experiment.hpp"
 #include "carbon/core/result.hpp"

@@ -20,6 +20,7 @@
 #include <cstdint>
 
 #include "carbon/bcpop/evaluator.hpp"
+#include "carbon/core/checkpoint.hpp"
 #include "carbon/core/result.hpp"
 #include "carbon/ea/binary_ops.hpp"
 #include "carbon/ea/real_ops.hpp"
@@ -71,6 +72,11 @@ struct CobraConfig {
   /// Optional run telemetry; same semantics (borrowed sinks, bit-identical
   /// trajectories either way) as CarbonConfig::telemetry.
   obs::TelemetryConfig telemetry{};
+
+  /// Crash-safe checkpoint/resume; same semantics as
+  /// CarbonConfig::checkpoint, except checkpoints land on the first
+  /// outer-round boundary at or past each multiple of `every`.
+  core::CheckpointConfig checkpoint{};
 };
 
 class CobraSolver {

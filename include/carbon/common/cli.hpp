@@ -17,10 +17,18 @@ class CliArgs {
   [[nodiscard]] bool has(const std::string& name) const;
   [[nodiscard]] std::string get(const std::string& name,
                                 const std::string& fallback) const;
+  /// Strict numeric accessors: the whole value must parse (trailing garbage
+  /// such as "--threads 4x" is rejected, not truncated to 4). Throw
+  /// std::invalid_argument naming the flag and the offending value.
   [[nodiscard]] long long get_int(const std::string& name,
                                   long long fallback) const;
   [[nodiscard]] double get_double(const std::string& name,
                                   double fallback) const;
+  /// Like get_int, but additionally requires the value to be strictly
+  /// positive — for counts (threads, budgets, cadences) stored in unsigned
+  /// or size-typed config fields, where a negative value would wrap.
+  [[nodiscard]] long long get_positive_int(const std::string& name,
+                                           long long fallback) const;
   [[nodiscard]] bool get_bool(const std::string& name,
                               bool fallback = false) const;
 

@@ -45,6 +45,15 @@ class Xoshiro256StarStar {
     for (auto& s : state_) s = sm.next();
   }
 
+  /// Raw generator state, for checkpointing. Restoring the exact words via
+  /// set_state() resumes the identical draw sequence.
+  [[nodiscard]] const std::array<std::uint64_t, 4>& state() const noexcept {
+    return state_;
+  }
+  void set_state(const std::array<std::uint64_t, 4>& s) noexcept {
+    state_ = s;
+  }
+
   static constexpr result_type min() noexcept { return 0; }
   static constexpr result_type max() noexcept {
     return std::numeric_limits<result_type>::max();
@@ -90,6 +99,17 @@ class Xoshiro256StarStar {
   std::array<std::uint64_t, 4> state_;
 };
 
+/// Complete serializable state of an Rng: the four xoshiro words plus the
+/// spawn() mixing word. Saving this and restoring it into any Rng resumes
+/// the identical draw (and child-stream) sequence — the contract the
+/// checkpoint/resume subsystem relies on (docs/ALGORITHMS.md §11).
+struct RngState {
+  std::array<std::uint64_t, 4> xoshiro{};
+  std::uint64_t seed_mix = 0;
+
+  bool operator==(const RngState&) const = default;
+};
+
 /// Convenience facade over Xoshiro256StarStar with the distributions the
 /// library actually uses. All methods are deterministic given the seed.
 class Rng {
@@ -97,6 +117,15 @@ class Rng {
   using result_type = Xoshiro256StarStar::result_type;
 
   explicit Rng(std::uint64_t seed = 0xC0FFEEULL) noexcept : gen_(seed) {}
+
+  /// Snapshot / restore of the full generator state (bit-exact resume).
+  [[nodiscard]] RngState state() const noexcept {
+    return {gen_.state(), seed_mix_};
+  }
+  void set_state(const RngState& s) noexcept {
+    gen_.set_state(s.xoshiro);
+    seed_mix_ = s.seed_mix;
+  }
 
   static constexpr result_type min() noexcept { return Xoshiro256StarStar::min(); }
   static constexpr result_type max() noexcept { return Xoshiro256StarStar::max(); }

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "carbon/core/checkpoint.hpp"
 #include "carbon/ea/real_ops.hpp"
 #include "carbon/gp/operators.hpp"
 #include "carbon/obs/run_journal.hpp"
@@ -93,6 +94,11 @@ struct CarbonConfig {
   /// with telemetry on or off, for any eval_threads
   /// (see docs/ALGORITHMS.md §9).
   obs::TelemetryConfig telemetry{};
+
+  /// Crash-safe checkpoint/resume (docs/ALGORITHMS.md §11). Writing a
+  /// checkpoint never changes the trajectory, and resuming from one
+  /// reproduces the uninterrupted run bit for bit.
+  CheckpointConfig checkpoint{};
 };
 
 }  // namespace carbon::core

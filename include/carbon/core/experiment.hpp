@@ -30,7 +30,10 @@ enum class Algorithm {
   kCodba,               ///< decomposition-based co-evolution
 };
 
-[[nodiscard]] const char* to_string(Algorithm a) noexcept;
+/// Display name of an algorithm. Throws std::invalid_argument on a value
+/// outside the enum (e.g. a corrupted or miscast integer) instead of
+/// silently labelling results "?".
+[[nodiscard]] const char* to_string(Algorithm a);
 
 /// Scaled-down experiment knobs. `scale(1.0)` is the paper's Table II
 /// configuration; the default bench scale keeps the qualitative shape at
@@ -46,10 +49,25 @@ struct ExperimentConfig {
   bool record_convergence = false;
   std::size_t threads = 0;                ///< 0 = hardware concurrency
 
+  /// Crash-safe replication runs: when > 0, every checkpoint-capable run
+  /// (CARBON, COBRA) writes its state to
+  /// experiment_checkpoint_path(checkpoint_dir, algorithm, run) every N
+  /// generations, and run_cell resumes any run whose checkpoint file
+  /// already exists. Resumed cells are bit-identical to uninterrupted ones
+  /// (docs/ALGORITHMS.md §11). Algorithms without checkpoint support run
+  /// fresh and ignore these knobs.
+  long long checkpoint_every = 0;
+  std::string checkpoint_dir;
+
   /// Paper-scale (Table II) configuration: 30 runs, pop/archive 100,
   /// 50 000 + 50 000 evaluations.
   [[nodiscard]] static ExperimentConfig paper_scale();
 };
+
+/// Per-run checkpoint file used by run_cell: "<dir>/<algo>-run<r>.ckpt".
+[[nodiscard]] std::string experiment_checkpoint_path(const std::string& dir,
+                                                     Algorithm algorithm,
+                                                     std::size_t run);
 
 /// Aggregate over the R runs of one (instance, algorithm) cell.
 struct CellResult {

@@ -26,6 +26,8 @@ struct ConvergencePoint {
   double gp_mean_tree_size = 0.0;
   /// Phase annotation: "carbon", "upper", "lower", "coevolution", ...
   std::string phase;
+
+  bool operator==(const ConvergencePoint&) const = default;
 };
 
 /// Outcome of one independent solver run.
@@ -43,6 +45,8 @@ struct RunResult {
   long long ul_evaluations = 0;
   long long ll_evaluations = 0;
   int generations = 0;
+
+  bool operator==(const RunResult&) const = default;
 };
 
 }  // namespace carbon::core

@@ -92,12 +92,41 @@ class JsonObjectWriter {
   /// Embeds `inner` (a finished writer) as a nested object value.
   JsonObjectWriter& object_field(std::string_view key,
                                  JsonObjectWriter inner);
+  /// Embeds `raw` verbatim as the value — it must already be valid JSON
+  /// (e.g. a finished JsonArrayWriter). No escaping is applied.
+  JsonObjectWriter& raw_field(std::string_view key, std::string_view raw);
 
   /// Closes the object and returns it. The writer is spent afterwards.
   [[nodiscard]] std::string finish();
 
  private:
   void key_prefix(std::string_view key);
+
+  std::string buffer_;
+  bool first_ = true;
+};
+
+/// Incremental array writer, the sequence counterpart of JsonObjectWriter.
+/// Used by the checkpoint serializer for populations and archives:
+///
+///   JsonArrayWriter a;
+///   a.item("3ff0..").raw_item(entry.finish());
+///   w.raw_field("ul_pop", a.finish());   // ["3ff0..",{...}]
+class JsonArrayWriter {
+ public:
+  JsonArrayWriter() : buffer_("[") {}
+
+  /// Appends a quoted, escaped string element.
+  JsonArrayWriter& item(std::string_view value);
+  /// Appends `raw` verbatim — it must already be valid JSON (a finished
+  /// object/array writer, a number, ...).
+  JsonArrayWriter& raw_item(std::string_view raw);
+
+  /// Closes the array and returns it. The writer is spent afterwards.
+  [[nodiscard]] std::string finish();
+
+ private:
+  void separator();
 
   std::string buffer_;
   bool first_ = true;

@@ -10,6 +10,10 @@
 //
 // Record types ("type" field):
 //   "run_start"   — one per begin_run(): algorithm, seed, config echo.
+//   "resume"      — one per write_resume(): emitted right after
+//                   "run_start" when a run restarts from a checkpoint;
+//                   carries the resume generation and the budget already
+//                   consumed, so journal consumers can splice trajectories.
 //   "generation"  — one per recorded generation (write_generation()).
 //   "summary"     — one per finish_run(): totals and final bests.
 //
@@ -44,6 +48,8 @@ struct JournalBackendStats {
   long long relaxation_cache_misses = 0;
   long long relaxation_cache_evictions = 0;
   long long heuristic_dedup_hits = 0;
+
+  bool operator==(const JournalBackendStats&) const = default;
 };
 
 /// One generation's worth of observable state. Population statistics are
@@ -75,6 +81,14 @@ struct GenerationRecord {
   JournalBackendStats backend;
 };
 
+/// State restored from a checkpoint, for the "resume" record.
+struct ResumeRecord {
+  int generation = 0;            ///< generation the run resumes at
+  long long ul_evals = 0;        ///< UL budget already consumed
+  long long ll_evals = 0;        ///< LL budget already consumed
+  std::string_view checkpoint_path;  ///< file the state came from
+};
+
 /// Final run totals for the "summary" record.
 struct RunSummary {
   int generations = 0;
@@ -103,6 +117,10 @@ class RunJournal {
   /// baseline, wall clock). Solvers call this at run() entry.
   void begin_run(std::string_view algo, std::uint64_t seed,
                  std::size_t eval_threads, bool compiled_scoring);
+
+  /// Emits one "resume" record (call after begin_run when restoring a
+  /// checkpoint).
+  void write_resume(const ResumeRecord& rec);
 
   /// Emits one "generation" record.
   void write_generation(const GenerationRecord& rec);

@@ -49,6 +49,13 @@ void validate_config(const CobraConfig& cfg) {
   if (cfg.upper_phase_generations < 1 || cfg.lower_phase_generations < 1) {
     throw std::invalid_argument("CobraSolver: phase generations must be >= 1");
   }
+  if (cfg.checkpoint.every < 0) {
+    throw std::invalid_argument("CobraSolver: checkpoint.every must be >= 0");
+  }
+  if (cfg.checkpoint.every > 0 && cfg.checkpoint.path.empty()) {
+    throw std::invalid_argument(
+        "CobraSolver: checkpoint.path required when checkpoint.every > 0");
+  }
 }
 
 }  // namespace
@@ -77,32 +84,57 @@ core::RunResult CobraSolver::run() {
 }
 
 core::RunResult CobraSolver::run_with(bcpop::EvaluatorInterface& eval) {
+  // Load (and fully validate) any resume checkpoint before touching solver
+  // or telemetry state, so a bad file rejects with nothing applied.
+  const bool resuming = !cfg_.checkpoint.resume_from.empty();
+  core::CobraCheckpoint ck;
+  if (resuming) {
+    ck = core::CobraCheckpoint::load(cfg_.checkpoint.resume_from);
+    if (ck.seed != cfg_.seed) {
+      throw core::CheckpointError("checkpoint: seed mismatch (file " +
+                                  std::to_string(ck.seed) + ", config " +
+                                  std::to_string(cfg_.seed) + ")");
+    }
+    if (ck.ul_pop.size() != cfg_.ul_population_size ||
+        ck.ll_pop.size() != cfg_.ll_population_size) {
+      throw core::CheckpointError(
+          "checkpoint: population shape does not match the configured run");
+    }
+  }
+
   common::Rng rng(cfg_.seed);
   const auto bounds = eval.price_bounds();
   const std::size_t num_bundles = eval.genome_length();
-  const long long ul_start = eval.ul_evaluations();
-  const long long ll_start = eval.ll_evaluations();
+  long long ul_start = eval.ul_evaluations();
+  long long ll_start = eval.ll_evaluations();
 
   // Telemetry is pure observation: nothing below reads it back, so the
   // trajectory is bit-identical whether or not sinks are attached.
   obs::MetricsRegistry* const metrics = cfg_.telemetry.metrics;
   obs::RunJournal* const journal = cfg_.telemetry.journal;
   if (metrics != nullptr) eval.set_metrics(metrics);
-  const bcpop::BackendStats backend_start = eval.backend_stats();
+  bcpop::BackendStats backend_start = eval.backend_stats();
   if (journal != nullptr) {
     journal->begin_run("cobra", cfg_.seed, cfg_.eval_threads,
                        cfg_.compiled_scoring);
   }
 
-  // --- Initial populations (Algorithm 1 lines 1-3) ---
+  // --- Initial populations (Algorithm 1 lines 1-3; skipped on resume: the
+  // checkpoint carries the populations and the RNG state that already
+  // consumed this entropy) ---
   std::vector<bcpop::Pricing> ul_pop;
-  for (std::size_t i = 0; i < cfg_.ul_population_size; ++i) {
-    ul_pop.push_back(ea::random_real_vector(rng, bounds));
-  }
   std::vector<Basket> ll_pop;
-  for (std::size_t i = 0; i < cfg_.ll_population_size; ++i) {
-    ll_pop.push_back(
-        ea::random_binary_vector(rng, num_bundles, cfg_.ll_init_density));
+  if (!resuming) {
+    for (std::size_t i = 0; i < cfg_.ul_population_size; ++i) {
+      ul_pop.push_back(ea::random_real_vector(rng, bounds));
+    }
+    for (std::size_t i = 0; i < cfg_.ll_population_size; ++i) {
+      ll_pop.push_back(
+          ea::random_binary_vector(rng, num_bundles, cfg_.ll_init_density));
+    }
+  } else {
+    ul_pop = std::move(ck.ul_pop);
+    ll_pop = std::move(ck.ll_pop);
   }
 
   // Upper archive keyed by F (max); lower archive keyed by f (min) — the
@@ -120,6 +152,74 @@ core::RunResult CobraSolver::run_with(bcpop::EvaluatorInterface& eval) {
   // Current champions used for pairing across levels.
   Basket paired_basket = ll_pop[0];
   bcpop::Pricing paired_pricing = ul_pop[0];
+
+  int generation = 0;
+  if (resuming) {
+    rng.set_state(ck.progress.rng);
+    generation = ck.progress.generation;
+    // Budgets and backend counters continue from the checkpoint: offset the
+    // fresh evaluator's cumulative counters by what the original run had
+    // consumed, so `now - start` spans both run segments.
+    ul_start = eval.ul_evaluations() - ck.progress.consumed_ul;
+    ll_start = eval.ll_evaluations() - ck.progress.consumed_ll;
+    backend_start.relaxation_cache_hits -=
+        ck.progress.backend.relaxation_cache_hits;
+    backend_start.relaxation_cache_misses -=
+        ck.progress.backend.relaxation_cache_misses;
+    backend_start.relaxation_cache_evictions -=
+        ck.progress.backend.relaxation_cache_evictions;
+    backend_start.heuristic_dedup_hits -=
+        ck.progress.backend.heuristic_dedup_hits;
+    result = std::move(ck.progress.result);
+    // Archives are stored best-first; re-adding in that order reproduces
+    // the exact internal ordering (ties keep insertion order).
+    for (core::ArchivedPairState& e : ck.upper_archive) {
+      upper_archive.add(
+          {std::move(e.pricing), std::move(e.basket), std::move(e.evaluation)},
+          e.fitness);
+    }
+    for (core::ArchivedPairState& e : ck.lower_archive) {
+      lower_archive.add(
+          {std::move(e.pricing), std::move(e.basket), std::move(e.evaluation)},
+          e.fitness);
+    }
+    paired_pricing = std::move(ck.paired_pricing);
+    paired_basket = std::move(ck.paired_basket);
+    if (journal != nullptr) {
+      obs::ResumeRecord rec;
+      rec.generation = generation;
+      rec.ul_evals = ck.progress.consumed_ul;
+      rec.ll_evals = ck.progress.consumed_ll;
+      rec.checkpoint_path = cfg_.checkpoint.resume_from;
+      journal->write_resume(rec);
+    }
+  }
+
+  const auto write_checkpoint = [&] {
+    core::CobraCheckpoint out;
+    out.seed = cfg_.seed;
+    out.progress.rng = rng.state();
+    out.progress.generation = generation;
+    out.progress.consumed_ul = eval.ul_evaluations() - ul_start;
+    out.progress.consumed_ll = eval.ll_evaluations() - ll_start;
+    out.progress.backend = backend_delta(eval.backend_stats(), backend_start);
+    out.progress.result = result;
+    out.ul_pop = ul_pop;
+    out.ll_pop = ll_pop;
+    for (const auto& e : upper_archive.entries()) {
+      out.upper_archive.push_back(
+          {e.item.pricing, e.item.basket, e.item.evaluation, e.fitness});
+    }
+    for (const auto& e : lower_archive.entries()) {
+      out.lower_archive.push_back(
+          {e.item.pricing, e.item.basket, e.item.evaluation, e.fitness});
+    }
+    out.paired_pricing = paired_pricing;
+    out.paired_basket = paired_basket;
+    out.save(cfg_.checkpoint.path);
+  };
+  long long next_checkpoint =
+      cfg_.checkpoint.every > 0 ? generation + cfg_.checkpoint.every : 0;
 
   const auto note_solution = [&](const bcpop::Pricing& x, const Basket& y,
                                  const bcpop::Evaluation& e) {
@@ -140,12 +240,12 @@ core::RunResult CobraSolver::run_with(bcpop::EvaluatorInterface& eval) {
            eval.ll_evaluations() - ll_start < cfg_.ll_eval_budget;
   };
 
-  const auto record = [&](int generation, const char* phase,
+  const auto record = [&](int gen, const char* phase,
                           const common::RunningStats& uls,
                           const common::RunningStats& gaps) {
     if (cfg_.record_convergence) {
       core::ConvergencePoint pt;
-      pt.generation = generation;
+      pt.generation = gen;
       pt.ul_evaluations = eval.ul_evaluations() - ul_start;
       pt.ll_evaluations = eval.ll_evaluations() - ll_start;
       pt.best_ul_so_far = result.best_ul_objective;
@@ -157,7 +257,7 @@ core::RunResult CobraSolver::run_with(bcpop::EvaluatorInterface& eval) {
     }
     if (journal != nullptr) {
       obs::GenerationRecord rec;
-      rec.generation = generation;
+      rec.generation = gen;
       rec.phase = phase;
       rec.best_ul = uls.max();
       rec.mean_ul = uls.mean();
@@ -176,7 +276,6 @@ core::RunResult CobraSolver::run_with(bcpop::EvaluatorInterface& eval) {
     }
   };
 
-  int generation = 0;
   while (budget_left()) {
     // ================= Upper improvement phase =================
     for (int g = 0; g < cfg_.upper_phase_generations && budget_left(); ++g) {
@@ -315,6 +414,19 @@ core::RunResult CobraSolver::run_with(bcpop::EvaluatorInterface& eval) {
                   ll_pop.size()});
     for (std::size_t r = 0; r < rl; ++r) {
       ll_pop[ll_pop.size() - 1 - r] = lower_archive.at(r).item.basket;
+    }
+
+    // Checkpoint at the outer-round boundary: populations, archives, paired
+    // champions, RNG and counters now fully determine the rest of the run.
+    if (cfg_.checkpoint.every > 0 && generation >= next_checkpoint) {
+      write_checkpoint();
+      next_checkpoint = generation + cfg_.checkpoint.every;
+      if (cfg_.checkpoint.stop_after_checkpoint &&
+          cfg_.checkpoint.stop_after_checkpoint(generation)) {
+        // Simulated preemption (fault-injection tests): everything after
+        // the write is exactly what a real crash would lose.
+        break;
+      }
     }
   }
 

@@ -35,16 +35,54 @@ std::string CliArgs::get(const std::string& name,
   return it == flags_.end() ? fallback : it->second;
 }
 
+namespace {
+
+[[noreturn]] void bad_value(const std::string& name, const std::string& value,
+                            const char* expected) {
+  throw std::invalid_argument("--" + name + ": expected " + expected +
+                              ", got '" + value + "'");
+}
+
+}  // namespace
+
 long long CliArgs::get_int(const std::string& name, long long fallback) const {
   const auto it = flags_.find(name);
   if (it == flags_.end()) return fallback;
-  return std::stoll(it->second);
+  const std::string& value = it->second;
+  std::size_t consumed = 0;
+  long long parsed = 0;
+  try {
+    parsed = std::stoll(value, &consumed);
+  } catch (const std::exception&) {
+    bad_value(name, value, "an integer");
+  }
+  // Require the whole token to parse: "--threads 4x" is an error, not 4.
+  if (consumed != value.size()) bad_value(name, value, "an integer");
+  return parsed;
+}
+
+long long CliArgs::get_positive_int(const std::string& name,
+                                    long long fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;  // caller-chosen default is trusted
+  const long long parsed = get_int(name, fallback);
+  if (parsed <= 0) bad_value(name, it->second, "a positive integer");
+  return parsed;
 }
 
 double CliArgs::get_double(const std::string& name, double fallback) const {
   const auto it = flags_.find(name);
   if (it == flags_.end()) return fallback;
-  return std::stod(it->second);
+  const std::string& value = it->second;
+  std::size_t consumed = 0;
+  double parsed = 0.0;
+  try {
+    parsed = std::stod(value, &consumed);
+  } catch (const std::exception&) {
+    bad_value(name, value, "a number");
+  }
+  if (consumed != value.size()) bad_value(name, value, "a number");
+  return parsed;
 }
 
 bool CliArgs::get_bool(const std::string& name, bool fallback) const {

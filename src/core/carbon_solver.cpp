@@ -8,6 +8,7 @@
 
 #include "carbon/bcpop/parallel_evaluator.hpp"
 #include "carbon/common/statistics.hpp"
+#include "carbon/core/checkpoint.hpp"
 #include "carbon/ea/archive.hpp"
 #include "carbon/gp/generate.hpp"
 #include "carbon/gp/population_stats.hpp"
@@ -49,6 +50,13 @@ void validate_config(const CarbonConfig& cfg) {
   if (cfg.heuristic_sample_size < 1) {
     throw std::invalid_argument("CarbonSolver: heuristic_sample_size >= 1");
   }
+  if (cfg.checkpoint.every < 0) {
+    throw std::invalid_argument("CarbonSolver: checkpoint.every must be >= 0");
+  }
+  if (cfg.checkpoint.every > 0 && cfg.checkpoint.path.empty()) {
+    throw std::invalid_argument(
+        "CarbonSolver: checkpoint.path required when checkpoint.every > 0");
+  }
 }
 
 }  // namespace
@@ -80,33 +88,53 @@ CarbonResult CarbonSolver::run() {
 }
 
 CarbonResult CarbonSolver::run_with(bcpop::EvaluatorInterface& eval) {
+  // Load (and fully validate) any resume checkpoint before touching solver
+  // or telemetry state, so a bad file rejects with nothing applied.
+  const bool resuming = !cfg_.checkpoint.resume_from.empty();
+  CarbonCheckpoint ck;
+  if (resuming) {
+    ck = CarbonCheckpoint::load(cfg_.checkpoint.resume_from);
+    if (ck.seed != cfg_.seed) {
+      throw CheckpointError("checkpoint: seed mismatch (file " +
+                            std::to_string(ck.seed) + ", config " +
+                            std::to_string(cfg_.seed) + ")");
+    }
+    if (ck.ul_pop.size() != cfg_.ul_population_size ||
+        ck.gp_pop.size() != cfg_.gp_population_size) {
+      throw CheckpointError(
+          "checkpoint: population shape does not match the configured run");
+    }
+  }
+
   common::Rng rng(cfg_.seed);
   const auto bounds = eval.price_bounds();
-  const long long ul_start = eval.ul_evaluations();
-  const long long ll_start = eval.ll_evaluations();
+  long long ul_start = eval.ul_evaluations();
+  long long ll_start = eval.ll_evaluations();
 
   // Telemetry is pure observation: nothing below reads it back, so the
   // trajectory is bit-identical whether or not sinks are attached.
   obs::MetricsRegistry* const metrics = cfg_.telemetry.metrics;
   obs::RunJournal* const journal = cfg_.telemetry.journal;
   if (metrics != nullptr) eval.set_metrics(metrics);
-  const bcpop::BackendStats backend_start = eval.backend_stats();
+  bcpop::BackendStats backend_start = eval.backend_stats();
   if (journal != nullptr) {
     journal->begin_run("carbon", cfg_.seed, cfg_.eval_threads,
                        cfg_.compiled_scoring);
   }
 
-  // --- Initial populations ---
+  // --- Initial populations (skipped on resume: the checkpoint carries the
+  // populations and the RNG state that already consumed this entropy) ---
   std::vector<bcpop::Pricing> ul_pop;
   ul_pop.reserve(cfg_.ul_population_size);
-  for (std::size_t i = 0; i < cfg_.ul_population_size; ++i) {
-    ul_pop.push_back(ea::random_real_vector(rng, bounds));
-  }
-
   std::vector<gp::Tree> gp_pop;
   gp_pop.reserve(cfg_.gp_population_size);
-  for (std::size_t i = 0; i < cfg_.gp_population_size; ++i) {
-    gp_pop.push_back(gp::generate_ramped(rng, cfg_.gp_ops.generate));
+  if (!resuming) {
+    for (std::size_t i = 0; i < cfg_.ul_population_size; ++i) {
+      ul_pop.push_back(ea::random_real_vector(rng, bounds));
+    }
+    for (std::size_t i = 0; i < cfg_.gp_population_size; ++i) {
+      gp_pop.push_back(gp::generate_ramped(rng, cfg_.gp_ops.generate));
+    }
   }
 
   ea::Archive<ArchivedSolution> solution_archive(cfg_.ul_archive_size,
@@ -122,6 +150,66 @@ CarbonResult CarbonSolver::run_with(bcpop::EvaluatorInterface& eval) {
   std::vector<double> gp_fitness(cfg_.gp_population_size, 0.0);
 
   int generation = 0;
+  if (resuming) {
+    rng.set_state(ck.progress.rng);
+    generation = ck.progress.generation;
+    // Budgets and backend counters continue from the checkpoint: offset the
+    // fresh evaluator's cumulative counters by what the original run had
+    // consumed, so `now - start` spans both run segments.
+    ul_start = eval.ul_evaluations() - ck.progress.consumed_ul;
+    ll_start = eval.ll_evaluations() - ck.progress.consumed_ll;
+    backend_start.relaxation_cache_hits -=
+        ck.progress.backend.relaxation_cache_hits;
+    backend_start.relaxation_cache_misses -=
+        ck.progress.backend.relaxation_cache_misses;
+    backend_start.relaxation_cache_evictions -=
+        ck.progress.backend.relaxation_cache_evictions;
+    backend_start.heuristic_dedup_hits -=
+        ck.progress.backend.heuristic_dedup_hits;
+    static_cast<RunResult&>(result) = std::move(ck.progress.result);
+    ul_pop = std::move(ck.ul_pop);
+    gp_pop = std::move(ck.gp_pop);
+    // Archives are stored best-first; re-adding in that order reproduces
+    // the exact internal ordering (ties keep insertion order).
+    for (ArchivedPricingState& e : ck.solution_archive) {
+      solution_archive.add({std::move(e.pricing), std::move(e.evaluation)},
+                           e.fitness);
+    }
+    for (ArchivedHeuristicState& e : ck.heuristic_archive) {
+      heuristic_archive.add(std::move(e.tree), e.fitness);
+    }
+    if (journal != nullptr) {
+      obs::ResumeRecord rec;
+      rec.generation = generation;
+      rec.ul_evals = ck.progress.consumed_ul;
+      rec.ll_evals = ck.progress.consumed_ll;
+      rec.checkpoint_path = cfg_.checkpoint.resume_from;
+      journal->write_resume(rec);
+    }
+  }
+
+  const auto write_checkpoint = [&] {
+    CarbonCheckpoint out;
+    out.seed = cfg_.seed;
+    out.progress.rng = rng.state();
+    out.progress.generation = generation;
+    out.progress.consumed_ul = eval.ul_evaluations() - ul_start;
+    out.progress.consumed_ll = eval.ll_evaluations() - ll_start;
+    out.progress.backend = backend_delta(eval.backend_stats(), backend_start);
+    out.progress.result = static_cast<const RunResult&>(result);
+    out.ul_pop = ul_pop;
+    out.gp_pop = gp_pop;
+    for (const auto& e : solution_archive.entries()) {
+      out.solution_archive.push_back(
+          {e.item.pricing, e.item.evaluation, e.fitness});
+    }
+    for (const auto& e : heuristic_archive.entries()) {
+      out.heuristic_archive.push_back({e.item, e.fitness});
+    }
+    out.save(cfg_.checkpoint.path);
+  };
+  long long next_checkpoint =
+      cfg_.checkpoint.every > 0 ? generation + cfg_.checkpoint.every : 0;
   while (eval.ul_evaluations() - ul_start < cfg_.ul_eval_budget &&
          eval.ll_evaluations() - ll_start < cfg_.ll_eval_budget) {
     // ---- 1. Competition sample: pricings the predators must solve well ----
@@ -352,6 +440,19 @@ CarbonResult CarbonSolver::run_with(bcpop::EvaluatorInterface& eval) {
     }
 
     ++generation;
+
+    // Checkpoint at the generation boundary: populations, archives, RNG and
+    // counters now fully determine the rest of the run.
+    if (cfg_.checkpoint.every > 0 && generation >= next_checkpoint) {
+      write_checkpoint();
+      next_checkpoint = generation + cfg_.checkpoint.every;
+      if (cfg_.checkpoint.stop_after_checkpoint &&
+          cfg_.checkpoint.stop_after_checkpoint(generation)) {
+        // Simulated preemption (fault-injection tests): everything after
+        // the write is exactly what a real crash would lose.
+        break;
+      }
+    }
   }
 
   result.generations = generation;

@@ -1,5 +1,7 @@
 #include "carbon/core/experiment.hpp"
 
+#include <cctype>
+#include <filesystem>
 #include <mutex>
 #include <stdexcept>
 
@@ -13,7 +15,7 @@
 
 namespace carbon::core {
 
-const char* to_string(Algorithm a) noexcept {
+const char* to_string(Algorithm a) {
   switch (a) {
     case Algorithm::kCarbon:
       return "CARBON";
@@ -30,7 +32,21 @@ const char* to_string(Algorithm a) noexcept {
     case Algorithm::kCodba:
       return "CODBA";
   }
-  return "?";
+  // A value outside the enum means memory corruption or a bad cast
+  // somewhere upstream — fail loudly instead of labelling results "?".
+  throw std::invalid_argument("to_string: invalid Algorithm value " +
+                              std::to_string(static_cast<int>(a)));
+}
+
+std::string experiment_checkpoint_path(const std::string& dir,
+                                       Algorithm algorithm, std::size_t run) {
+  std::string name = to_string(algorithm);
+  for (char& c : name) {
+    c = c == '-' ? '_' : static_cast<char>(std::tolower(
+                             static_cast<unsigned char>(c)));
+  }
+  return (dir.empty() ? std::string() : dir + "/") + name + "-run" +
+         std::to_string(run) + ".ckpt";
 }
 
 ExperimentConfig ExperimentConfig::paper_scale() {
@@ -46,8 +62,23 @@ ExperimentConfig ExperimentConfig::paper_scale() {
 
 namespace {
 
+/// Per-run checkpoint wiring: write every N generations to the run's own
+/// file, and resume from it when a previous (interrupted) invocation left
+/// one behind. Resumption is bit-identical, so a re-run cell aggregates the
+/// same numbers whether or not it was preempted.
+CheckpointConfig cell_checkpoint(const ExperimentConfig& cfg,
+                                 Algorithm algorithm, std::size_t run) {
+  CheckpointConfig ck;
+  if (cfg.checkpoint_every <= 0) return ck;
+  ck.every = cfg.checkpoint_every;
+  ck.path = experiment_checkpoint_path(cfg.checkpoint_dir, algorithm, run);
+  if (std::filesystem::exists(ck.path)) ck.resume_from = ck.path;
+  return ck;
+}
+
 RunResult dispatch(const bcpop::Instance& instance, Algorithm algorithm,
-                   const ExperimentConfig& cfg, std::uint64_t seed) {
+                   const ExperimentConfig& cfg, std::size_t run) {
+  const std::uint64_t seed = cfg.base_seed + run;
   switch (algorithm) {
     case Algorithm::kCarbon:
     case Algorithm::kCarbonValueFitness:
@@ -68,6 +99,7 @@ RunResult dispatch(const bcpop::Instance& instance, Algorithm algorithm,
       if (algorithm == Algorithm::kCarbonMemetic) {
         c.memetic_polish = true;
       }
+      c.checkpoint = cell_checkpoint(cfg, algorithm, run);
       return CarbonSolver(instance, c).run();
     }
     case Algorithm::kCobra: {
@@ -80,6 +112,7 @@ RunResult dispatch(const bcpop::Instance& instance, Algorithm algorithm,
       c.ll_eval_budget = cfg.ll_eval_budget;
       c.record_convergence = cfg.record_convergence;
       c.seed = seed;
+      c.checkpoint = cell_checkpoint(cfg, algorithm, run);
       return cobra::CobraSolver(instance, c).run();
     }
     case Algorithm::kBiga: {
@@ -123,14 +156,20 @@ CellResult run_cell(const bcpop::Instance& instance, Algorithm algorithm,
   if (config.runs == 0) {
     throw std::invalid_argument("run_cell: runs must be >= 1");
   }
+  if (config.checkpoint_every < 0) {
+    throw std::invalid_argument("run_cell: checkpoint_every must be >= 0");
+  }
+  if (config.checkpoint_every > 0 && config.checkpoint_dir.empty()) {
+    throw std::invalid_argument(
+        "run_cell: checkpoint_every > 0 requires checkpoint_dir");
+  }
   common::Stopwatch sw;
   CellResult cell;
   cell.algorithm = algorithm;
   cell.runs.resize(config.runs);
 
   const auto one_run = [&](std::size_t r) {
-    cell.runs[r] =
-        dispatch(instance, algorithm, config, config.base_seed + r);
+    cell.runs[r] = dispatch(instance, algorithm, config, r);
   };
 
   if (config.runs == 1 || config.threads == 1) {

@@ -380,8 +380,39 @@ JsonObjectWriter& JsonObjectWriter::object_field(std::string_view key,
   return *this;
 }
 
+JsonObjectWriter& JsonObjectWriter::raw_field(std::string_view key,
+                                              std::string_view raw) {
+  key_prefix(key);
+  buffer_ += raw;
+  return *this;
+}
+
 std::string JsonObjectWriter::finish() {
   buffer_.push_back('}');
+  return std::move(buffer_);
+}
+
+void JsonArrayWriter::separator() {
+  if (!first_) buffer_.push_back(',');
+  first_ = false;
+}
+
+JsonArrayWriter& JsonArrayWriter::item(std::string_view value) {
+  separator();
+  buffer_.push_back('"');
+  append_json_escaped(buffer_, value);
+  buffer_.push_back('"');
+  return *this;
+}
+
+JsonArrayWriter& JsonArrayWriter::raw_item(std::string_view raw) {
+  separator();
+  buffer_ += raw;
+  return *this;
+}
+
+std::string JsonArrayWriter::finish() {
+  buffer_.push_back(']');
   return std::move(buffer_);
 }
 

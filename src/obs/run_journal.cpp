@@ -75,6 +75,17 @@ void RunJournal::begin_run(std::string_view algo, std::uint64_t seed,
   emit(w.finish());
 }
 
+void RunJournal::write_resume(const ResumeRecord& rec) {
+  JsonObjectWriter w;
+  w.field("type", "resume")
+      .field("algo", algo_)
+      .field("generation", rec.generation)
+      .field("ul_evals", rec.ul_evals)
+      .field("ll_evals", rec.ll_evals)
+      .field("from", rec.checkpoint_path);
+  emit(w.finish());
+}
+
 void RunJournal::write_generation(const GenerationRecord& rec) {
   JsonObjectWriter w;
   w.field("type", "generation")

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <stdexcept>
 
 #include "carbon/common/cli.hpp"
 #include "carbon/common/csv.hpp"
@@ -90,6 +91,61 @@ TEST_F(CliFixture, HasDetectsPresence) {
   const auto args = parse({"prog", "--x", "1"});
   EXPECT_TRUE(args.has("x"));
   EXPECT_FALSE(args.has("y"));
+}
+
+TEST_F(CliFixture, IntRejectsTrailingGarbage) {
+  // "--threads 4x" must be an error, not silently 4.
+  const auto args = parse({"prog", "--threads", "4x"});
+  EXPECT_THROW((void)args.get_int("threads", 1), std::invalid_argument);
+  try {
+    (void)args.get_int("threads", 1);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    // The message names the offending flag and value.
+    EXPECT_NE(std::string(e.what()).find("--threads"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("4x"), std::string::npos);
+  }
+}
+
+TEST_F(CliFixture, IntRejectsNonNumericAndOverflow) {
+  EXPECT_THROW((void)parse({"prog", "--n", "abc"}).get_int("n", 0),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse({"prog", "--n", ""}).get_int("n", 0),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse({"prog", "--n", "1.5"}).get_int("n", 0),
+               std::invalid_argument);  // trailing ".5"
+  EXPECT_THROW(
+      (void)parse({"prog", "--n", "99999999999999999999"}).get_int("n", 0),
+      std::invalid_argument);  // out of long long range
+  EXPECT_EQ(parse({"prog", "--n", "-7"}).get_int("n", 0), -7);
+}
+
+TEST_F(CliFixture, DoubleRejectsTrailingGarbage) {
+  EXPECT_THROW((void)parse({"prog", "--alpha", "1.5.2"}).get_double("alpha", 0),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse({"prog", "--alpha", "0.5x"}).get_double("alpha", 0),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse({"prog", "--alpha", "nope"}).get_double("alpha", 0),
+               std::invalid_argument);
+  EXPECT_DOUBLE_EQ(parse({"prog", "--alpha", "1e-3"}).get_double("alpha", 0),
+                   1e-3);
+}
+
+TEST_F(CliFixture, PositiveIntRejectsZeroAndNegative) {
+  EXPECT_THROW((void)parse({"prog", "--threads", "0"}).get_positive_int("threads", 1),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse({"prog", "--threads", "-4"}).get_positive_int("threads", 1),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse({"prog", "--threads", "4x"}).get_positive_int("threads", 1),
+               std::invalid_argument);
+  EXPECT_EQ(parse({"prog", "--threads", "4"}).get_positive_int("threads", 1), 4);
+}
+
+TEST_F(CliFixture, PositiveIntTrustsAbsentFallback) {
+  // Validation applies to user input only: a caller-chosen non-positive
+  // default (e.g. 0 = disabled) passes through untouched.
+  EXPECT_EQ(parse({"prog"}).get_positive_int("checkpoint-every", 0), 0);
+  EXPECT_EQ(parse({"prog"}).get_positive_int("threads", -1), -1);
 }
 
 }  // namespace

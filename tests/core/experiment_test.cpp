@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstring>
+#include <stdexcept>
 
 #include "carbon/baselines/nested_ga.hpp"
 #include "carbon/cover/generator.hpp"
@@ -93,6 +95,67 @@ TEST(Experiment, AlgorithmNames) {
   EXPECT_STREQ(to_string(Algorithm::kCobra), "COBRA");
   EXPECT_STREQ(to_string(Algorithm::kNestedGa), "NESTED-GA");
   EXPECT_STREQ(to_string(Algorithm::kCarbonValueFitness), "CARBON-VALUE");
+}
+
+TEST(Experiment, ToStringThrowsOnOutOfEnumValue) {
+  // A corrupted or miscast integer must fail loudly, not label results "?".
+  EXPECT_THROW((void)to_string(static_cast<Algorithm>(999)),
+               std::invalid_argument);
+  EXPECT_THROW((void)to_string(static_cast<Algorithm>(-1)),
+               std::invalid_argument);
+}
+
+TEST(Experiment, CheckpointPathNamesAlgorithmAndRun) {
+  EXPECT_EQ(experiment_checkpoint_path("/tmp/ck", Algorithm::kCarbon, 0),
+            "/tmp/ck/carbon-run0.ckpt");
+  EXPECT_EQ(experiment_checkpoint_path("/tmp/ck", Algorithm::kCobra, 12),
+            "/tmp/ck/cobra-run12.ckpt");
+  EXPECT_EQ(experiment_checkpoint_path("d", Algorithm::kNestedGa, 3),
+            "d/nested_ga-run3.ckpt");
+}
+
+TEST(Experiment, CheckpointedCellMatchesPlainCell) {
+  // Checkpoint writes must not perturb the trajectory, and a re-run that
+  // resumes from the leftover final checkpoints must aggregate the same
+  // numbers as a clean cell (crash-recovery of an interrupted sweep).
+  const bcpop::Instance inst = small_instance();
+  for (const Algorithm algo : {Algorithm::kCarbon, Algorithm::kCobra}) {
+    SCOPED_TRACE(to_string(algo));
+    ExperimentConfig cfg = tiny_config();
+    cfg.runs = 2;
+    const CellResult plain = run_cell(inst, algo, cfg);
+
+    cfg.checkpoint_every = 1;
+    cfg.checkpoint_dir = ::testing::TempDir();
+    const CellResult checkpointed = run_cell(inst, algo, cfg);
+    // The per-run files exist now, so this second call resumes every run
+    // from its final checkpoint.
+    const CellResult resumed = run_cell(inst, algo, cfg);
+
+    ASSERT_EQ(plain.runs.size(), checkpointed.runs.size());
+    ASSERT_EQ(plain.runs.size(), resumed.runs.size());
+    for (std::size_t r = 0; r < plain.runs.size(); ++r) {
+      SCOPED_TRACE("run " + std::to_string(r));
+      EXPECT_EQ(plain.runs[r].best_gap, checkpointed.runs[r].best_gap);
+      EXPECT_EQ(plain.runs[r].best_ul_objective,
+                checkpointed.runs[r].best_ul_objective);
+      EXPECT_EQ(plain.runs[r].best_gap, resumed.runs[r].best_gap);
+      EXPECT_EQ(plain.runs[r].best_ul_objective,
+                resumed.runs[r].best_ul_objective);
+    }
+    for (std::size_t r = 0; r < cfg.runs; ++r) {
+      std::remove(
+          experiment_checkpoint_path(cfg.checkpoint_dir, algo, r).c_str());
+    }
+  }
+}
+
+TEST(Experiment, NegativeCheckpointEveryThrows) {
+  const bcpop::Instance inst = small_instance();
+  ExperimentConfig cfg = tiny_config();
+  cfg.checkpoint_every = -1;
+  EXPECT_THROW((void)run_cell(inst, Algorithm::kCarbon, cfg),
+               std::invalid_argument);
 }
 
 TEST(Experiment, AverageConvergenceShapes) {

@@ -72,6 +72,28 @@ TEST(RunJournal, EmitsStartGenerationsAndSummaryAsParsableJsonl) {
   }
 }
 
+TEST(RunJournal, ResumeRecordCarriesTheRestoredState) {
+  std::ostringstream sink;
+  RunJournal journal(sink);
+  journal.begin_run("carbon", 7, 1, false);
+  ResumeRecord rec;
+  rec.generation = 12;
+  rec.ul_evals = 960;
+  rec.ll_evals = 4800;
+  rec.checkpoint_path = "/tmp/run3.ckpt";
+  journal.write_resume(rec);
+
+  const auto records = parse_lines(sink.str());
+  ASSERT_EQ(records.size(), 2u);
+  const JsonValue& resume = records[1];
+  EXPECT_EQ(resume.at("type").as_string(), "resume");
+  EXPECT_EQ(resume.at("algo").as_string(), "carbon");
+  EXPECT_EQ(resume.at("generation").as_integer(), 12);
+  EXPECT_EQ(resume.at("ul_evals").as_integer(), 960);
+  EXPECT_EQ(resume.at("ll_evals").as_integer(), 4800);
+  EXPECT_EQ(resume.at("from").as_string(), "/tmp/run3.ckpt");
+}
+
 TEST(RunJournal, RunStartEchoesTheConfig) {
   std::ostringstream sink;
   RunJournal journal(sink);

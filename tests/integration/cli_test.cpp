@@ -76,6 +76,67 @@ TEST(Cli, FullWorkflow) {
   EXPECT_NE(header.find("generation"), std::string::npos);
 }
 
+TEST(Cli, StrictNumericFlagsAreRejected) {
+  const std::string inst = ::testing::TempDir() + "/carbon_cli_strict.orlib";
+  ASSERT_EQ(run("generate --bundles 20 --services 3 --out " + inst), 0);
+  const std::string solve = "solve --in " + inst +
+                            " --owned 2 --algo carbon --ul-budget 40 "
+                            "--ll-budget 100 --pop 8";
+  // Trailing garbage, non-numeric, and non-positive values all fail; the
+  // well-formed equivalent succeeds.
+  EXPECT_NE(run(solve + " --threads 4x"), 0);
+  EXPECT_NE(run(solve + " --threads abc"), 0);
+  EXPECT_NE(run(solve + " --threads 0"), 0);
+  EXPECT_NE(run(solve + " --threads -2"), 0);
+  EXPECT_NE(run("solve --in " + inst +
+                " --owned 2 --algo carbon --ul-budget 40 --ll-budget 100 "
+                "--pop 0"), 0);
+  EXPECT_NE(run("solve --in " + inst +
+                " --owned 2 --algo carbon --ul-budget 0 --pop 8"), 0);
+  EXPECT_EQ(run(solve + " --threads 2"), 0);
+}
+
+TEST(Cli, CheckpointFlagsAreValidated) {
+  const std::string inst = ::testing::TempDir() + "/carbon_cli_ckpt.orlib";
+  const std::string ckpt = ::testing::TempDir() + "/carbon_cli_ckpt.ckpt";
+  ASSERT_EQ(run("generate --bundles 20 --services 3 --out " + inst), 0);
+  const std::string solve = "solve --in " + inst +
+                            " --owned 2 --ul-budget 40 --ll-budget 100 --pop 8";
+  // Each checkpoint flag requires its partner, and checkpointing is only
+  // meaningful for the generational solvers.
+  EXPECT_NE(run(solve + " --algo carbon --checkpoint " + ckpt), 0);
+  EXPECT_NE(run(solve + " --algo carbon --checkpoint-every 2"), 0);
+  EXPECT_NE(run(solve + " --algo carbon --checkpoint " + ckpt +
+                " --checkpoint-every 0"), 0);
+  EXPECT_NE(run(solve + " --algo biga --checkpoint " + ckpt +
+                " --checkpoint-every 2"), 0);
+  EXPECT_NE(run(solve + " --algo nested --resume " + ckpt), 0);
+  EXPECT_NE(run(solve + " --algo carbon --resume /nonexistent.ckpt"), 0);
+}
+
+TEST(Cli, CheckpointThenResumeSmoke) {
+  const std::string inst = ::testing::TempDir() + "/carbon_cli_resume.orlib";
+  const std::string ckpt = ::testing::TempDir() + "/carbon_cli_resume.ckpt";
+  ASSERT_EQ(run("generate --bundles 20 --services 3 --out " + inst), 0);
+  for (const std::string algo : {"carbon", "cobra"}) {
+    SCOPED_TRACE(algo);
+    const std::string solve = "solve --in " + inst + " --owned 2 --algo " +
+                              algo +
+                              " --ul-budget 60 --ll-budget 150 --pop 8";
+    // First run writes checkpoints as it goes and reports the destination.
+    const std::string first = capture(solve + " --checkpoint " + ckpt +
+                                      " --checkpoint-every 1");
+    EXPECT_NE(first.find("checkpointing to"), std::string::npos);
+    std::ifstream written(ckpt);
+    ASSERT_TRUE(written.good());
+    // Second run resumes from the finished run's final checkpoint.
+    const std::string second = capture(solve + " --resume " + ckpt);
+    EXPECT_NE(second.find("resumed from: " + ckpt), std::string::npos);
+    EXPECT_NE(second.find("best leader revenue"), std::string::npos);
+    std::remove(ckpt.c_str());
+  }
+}
+
 TEST(Cli, SolveRejectsUnknownAlgorithm) {
   const std::string inst = ::testing::TempDir() + "/carbon_cli_market2.orlib";
   ASSERT_EQ(run("generate --bundles 20 --services 3 --out " + inst), 0);

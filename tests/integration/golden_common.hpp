@@ -1,0 +1,118 @@
+// Shared fixtures for the golden-trajectory harness: the reference instance
+// and solver configurations, the bitwise Trajectory comparison, and the
+// journal parser. Used by golden_trajectory_test.cpp (neutrality of
+// threads/compilation/telemetry) and checkpoint_resume_test.cpp (kill at
+// generation k + resume reproduces the uninterrupted trajectory).
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "carbon/cobra/cobra_solver.hpp"
+#include "carbon/core/carbon_solver.hpp"
+#include "carbon/cover/generator.hpp"
+#include "carbon/obs/json.hpp"
+
+namespace carbon::golden {
+
+inline bcpop::Instance make_instance() {
+  cover::GeneratorConfig cfg;
+  cfg.num_bundles = 30;
+  cfg.num_services = 4;
+  cfg.seed = 21;
+  return bcpop::Instance(cover::generate(cfg), /*num_owned=*/3);
+}
+
+inline core::CarbonConfig carbon_config() {
+  core::CarbonConfig cfg;
+  cfg.ul_population_size = 8;
+  cfg.ul_archive_size = 8;
+  cfg.gp_population_size = 8;
+  cfg.gp_archive_size = 8;
+  cfg.heuristic_sample_size = 2;
+  cfg.archive_reinjection = 2;
+  cfg.ul_eval_budget = 48;
+  cfg.ll_eval_budget = 480;
+  cfg.seed = 7;
+  return cfg;
+}
+
+inline cobra::CobraConfig cobra_config() {
+  cobra::CobraConfig cfg;
+  cfg.ul_population_size = 8;
+  cfg.ll_population_size = 8;
+  cfg.ul_archive_size = 8;
+  cfg.ll_archive_size = 8;
+  cfg.upper_phase_generations = 2;
+  cfg.lower_phase_generations = 2;
+  cfg.coevolution_pairs = 4;
+  cfg.archive_reinjection = 2;
+  cfg.ul_eval_budget = 80;
+  cfg.ll_eval_budget = 800;
+  cfg.seed = 7;
+  return cfg;
+}
+
+/// The trajectory under test: one entry per recorded generation. Doubles
+/// are compared bitwise (EXPECT_EQ), not within a tolerance.
+struct Trajectory {
+  std::vector<double> best_ul_so_far;
+  std::vector<double> best_gap_so_far;
+  std::vector<double> current_best_ul;
+  std::vector<double> current_mean_gap;
+  std::vector<long long> ul_evals;
+  std::vector<long long> ll_evals;
+  double final_best_ul = 0.0;
+  double final_best_gap = 0.0;
+  int generations = 0;
+};
+
+inline Trajectory trajectory_of(const core::RunResult& r) {
+  Trajectory t;
+  for (const auto& pt : r.convergence) {
+    t.best_ul_so_far.push_back(pt.best_ul_so_far);
+    t.best_gap_so_far.push_back(pt.best_gap_so_far);
+    t.current_best_ul.push_back(pt.current_best_ul);
+    t.current_mean_gap.push_back(pt.current_mean_gap);
+    t.ul_evals.push_back(pt.ul_evaluations);
+    t.ll_evals.push_back(pt.ll_evaluations);
+  }
+  t.final_best_ul = r.best_ul_objective;
+  t.final_best_gap = r.best_gap;
+  t.generations = r.generations;
+  return t;
+}
+
+inline void expect_same_trajectory(const Trajectory& want,
+                                   const Trajectory& got,
+                                   const std::string& label) {
+  SCOPED_TRACE(label);
+  EXPECT_EQ(want.generations, got.generations);
+  ASSERT_EQ(want.best_ul_so_far.size(), got.best_ul_so_far.size());
+  for (std::size_t g = 0; g < want.best_ul_so_far.size(); ++g) {
+    SCOPED_TRACE("generation " + std::to_string(g));
+    EXPECT_EQ(want.best_ul_so_far[g], got.best_ul_so_far[g]);    // bitwise
+    EXPECT_EQ(want.best_gap_so_far[g], got.best_gap_so_far[g]);  // bitwise
+    EXPECT_EQ(want.current_best_ul[g], got.current_best_ul[g]);
+    EXPECT_EQ(want.current_mean_gap[g], got.current_mean_gap[g]);
+    EXPECT_EQ(want.ul_evals[g], got.ul_evals[g]);
+    EXPECT_EQ(want.ll_evals[g], got.ll_evals[g]);
+  }
+  EXPECT_EQ(want.final_best_ul, got.final_best_ul);
+  EXPECT_EQ(want.final_best_gap, got.final_best_gap);
+}
+
+inline std::vector<obs::JsonValue> parse_journal(const std::string& text) {
+  std::vector<obs::JsonValue> out;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) out.push_back(obs::parse_json(line));
+  }
+  return out;
+}
+
+}  // namespace carbon::golden

@@ -17,11 +17,15 @@
 //                [--ul-budget U] [--ll-budget L] [--pop P] [--seed S]
 //                [--threads T] [--convergence OUT.csv] [--memetic]
 //                [--journal OUT.jsonl] [--metrics]
+//                [--checkpoint FILE --checkpoint-every N] [--resume FILE]
 //       Treats the first L bundles as the leader's and solves the bi-level
 //       pricing problem. --journal appends one JSON record per generation
 //       plus a run summary (schema: docs/ALGORITHMS.md §9); --metrics
 //       prints counter/timer totals after the run. Telemetry never alters
-//       the trajectory (carbon and cobra only).
+//       the trajectory (carbon and cobra only). --checkpoint/--checkpoint-
+//       every write crash-safe solver state every N generations; --resume
+//       continues bit-identically from such a file (carbon and cobra only;
+//       schema: docs/ALGORITHMS.md §11).
 //
 // Exit codes: 0 success, 1 usage error, 2 runtime failure.
 
@@ -38,6 +42,7 @@
 #include "carbon/common/cli.hpp"
 #include "carbon/common/csv.hpp"
 #include "carbon/core/carbon_solver.hpp"
+#include "carbon/core/checkpoint.hpp"
 #include "carbon/cover/exact.hpp"
 #include "carbon/cover/generator.hpp"
 #include "carbon/cover/orlib_io.hpp"
@@ -167,11 +172,37 @@ int cmd_solve(const common::CliArgs& args) {
   const bcpop::Instance inst(market, owned);
 
   const std::string algo = args.get("algo", "carbon");
-  const auto pop = static_cast<std::size_t>(args.get_int("pop", 30));
-  const long long ul_budget = args.get_int("ul-budget", 1'000);
-  const long long ll_budget = args.get_int("ll-budget", 3'000);
+  // Counts land in unsigned config fields: reject zero/negative here, with
+  // the flag named, instead of letting the cast wrap to a huge value.
+  const auto pop = static_cast<std::size_t>(args.get_positive_int("pop", 30));
+  const long long ul_budget = args.get_positive_int("ul-budget", 1'000);
+  const long long ll_budget = args.get_positive_int("ll-budget", 3'000);
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
-  const auto threads = static_cast<std::size_t>(args.get_int("threads", 1));
+  const auto threads =
+      static_cast<std::size_t>(args.get_positive_int("threads", 1));
+
+  // Checkpoint/resume wiring (carbon and cobra only).
+  core::CheckpointConfig checkpoint;
+  checkpoint.path = args.get("checkpoint", "");
+  checkpoint.every = args.get_positive_int("checkpoint-every", 0);
+  checkpoint.resume_from = args.get("resume", "");
+  if (checkpoint.every > 0 && checkpoint.path.empty()) {
+    std::fprintf(stderr,
+                 "solve: --checkpoint-every requires --checkpoint FILE\n");
+    return 1;
+  }
+  if (!checkpoint.path.empty() && checkpoint.every == 0) {
+    std::fprintf(stderr,
+                 "solve: --checkpoint requires --checkpoint-every N\n");
+    return 1;
+  }
+  const bool want_checkpoint =
+      checkpoint.every > 0 || !checkpoint.resume_from.empty();
+  if (want_checkpoint && algo != "carbon" && algo != "cobra") {
+    std::fprintf(stderr,
+                 "solve: --checkpoint/--resume require --algo carbon|cobra\n");
+    return 1;
+  }
 
   // Optional telemetry sinks (outlive the solver run below).
   const std::string journal_path = args.get("journal", "");
@@ -205,6 +236,7 @@ int cmd_solve(const common::CliArgs& args) {
     cfg.seed = seed;
     cfg.eval_threads = threads;
     cfg.telemetry = telemetry;
+    cfg.checkpoint = checkpoint;
     const core::CarbonResult r = core::CarbonSolver(inst, cfg).run();
     heuristic_repr = gp::simplify(r.best_heuristic).to_string();
     result = r;
@@ -217,6 +249,7 @@ int cmd_solve(const common::CliArgs& args) {
     cfg.seed = seed;
     cfg.eval_threads = threads;
     cfg.telemetry = telemetry;
+    cfg.checkpoint = checkpoint;
     result = cobra::CobraSolver(inst, cfg).run();
   } else if (algo == "biga") {
     baselines::BigaConfig cfg;
@@ -248,6 +281,13 @@ int cmd_solve(const common::CliArgs& args) {
   }
 
   std::printf("algorithm: %s\n", algo.c_str());
+  if (!checkpoint.resume_from.empty()) {
+    std::printf("resumed from: %s\n", checkpoint.resume_from.c_str());
+  }
+  if (checkpoint.every > 0) {
+    std::printf("checkpointing to %s every %lld generations\n",
+                checkpoint.path.c_str(), checkpoint.every);
+  }
   std::printf("generations: %d  UL evals: %lld  LL evals: %lld\n",
               result.generations, result.ul_evaluations,
               result.ll_evaluations);

@@ -8,9 +8,11 @@
 #
 # Tiers:
 #   unit               — fast single-subsystem tests; the inner-loop tier
-#   integration        — whole-solver runs (reproduction, umbrella, CLI,
+#   integration        — whole-solver runs (reproduction, umbrella, CLI
+#                        incl. the checkpoint/resume smoke,
 #                        golden-trajectory)
-#   sanitizer-critical — the concurrency surface; tools/run_sanitizers.sh
+#   sanitizer-critical — the concurrency surface plus the checkpoint
+#                        kill/resume harness; tools/run_sanitizers.sh
 #                        runs the same set again under TSan/ASan
 #   bench-smoke        — microbenchmarks (micro_lp_simplex, micro_gp_eval)
 #                        with tiny iteration counts: exercises their
