@@ -48,10 +48,14 @@ struct EvalContext {
   /// path stops paying two heap allocations per evaluation.
   lp::Basis basis_scratch;
   // Evaluation scratch, reused across solves so the hot path never
-  // allocates: the interpreter's operand stack (trees > 64 nodes) and the
-  // compiled program's register file (num_registers x bundles doubles).
+  // allocates: the interpreter's operand stack (trees > 64 nodes), the
+  // compiled program's register file (num_registers x bundles doubles),
+  // the batched greedy's working memory (residuals, feature columns, score
+  // buffer, dirty set), and the static fast path's score column.
   std::vector<double> op_scratch;
   std::vector<double> reg_scratch;
+  cover::GreedyScratch greedy_scratch;
+  std::vector<double> static_scores;
 };
 
 /// Solves the LP relaxation of LL(pricing), warm-started from the context's
@@ -75,18 +79,22 @@ void record_lp_metrics(obs::MetricsRegistry* metrics,
     EvalContext& ctx, const cover::Relaxation& relax,
     std::span<const double> pricing, const gp::Tree& heuristic, bool polish);
 
-/// Greedy driven by a compiled GP program, batch-scored in SoA layout: each
-/// round fills one feature view and scores every bundle in a single
-/// evaluate_batch sweep. Programs that are static *after* simplification
-/// (CompiledProgram::is_static — catches trees like (sub QCOV QCOV) that
-/// the syntactic check misses) take the sort-based fast path. Produces
-/// bit-identical covers to solve_with_heuristic on the same tree (the
-/// CompiledProgram equivalence contract; finite features only, which the
-/// solve path guarantees).
+/// Greedy driven by a compiled GP program, batch-scored in SoA layout
+/// through the incremental cover::greedy_solve_batched: round 1 scores
+/// every bundle, later rounds rescore only the dirty set the last selection
+/// invalidated (none at all when the program ignores BRES and QCOV; every
+/// bundle when it reads BRES). Programs that are static *after*
+/// simplification (CompiledProgram::is_static — catches trees like
+/// (sub QCOV QCOV) that the syntactic check misses) take the sort-based
+/// fast path. Produces bit-identical covers to solve_with_heuristic on the
+/// same tree (the CompiledProgram equivalence contract; finite features
+/// only, which the solve path guarantees). When `metrics` is non-null the
+/// rescoring effort is recorded as greedy/rounds, greedy/bundles_rescored,
+/// greedy/rescore_slots counters and a greedy/rescored_frac gauge.
 [[nodiscard]] cover::SolveResult solve_with_program(
     EvalContext& ctx, const cover::Relaxation& relax,
     std::span<const double> pricing, const gp::CompiledProgram& program,
-    bool polish);
+    bool polish, obs::MetricsRegistry* metrics = nullptr);
 
 /// Per-batch score memo: jobs whose (scoring tree, pricing, purpose) key
 /// repeats within one heuristic batch are evaluated once and the result is

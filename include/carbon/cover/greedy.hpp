@@ -16,9 +16,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <concepts>
+#include <cstdint>
 #include <functional>
 #include <limits>
 #include <numeric>
+#include <type_traits>
 #include <vector>
 
 #include "carbon/cover/instance.hpp"
@@ -186,72 +189,198 @@ template <typename Score>
   return result;
 }
 
+/// Batch scorers that can report which residual-dependent terminals they
+/// read (gp::CompiledBatchScorer queries the CANONICAL compiled program, so
+/// terminals that simplify away do not count). The batched greedy uses the
+/// answers to skip rescoring work; scorers without these members are
+/// conservatively rescored dense every round.
+template <typename S>
+concept TerminalAwareBatchScorer = requires(const std::remove_cvref_t<S>& s) {
+  { s.depends_on_bres() } -> std::convertible_to<bool>;
+  { s.depends_on_qcov() } -> std::convertible_to<bool>;
+};
+
+/// Caller-owned working memory for greedy_solve_batched. Hot callers (one
+/// per bcpop::EvalContext, mirroring the per-context lp::Basis scratch) keep
+/// one across evaluations so the ~10^5 greedy solves per run stop paying a
+/// dozen heap allocations each; every vector is assign()ed at entry, so a
+/// reused scratch never leaks state between solves.
+struct GreedyScratch {
+  std::vector<int> residual;
+  std::vector<double> qsum;
+  std::vector<double> dual_mass;
+  std::vector<double> xbar;
+  std::vector<double> useful;
+  std::vector<double> scores;
+  std::vector<std::uint32_t> dirty;      ///< bundles whose qcov changed
+  std::vector<std::uint8_t> dirty_flag;  ///< dirty_flag[j] == j in `dirty`
+  /// Compacted feature columns + results for dirty-only rescoring.
+  std::vector<double> sub_cost;
+  std::vector<double> sub_qsum;
+  std::vector<double> sub_qcov;
+  std::vector<double> sub_dual;
+  std::vector<double> sub_xbar;
+  std::vector<double> sub_out;
+};
+
+/// Rescoring effort of one batched greedy solve. The dense baseline scores
+/// every bundle every round (rescore_slots); the dirty-set greedy only
+/// recomputes bundles_rescored of them, so rescored_frac < 1 measures the
+/// work the incremental path avoided.
+struct GreedyBatchStats {
+  std::size_t rounds = 0;
+  std::size_t bundles_rescored = 0;
+  std::size_t rescore_slots = 0;  ///< rounds * num_bundles
+
+  [[nodiscard]] double rescored_frac() const noexcept {
+    return rescore_slots == 0
+               ? 0.0
+               : static_cast<double>(bundles_rescored) /
+                     static_cast<double>(rescore_slots);
+  }
+};
+
 /// Batch-scoring variant of greedy_solve_with: semantically identical (same
 /// selections, same tie-breaks) for any batch scorer that computes, per
-/// bundle, the same double the per-bundle scorer would. Each round scores
-/// the whole bundle axis in ONE call — useful coverage is maintained
-/// incrementally through the instance's service→bundle (CSR) inverted
-/// index, so only bundles touched by the last selection change between
-/// rounds — then takes the argmax over unselected bundles that still add
-/// coverage. This is the hot path for compiled GP scoring programs.
+/// bundle, the same double the per-bundle scorer would.
+///
+/// Scoring is LAZY: a bundle's score is a pure function of its feature row,
+/// and selecting a bundle only changes qcov for bundles sharing a service
+/// whose residual moved (tracked through the instance's service→bundle CSR
+/// index) and bres for all of them. So after the first dense round, a
+/// TerminalAwareBatchScorer that ignores BRES is re-evaluated only on that
+/// dirty set — gathered into a compact sub-batch, scored, and scattered
+/// back. Every rescore recomputes exactly the double a dense sweep would
+/// (kernel ops are elementwise, so batch composition cannot change any
+/// element's bits), hence the argmax and its index tie-breaks are identical
+/// to the dense greedy. Scorers that read BRES — or type-erased scorers
+/// that cannot say — are rescored dense every round, which is the old
+/// behavior exactly.
+///
+/// `scratch` (optional) supplies caller-owned working memory; `stats`
+/// (optional) receives the rescoring effort of this solve.
 template <typename BatchScore>
 [[nodiscard]] SolveResult greedy_solve_batched(
     const Instance& instance, BatchScore&& batch_score,
     std::span<const double> duals = {}, std::span<const double> relaxed_x = {},
-    const GreedyOptions& options = {}) {
+    const GreedyOptions& options = {}, GreedyScratch* scratch = nullptr,
+    GreedyBatchStats* stats = nullptr) {
   const std::size_t m = instance.num_bundles();
   const std::size_t n = instance.num_services();
+
+  GreedyScratch local;
+  GreedyScratch& s = scratch != nullptr ? *scratch : local;
+  GreedyBatchStats st;
 
   SolveResult result;
   result.selection.assign(m, 0);
 
-  std::vector<int> residual(instance.demands().begin(),
-                            instance.demands().end());
+  s.residual.assign(instance.demands().begin(), instance.demands().end());
   long long outstanding =
-      std::accumulate(residual.begin(), residual.end(), 0LL);
+      std::accumulate(s.residual.begin(), s.residual.end(), 0LL);
 
-  std::vector<double> qsum;
-  std::vector<double> dual_mass;
-  detail::static_masses(instance, duals, qsum, dual_mass);
+  detail::static_masses(instance, duals, s.qsum, s.dual_mass);
 
   // xbar column: pad/truncate to exactly m entries (absent -> 0), matching
   // the per-bundle path's `j < relaxed_x.size() ? relaxed_x[j] : 0`.
-  std::vector<double> xbar(m, 0.0);
+  s.xbar.assign(m, 0.0);
   for (std::size_t j = 0; j < m && j < relaxed_x.size(); ++j) {
-    xbar[j] = relaxed_x[j];
+    s.xbar[j] = relaxed_x[j];
   }
 
-  std::vector<double> useful(m, 0.0);
+  s.useful.assign(m, 0.0);
   for (std::size_t j = 0; j < m; ++j) {
     const auto row = instance.bundle(j);
     double u = 0.0;
     for (std::size_t k = 0; k < n; ++k) {
-      u += std::min(row[k], residual[k]);
+      u += std::min(row[k], s.residual[k]);
     }
-    useful[j] = u;
+    s.useful[j] = u;
   }
 
-  std::vector<double> scores(m, 0.0);
+  // Round-invariance of the scorer decides the rescoring regime once.
+  bool rescore_all = true;
+  bool track_dirty = false;
+  if constexpr (TerminalAwareBatchScorer<BatchScore>) {
+    rescore_all = batch_score.depends_on_bres();
+    track_dirty = !rescore_all && batch_score.depends_on_qcov();
+  }
+  // Cleared unconditionally: a reused scratch may carry a dirty list from a
+  // previous solve (possibly of a LARGER instance), which must never leak
+  // into this one.
+  s.dirty.clear();
+  if (track_dirty) {
+    s.dirty_flag.assign(m, 0);
+  }
+
+  s.scores.assign(m, 0.0);
   BatchFeatureView view;
   view.cost = instance.costs();
-  view.qsum = qsum;
-  view.qcov = useful;
-  view.dual = dual_mass;
-  view.xbar = xbar;
+  view.qsum = s.qsum;
+  view.qcov = s.useful;
+  view.dual = s.dual_mass;
+  view.xbar = s.xbar;
   view.count = m;
 
+  bool first_round = true;
   while (outstanding > 0) {
     view.bres = static_cast<double>(outstanding);
-    batch_score(view, std::span<double>(scores));
+    if (first_round || rescore_all) {
+      batch_score(view, std::span<double>(s.scores));
+      st.bundles_rescored += m;
+    } else if (track_dirty && !s.dirty.empty()) {
+      // Gather the still-eligible dirty bundles into a compact sub-batch
+      // (bundles that dropped to zero useful coverage can never be selected
+      // again, so their stale scores are never read).
+      std::size_t d = 0;
+      s.sub_cost.resize(s.dirty.size());
+      s.sub_qsum.resize(s.dirty.size());
+      s.sub_qcov.resize(s.dirty.size());
+      s.sub_dual.resize(s.dirty.size());
+      s.sub_xbar.resize(s.dirty.size());
+      s.sub_out.resize(s.dirty.size());
+      for (const std::uint32_t j : s.dirty) {
+        if (result.selection[j] || s.useful[j] <= 0.0) continue;
+        s.sub_cost[d] = view.cost[j];
+        s.sub_qsum[d] = s.qsum[j];
+        s.sub_qcov[d] = s.useful[j];
+        s.sub_dual[d] = s.dual_mass[j];
+        s.sub_xbar[d] = s.xbar[j];
+        s.dirty[d] = j;  // keep the surviving index for the scatter
+        ++d;
+      }
+      if (d > 0) {
+        BatchFeatureView sub;
+        sub.cost = std::span<const double>(s.sub_cost.data(), d);
+        sub.qsum = std::span<const double>(s.sub_qsum.data(), d);
+        sub.qcov = std::span<const double>(s.sub_qcov.data(), d);
+        sub.dual = std::span<const double>(s.sub_dual.data(), d);
+        sub.xbar = std::span<const double>(s.sub_xbar.data(), d);
+        sub.bres = view.bres;
+        sub.count = d;
+        batch_score(sub, std::span<double>(s.sub_out.data(), d));
+        for (std::size_t t = 0; t < d; ++t) {
+          s.scores[s.dirty[t]] = s.sub_out[t];
+        }
+      }
+      st.bundles_rescored += d;
+    }
+    if (track_dirty && !first_round) {
+      for (const std::uint32_t j : s.dirty) s.dirty_flag[j] = 0;
+      s.dirty.clear();
+    }
+    first_round = false;
+    st.rounds += 1;
+    st.rescore_slots += m;
 
     double best_score = -std::numeric_limits<double>::infinity();
     std::size_t best_j = m;
     for (std::size_t j = 0; j < m; ++j) {
       if (result.selection[j]) continue;
-      if (useful[j] <= 0.0) continue;
-      const double s = detail::sanitize_score(scores[j]);
-      if (s > best_score) {
-        best_score = s;
+      if (s.useful[j] <= 0.0) continue;
+      const double sc = detail::sanitize_score(s.scores[j]);
+      if (sc > best_score) {
+        best_score = sc;
         best_j = j;
       }
     }
@@ -259,17 +388,18 @@ template <typename BatchScore>
     if (best_j == m) {
       result.feasible = false;
       result.value = instance.selection_cost(result.selection);
+      if (stats != nullptr) *stats = st;
       return result;
     }
 
     result.selection[best_j] = 1;
     const auto chosen = instance.bundle(best_j);
     for (std::size_t k = 0; k < n; ++k) {
-      const int r_old = residual[k];
+      const int r_old = s.residual[k];
       if (r_old <= 0 || chosen[k] <= 0) continue;
       const int used = std::min(chosen[k], r_old);
       const int r_new = r_old - used;
-      residual[k] = r_new;
+      s.residual[k] = r_new;
       outstanding -= used;
       const auto idx = instance.suppliers(k);
       const auto qty = instance.supplier_quantities(k);
@@ -277,7 +407,13 @@ template <typename BatchScore>
         const std::size_t j = idx[t];
         if (result.selection[j]) continue;
         const int q = qty[t];
-        useful[j] -= std::min(q, r_old) - std::min(q, r_new);
+        const int delta = std::min(q, r_old) - std::min(q, r_new);
+        if (delta == 0) continue;  // qcov untouched: score still exact
+        s.useful[j] -= delta;
+        if (track_dirty && !s.dirty_flag[j]) {
+          s.dirty_flag[j] = 1;
+          s.dirty.push_back(static_cast<std::uint32_t>(j));
+        }
       }
     }
   }
@@ -288,6 +424,7 @@ template <typename BatchScore>
 
   result.feasible = true;
   result.value = instance.selection_cost(result.selection);
+  if (stats != nullptr) *stats = st;
   return result;
 }
 

@@ -53,6 +53,36 @@ namespace carbon::gp {
   };
 }
 
+/// Dependency-aware batch scorer over a compiled program — the scorer type
+/// the incremental cover::greedy_solve_batched is designed for (it models
+/// cover::TerminalAwareBatchScorer). The dependency answers come from the
+/// CANONICAL program, so a tree whose BRES/QCOV reads simplify away — e.g.
+/// (sub BRES BRES) — correctly reports them unread and unlocks the dirty-set
+/// rescoring path. Holds references only: keep `program` and `reg_scratch`
+/// alive for the scorer's lifetime (bcpop::EvalContext owns both).
+class CompiledBatchScorer {
+ public:
+  CompiledBatchScorer(const CompiledProgram& program,
+                      std::vector<double>& reg_scratch) noexcept
+      : program_(&program), scratch_(&reg_scratch) {}
+
+  void operator()(const cover::BatchFeatureView& view,
+                  std::span<double> out) const {
+    program_->evaluate_batch(view_to_batch(view), out, *scratch_);
+  }
+
+  [[nodiscard]] bool depends_on_bres() const noexcept {
+    return program_->uses_terminal(Terminal::kBres);
+  }
+  [[nodiscard]] bool depends_on_qcov() const noexcept {
+    return program_->uses_terminal(Terminal::kQcov);
+  }
+
+ private:
+  const CompiledProgram* program_;
+  std::vector<double>* scratch_;
+};
+
 /// Wraps a compiled program (shared) as a type-erased batch scorer for
 /// cover::grasp_solve and other BatchScoreFunction consumers. The closure
 /// owns its register scratch, so repeated rounds do not allocate.

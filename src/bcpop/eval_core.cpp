@@ -132,7 +132,8 @@ cover::SolveResult solve_with_heuristic(EvalContext& ctx,
     // per-round argmax (identical semantics, see greedy_solve_static docs).
     const std::size_t m = ctx.ll.num_bundles();
     const std::size_t n = ctx.ll.num_services();
-    std::vector<double> scores(m);
+    std::vector<double>& scores = ctx.static_scores;
+    scores.assign(m, 0.0);
     for (std::size_t j = 0; j < m; ++j) {
       cover::BundleFeatures f;
       f.cost = ctx.ll.cost(j);
@@ -173,7 +174,8 @@ cover::SolveResult solve_with_program(EvalContext& ctx,
                                       const cover::Relaxation& relax,
                                       std::span<const double> pricing,
                                       const gp::CompiledProgram& program,
-                                      bool polish) {
+                                      bool polish,
+                                      obs::MetricsRegistry* metrics) {
   load_pricing(ctx, pricing);
 
   cover::SolveResult solved;
@@ -182,14 +184,14 @@ cover::SolveResult solve_with_program(EvalContext& ctx,
     // simplification, so trees whose dynamic terminals fold away — e.g.
     // (sub QCOV QCOV) — land here too). One batched sweep computes every
     // bundle's round-invariant score; the sorted greedy is equivalent to
-    // the per-round argmax (see greedy_solve_static).
+    // the per-round argmax (see greedy_solve_static). All columns live in
+    // the per-context greedy scratch — zero allocations once warm.
     const std::size_t m = ctx.ll.num_bundles();
-    std::vector<double> qsum;
-    std::vector<double> dual_mass;
-    cover::detail::static_masses(ctx.ll, relax.duals, qsum, dual_mass);
-    std::vector<double> xbar(m, 0.0);
+    cover::GreedyScratch& gs = ctx.greedy_scratch;
+    cover::detail::static_masses(ctx.ll, relax.duals, gs.qsum, gs.dual_mass);
+    gs.xbar.assign(m, 0.0);
     for (std::size_t j = 0; j < m && j < relax.relaxed_x.size(); ++j) {
-      xbar[j] = relax.relaxed_x[j];
+      gs.xbar[j] = relax.relaxed_x[j];
     }
     // The interpreter's static path leaves qcov/bres at their zero
     // defaults; broadcast the same zeros (the program ignores them anyway).
@@ -197,24 +199,30 @@ cover::SolveResult solve_with_program(EvalContext& ctx,
     gp::CompiledProgram::TerminalBatch batch;
     batch.columns[static_cast<std::size_t>(gp::Terminal::kCost)] =
         ctx.ll.costs();
-    batch.columns[static_cast<std::size_t>(gp::Terminal::kQsum)] = qsum;
+    batch.columns[static_cast<std::size_t>(gp::Terminal::kQsum)] = gs.qsum;
     batch.columns[static_cast<std::size_t>(gp::Terminal::kQcov)] = {&zero, 1};
     batch.columns[static_cast<std::size_t>(gp::Terminal::kBres)] = {&zero, 1};
-    batch.columns[static_cast<std::size_t>(gp::Terminal::kDual)] = dual_mass;
-    batch.columns[static_cast<std::size_t>(gp::Terminal::kXbar)] = xbar;
+    batch.columns[static_cast<std::size_t>(gp::Terminal::kDual)] =
+        gs.dual_mass;
+    batch.columns[static_cast<std::size_t>(gp::Terminal::kXbar)] = gs.xbar;
     batch.count = m;
-    std::vector<double> scores(m);
-    program.evaluate_batch(batch, scores, ctx.reg_scratch);
-    solved = cover::greedy_solve_static(ctx.ll, scores);
+    ctx.static_scores.resize(m);
+    program.evaluate_batch(batch, ctx.static_scores, ctx.reg_scratch);
+    solved = cover::greedy_solve_static(ctx.ll, ctx.static_scores);
   } else {
+    cover::GreedyBatchStats stats;
     solved = cover::greedy_solve_batched(
-        ctx.ll,
-        [&program, &ctx](const cover::BatchFeatureView& view,
-                         std::span<double> out) {
-          program.evaluate_batch(gp::view_to_batch(view), out,
-                                 ctx.reg_scratch);
-        },
-        relax.duals, relax.relaxed_x);
+        ctx.ll, gp::CompiledBatchScorer(program, ctx.reg_scratch),
+        relax.duals, relax.relaxed_x, {}, &ctx.greedy_scratch, &stats);
+    if (metrics != nullptr && stats.rounds > 0) {
+      metrics->add_counter("greedy/rounds",
+                           static_cast<long long>(stats.rounds));
+      metrics->add_counter("greedy/bundles_rescored",
+                           static_cast<long long>(stats.bundles_rescored));
+      metrics->add_counter("greedy/rescore_slots",
+                           static_cast<long long>(stats.rescore_slots));
+      metrics->set_gauge("greedy/rescored_frac", stats.rescored_frac());
+    }
   }
   if (polish && solved.feasible) {
     solved.value = cover::local_search(ctx.ll, solved.selection).value;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "carbon/gp/simd.hpp"
+
 namespace carbon::bcpop {
 
 Evaluator::Evaluator(const Instance& instance,
@@ -45,7 +47,8 @@ Evaluation Evaluator::evaluate_with_heuristic(std::span<const double> pricing,
   cover::SolveResult solved;
   if (compiled_scoring_) {
     const gp::CompiledProgram program = gp::CompiledProgram::compile(heuristic);
-    solved = solve_with_program(ctx_, *relax, pricing, program, polish_);
+    solved = solve_with_program(ctx_, *relax, pricing, program, polish_,
+                                metrics_);
   } else {
     solved = solve_with_heuristic(ctx_, *relax, pricing, heuristic, polish_);
   }
@@ -57,6 +60,10 @@ std::vector<Evaluation> Evaluator::evaluate_heuristic_batch(
     std::span<const HeuristicJob> jobs) {
   std::vector<Evaluation> results(jobs.size());
   if (jobs.empty()) return results;
+  // Which kernel width the compiled scorer dispatched to (1 = scalar,
+  // 4 = AVX2) — constant per process, but recorded per batch so journals
+  // from different machines stay attributable.
+  obs::gauge(metrics_, "gp/lanes", static_cast<double>(gp::simd::lanes()));
   const HeuristicBatchPlan plan =
       plan_heuristic_batch(jobs, compiled_scoring_);
   std::vector<Evaluation> unique_results(plan.uniques.size());
@@ -68,7 +75,7 @@ std::vector<Evaluation> Evaluator::evaluate_heuristic_batch(
     const cover::SolveResult solved =
         uq.program
             ? solve_with_program(ctx_, *relax, job.pricing, *uq.program,
-                                 polish_)
+                                 polish_, metrics_)
             : solve_with_heuristic(ctx_, *relax, job.pricing, *job.heuristic,
                                    polish_);
     timer.stop();

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <thread>
 
+#include "carbon/gp/simd.hpp"
+
 namespace carbon::bcpop {
 
 /// Pops a context off the free list (waiting if every context is in use —
@@ -72,7 +74,8 @@ Evaluation ParallelEvaluator::evaluate_heuristic_job(
   obs::ScopedTimer timer(metrics_, "time/ll_solve");
   const cover::SolveResult solved =
       program
-          ? solve_with_program(ctx, *relax, job.pricing, *program, polish_)
+          ? solve_with_program(ctx, *relax, job.pricing, *program, polish_,
+                               metrics_)
           : solve_with_heuristic(ctx, *relax, job.pricing, *job.heuristic,
                                  polish_);
   timer.stop();
@@ -125,6 +128,7 @@ std::vector<Evaluation> ParallelEvaluator::evaluate_heuristic_batch(
     std::span<const HeuristicJob> jobs) {
   std::vector<Evaluation> results(jobs.size());
   if (jobs.empty()) return results;
+  obs::gauge(metrics_, "gp/lanes", static_cast<double>(gp::simd::lanes()));
   // Plan the score memo on the calling thread BEFORE fan-out: the plan is a
   // pure function of the submitted jobs, so deduplication needs no locks
   // and the set of real solves is identical for any thread count.

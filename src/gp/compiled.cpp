@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "carbon/gp/eval_ops.hpp"
+#include "carbon/gp/simd.hpp"
 
 namespace carbon::gp {
 
@@ -233,47 +234,42 @@ void CompiledProgram::evaluate_batch(const TerminalBatch& batch,
   if (scratch.size() < needed) scratch.resize(needed);
   double* const regs = scratch.data();
 
-  using detail::clamp_finite;
-  using detail::kProtectTol;
+  // All instruction loops go through the dispatched kernel table: scalar and
+  // AVX2 tables compute bit-identical doubles per element (see gp/simd.hpp),
+  // so the choice is invisible to every trajectory.
+  const simd::Kernels& k = simd::kernels();
   for (const Instr& ins : code_) {
     double* const dst = regs + static_cast<std::size_t>(ins.dst) * m;
     const double* const a = regs + static_cast<std::size_t>(ins.a) * m;
     const double* const b = regs + static_cast<std::size_t>(ins.b) * m;
     switch (ins.op) {
       case OpCode::kConst:
-        std::fill_n(dst, m, ins.value);
+        k.splat(ins.value, dst, m);
         break;
       case OpCode::kTerminal: {
         const std::span<const double> col = batch.columns[ins.a];
         if (col.size() == 1) {
-          std::fill_n(dst, m, col[0]);
+          k.splat(col[0], dst, m);
         } else {
           assert(col.size() == m);
-          std::copy_n(col.data(), m, dst);
+          k.copy(col.data(), dst, m);
         }
         break;
       }
       case OpCode::kAdd:
-        for (std::size_t i = 0; i < m; ++i) dst[i] = clamp_finite(a[i] + b[i]);
+        k.add(a, b, dst, m);
         break;
       case OpCode::kSub:
-        for (std::size_t i = 0; i < m; ++i) dst[i] = clamp_finite(a[i] - b[i]);
+        k.sub(a, b, dst, m);
         break;
       case OpCode::kMul:
-        for (std::size_t i = 0; i < m; ++i) dst[i] = clamp_finite(a[i] * b[i]);
+        k.mul(a, b, dst, m);
         break;
       case OpCode::kDiv:
-        for (std::size_t i = 0; i < m; ++i) {
-          dst[i] = std::abs(b[i]) < kProtectTol ? 1.0
-                                                : clamp_finite(a[i] / b[i]);
-        }
+        k.div(a, b, dst, m);
         break;
       case OpCode::kMod:
-        for (std::size_t i = 0; i < m; ++i) {
-          dst[i] = std::abs(b[i]) < kProtectTol
-                       ? 0.0
-                       : clamp_finite(std::fmod(a[i], b[i]));
-        }
+        k.mod(a, b, dst, m);
         break;
     }
   }

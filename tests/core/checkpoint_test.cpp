@@ -312,7 +312,14 @@ TEST(CheckpointSnapshot, SaveOverwritesAtomically) {
 class CheckpointFileTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    path_ = temp_path("reject.ckpt");
+    // Unique per test case: ctest -jN runs sibling cases of this fixture
+    // concurrently, and a shared path makes one case's TearDown delete the
+    // file under another.
+    path_ = temp_path(std::string("reject-") +
+                      ::testing::UnitTest::GetInstance()
+                          ->current_test_info()
+                          ->name() +
+                      ".ckpt");
     make_carbon_checkpoint().save(path_);
     std::ifstream in(path_, std::ios::binary);
     std::ostringstream buf;

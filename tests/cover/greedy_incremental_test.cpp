@@ -1,0 +1,272 @@
+// Differential tests for the incremental (dirty-set) batched greedy: for
+// every scorer regime — BRES-dependent (dense rescore every round),
+// QCOV-only (dirty-set rescore), round-invariant (never rescored) — the
+// selections, tie-breaks, and objective must be bit-identical to the dense
+// per-bundle reference greedy_solve_with, and the GreedyBatchStats must
+// show the work actually skipped.
+//
+// Labeled sanitizer-critical: the gather/scatter sub-batch path indexes
+// compacted columns through the surviving-dirty list; ASan validates those
+// bounds, and the scratch-reuse tests catch any state leaking between
+// solves through a recycled GreedyScratch.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "carbon/common/rng.hpp"
+#include "carbon/cover/generator.hpp"
+#include "carbon/cover/greedy.hpp"
+#include "carbon/cover/instance.hpp"
+#include "carbon/gp/compiled.hpp"
+#include "carbon/gp/generate.hpp"
+#include "carbon/gp/scoring.hpp"
+#include "carbon/gp/tree.hpp"
+
+namespace carbon::cover {
+namespace {
+
+[[nodiscard]] std::uint64_t bits(double v) noexcept {
+  return std::bit_cast<std::uint64_t>(v);
+}
+
+/// Small instances so the suite stays fast yet runs many greedy rounds.
+[[nodiscard]] Instance small_instance(std::uint64_t seed,
+                                      std::size_t bundles = 60,
+                                      std::size_t services = 8) {
+  GeneratorConfig cfg;
+  cfg.num_bundles = bundles;
+  cfg.num_services = services;
+  cfg.tightness = 0.45;  // tighter demand -> more rounds -> more rescoring
+  cfg.seed = seed;
+  return generate(cfg);
+}
+
+/// LP-ish side inputs so DUAL and XBAR are exercised too.
+struct SideInputs {
+  std::vector<double> duals;
+  std::vector<double> xbar;
+};
+
+[[nodiscard]] SideInputs side_inputs(common::Rng& rng, const Instance& inst) {
+  SideInputs s;
+  s.duals.resize(inst.num_services());
+  s.xbar.resize(inst.num_bundles());
+  for (auto& d : s.duals) d = rng.uniform(0.0, 2.0);
+  for (auto& x : s.xbar) x = rng.uniform(0.0, 1.0);
+  return s;
+}
+
+void expect_same_solve(const SolveResult& a, const SolveResult& b,
+                       const char* label) {
+  ASSERT_EQ(a.feasible, b.feasible) << label;
+  ASSERT_EQ(a.selection, b.selection) << label;
+  ASSERT_EQ(bits(a.value), bits(b.value)) << label;
+}
+
+TEST(GreedyIncremental, MatchesPerBundleReferenceAcrossRandomPrograms) {
+  common::Rng rng(4242);
+  GreedyScratch scratch;
+  std::vector<double> reg_scratch;
+
+  int dirty_regime_seen = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    const Instance inst = small_instance(100 + trial);
+    const SideInputs side = side_inputs(rng, inst);
+
+    gp::GenerateConfig gen;
+    const int depth = 3 + static_cast<int>(rng.below(3));
+    gen.min_depth = depth;
+    gen.max_depth = depth;
+    const gp::Tree tree = gp::generate_full(rng, depth, gen);
+    const gp::CompiledProgram program = gp::CompiledProgram::compile(tree);
+
+    // Reference: per-bundle interpreter greedy (the paper's algorithm).
+    const SolveResult ref = greedy_solve_with(
+        inst, gp::make_score_function(tree), side.duals, side.xbar);
+
+    // Incremental dirty-set greedy through the dependency-aware scorer.
+    GreedyBatchStats stats;
+    const SolveResult inc = greedy_solve_batched(
+        inst, gp::CompiledBatchScorer(program, reg_scratch), side.duals,
+        side.xbar, {}, &scratch, &stats);
+    expect_same_solve(ref, inc, tree.to_string().c_str());
+
+    // Dense batched baseline: the same program behind a plain lambda (not
+    // TerminalAware), which forces a full rescore every round.
+    std::vector<double> dense_scratch;
+    const SolveResult dense = greedy_solve_batched(
+        inst,
+        [&](const BatchFeatureView& view, std::span<double> out) {
+          program.evaluate_batch(gp::view_to_batch(view), out, dense_scratch);
+        },
+        side.duals, side.xbar);
+    expect_same_solve(dense, inc, tree.to_string().c_str());
+
+    // Stats must reflect the regime the program's terminals dictate.
+    ASSERT_GT(stats.rounds, 0u);
+    ASSERT_EQ(stats.rescore_slots, stats.rounds * inst.num_bundles());
+    if (program.uses_terminal(gp::Terminal::kBres)) {
+      EXPECT_EQ(stats.bundles_rescored, stats.rescore_slots)
+          << tree.to_string();
+    } else if (program.uses_terminal(gp::Terminal::kQcov)) {
+      EXPECT_LE(stats.bundles_rescored, stats.rescore_slots);
+      if (stats.rounds > 1) {
+        EXPECT_LT(stats.rescored_frac(), 1.0) << tree.to_string();
+        ++dirty_regime_seen;
+      }
+    } else {
+      // Round-invariant: only the first dense round scores anything.
+      EXPECT_EQ(stats.bundles_rescored, inst.num_bundles())
+          << tree.to_string();
+    }
+  }
+  // The generator must have produced at least a few multi-round QCOV-only
+  // programs, or the dirty-set path went untested.
+  EXPECT_GT(dirty_regime_seen, 0);
+}
+
+TEST(GreedyIncremental, QcovOnlyProgramsTakeTheDirtySetPath) {
+  // Hand-built QCOV-dependent, BRES-free scorers covering div/mul/sub forms.
+  const char* programs[] = {
+      "(div QCOV COST)",
+      "(sub (mul QCOV DUAL) COST)",
+      "(add (div QCOV COST) (mul XBAR QCOV))",
+      "(div (mul QCOV QCOV) (add COST QSUM))",
+  };
+  common::Rng rng(99);
+  GreedyScratch scratch;
+  std::vector<double> reg_scratch;
+  for (const char* text : programs) {
+    const gp::Tree tree = gp::parse(text);
+    const gp::CompiledProgram program = gp::CompiledProgram::compile(tree);
+    ASSERT_TRUE(program.uses_terminal(gp::Terminal::kQcov)) << text;
+    ASSERT_FALSE(program.uses_terminal(gp::Terminal::kBres)) << text;
+
+    for (std::uint64_t seed : {7ULL, 8ULL, 9ULL}) {
+      const Instance inst = small_instance(seed, 120, 10);
+      const SideInputs side = side_inputs(rng, inst);
+
+      const SolveResult ref = greedy_solve_with(
+          inst, gp::make_score_function(tree), side.duals, side.xbar);
+      GreedyBatchStats stats;
+      const SolveResult inc = greedy_solve_batched(
+          inst, gp::CompiledBatchScorer(program, reg_scratch), side.duals,
+          side.xbar, {}, &scratch, &stats);
+      expect_same_solve(ref, inc, text);
+      if (stats.rounds > 1) {
+        EXPECT_LT(stats.rescored_frac(), 1.0) << text << " seed=" << seed;
+      }
+    }
+  }
+}
+
+TEST(GreedyIncremental, StaticProgramMatchesSortBasedFastPath) {
+  // Scorers reading neither QCOV nor BRES are round-invariant; the batched
+  // greedy must agree with greedy_solve_static fed the same score column.
+  const gp::Tree tree = gp::parse("(sub (mul DUAL QSUM) (div COST QSUM))");
+  const gp::CompiledProgram program = gp::CompiledProgram::compile(tree);
+  ASSERT_TRUE(program.is_static());
+
+  common::Rng rng(5);
+  std::vector<double> reg_scratch;
+  GreedyScratch scratch;
+  for (std::uint64_t seed : {11ULL, 12ULL, 13ULL}) {
+    const Instance inst = small_instance(seed);
+    const SideInputs side = side_inputs(rng, inst);
+
+    GreedyBatchStats stats;
+    const SolveResult inc = greedy_solve_batched(
+        inst, gp::CompiledBatchScorer(program, reg_scratch), side.duals,
+        side.xbar, {}, &scratch, &stats);
+
+    // Score every bundle once (any residual state: scores ignore it).
+    std::vector<double> qsum;
+    std::vector<double> dual_mass;
+    detail::static_masses(inst, side.duals, qsum, dual_mass);
+    BatchFeatureView view;
+    std::vector<double> zeros(inst.num_bundles(), 0.0);
+    view.cost = inst.costs();
+    view.qsum = qsum;
+    view.qcov = zeros;  // unread by a static program
+    view.dual = dual_mass;
+    view.xbar = side.xbar;
+    view.bres = 0.0;
+    view.count = inst.num_bundles();
+    std::vector<double> scores(inst.num_bundles());
+    gp::CompiledBatchScorer(program, reg_scratch)(view, scores);
+    const SolveResult fast = greedy_solve_static(inst, scores);
+
+    expect_same_solve(fast, inc, "static fast path");
+    // Round-invariant regime: exactly one dense scoring round.
+    EXPECT_EQ(stats.bundles_rescored, inst.num_bundles());
+  }
+}
+
+TEST(GreedyIncremental, ConstantScoresPreserveIndexTieBreaks) {
+  // All-equal scores make every round a pure tie: both paths must pick the
+  // lowest-index eligible bundle (strict `>` argmax keeps the first max).
+  const gp::Tree tree = gp::parse("(div COST COST)");  // simplifies to 1
+  const gp::CompiledProgram program = gp::CompiledProgram::compile(tree);
+  std::vector<double> reg_scratch;
+  for (std::uint64_t seed : {21ULL, 22ULL}) {
+    const Instance inst = small_instance(seed);
+    const SolveResult ref =
+        greedy_solve_with(inst, gp::make_score_function(tree));
+    const SolveResult inc = greedy_solve_batched(
+        inst, gp::CompiledBatchScorer(program, reg_scratch));
+    expect_same_solve(ref, inc, "constant scores");
+  }
+}
+
+TEST(GreedyIncremental, ScratchReuseIsStateless) {
+  // A scratch carried across solves of different instances and programs
+  // must never change any result relative to a fresh scratch.
+  common::Rng rng(314);
+  GreedyScratch reused;
+  std::vector<double> reg_scratch;
+  for (int trial = 0; trial < 12; ++trial) {
+    const Instance inst =
+        small_instance(300 + trial, 40 + 10 * (trial % 3), 6 + (trial % 2));
+    const SideInputs side = side_inputs(rng, inst);
+    gp::GenerateConfig gen;
+    gen.min_depth = 4;
+    gen.max_depth = 4;
+    const gp::Tree tree = gp::generate_full(rng, 4, gen);
+    const gp::CompiledProgram program = gp::CompiledProgram::compile(tree);
+
+    const SolveResult with_reused = greedy_solve_batched(
+        inst, gp::CompiledBatchScorer(program, reg_scratch), side.duals,
+        side.xbar, {}, &reused);
+    std::vector<double> fresh_regs;
+    const SolveResult with_fresh = greedy_solve_batched(
+        inst, gp::CompiledBatchScorer(program, fresh_regs), side.duals,
+        side.xbar, {}, nullptr);
+    expect_same_solve(with_fresh, with_reused, tree.to_string().c_str());
+  }
+}
+
+TEST(GreedyIncremental, PaperClassInstancesRescoreFractionBelowOne) {
+  // The acceptance-criterion shape: on Table III instance classes, a
+  // QCOV-only scorer must skip a meaningful share of rescoring work.
+  const gp::Tree tree = gp::parse("(div QCOV COST)");
+  const gp::CompiledProgram program = gp::CompiledProgram::compile(tree);
+  std::vector<double> reg_scratch;
+  GreedyScratch scratch;
+  for (std::size_t c = 0; c < paper_classes().size(); ++c) {
+    const Instance inst = make_paper_instance(c, 0);
+    GreedyBatchStats stats;
+    const SolveResult solved = greedy_solve_batched(
+        inst, gp::CompiledBatchScorer(program, reg_scratch), {}, {}, {},
+        &scratch, &stats);
+    ASSERT_TRUE(solved.feasible) << "class " << c;
+    ASSERT_GT(stats.rounds, 1u) << "class " << c;
+    EXPECT_LT(stats.rescored_frac(), 1.0) << "class " << c;
+  }
+}
+
+}  // namespace
+}  // namespace carbon::cover

@@ -1,13 +1,14 @@
 // Golden-trajectory regression harness: the per-generation best-objective
 // sequence of a fixed-seed run must be bit-identical across every
 // implementation toggle that claims trajectory neutrality —
-//   eval_threads in {1, 4}  x  compiled_scoring in {on, off}
-//   x  telemetry in {off, metrics+journal}
+//   simd in {auto, scalar}  x  eval_threads in {1, 4}
+//   x  compiled_scoring in {on, off}  x  telemetry in {off, metrics+journal}
 // for CARBON, and the analogous matrix (no compiled-scoring axis is
 // exercised by its evaluation path, but the toggle must still be inert)
 // for COBRA. A regression in the parallel reduction order, the compiled
-// scorer, or an instrumentation site that consumes RNG shows up here as a
-// diverging trajectory, not as a flaky end-result comparison.
+// scorer, the SIMD kernels' bit-identity contract, or an instrumentation
+// site that consumes RNG shows up here as a diverging trajectory, not as a
+// flaky end-result comparison.
 
 #include <gtest/gtest.h>
 
@@ -17,6 +18,7 @@
 
 #include "carbon/cobra/cobra_solver.hpp"
 #include "carbon/core/carbon_solver.hpp"
+#include "carbon/gp/simd.hpp"
 #include "carbon/obs/json.hpp"
 #include "carbon/obs/run_journal.hpp"
 #include "golden_common.hpp"
@@ -35,7 +37,8 @@ using golden::trajectory_of;
 TEST(GoldenTrajectory, CarbonIsInvariantAcrossThreadsCompilationTelemetry) {
   const bcpop::Instance inst = make_instance();
 
-  // Baseline: serial, interpreted, no telemetry.
+  // Baseline: serial, interpreted, no telemetry, forced-scalar kernels.
+  gp::simd::select_path("scalar");
   core::CarbonConfig base = carbon_config();
   base.eval_threads = 1;
   base.compiled_scoring = false;
@@ -43,42 +46,47 @@ TEST(GoldenTrajectory, CarbonIsInvariantAcrossThreadsCompilationTelemetry) {
       trajectory_of(core::CarbonSolver(inst, base).run());
   ASSERT_GT(golden.generations, 1);
 
-  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
-    for (const bool compiled : {false, true}) {
-      for (const bool telemetry : {false, true}) {
-        core::CarbonConfig cfg = carbon_config();
-        cfg.eval_threads = threads;
-        cfg.compiled_scoring = compiled;
+  for (const char* simd : {"auto", "scalar"}) {
+    gp::simd::select_path(simd);
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+      for (const bool compiled : {false, true}) {
+        for (const bool telemetry : {false, true}) {
+          core::CarbonConfig cfg = carbon_config();
+          cfg.eval_threads = threads;
+          cfg.compiled_scoring = compiled;
 
-        obs::MetricsRegistry metrics;
-        std::ostringstream sink;
-        obs::RunJournal journal(sink, &metrics);
-        if (telemetry) {
-          cfg.telemetry.metrics = &metrics;
-          cfg.telemetry.journal = &journal;
-        }
+          obs::MetricsRegistry metrics;
+          std::ostringstream sink;
+          obs::RunJournal journal(sink, &metrics);
+          if (telemetry) {
+            cfg.telemetry.metrics = &metrics;
+            cfg.telemetry.journal = &journal;
+          }
 
-        const core::CarbonResult r = core::CarbonSolver(inst, cfg).run();
-        const std::string label =
-            "threads=" + std::to_string(threads) +
-            " compiled=" + std::to_string(compiled) +
-            " telemetry=" + std::to_string(telemetry);
-        expect_same_trajectory(golden, trajectory_of(r), label);
+          const core::CarbonResult r = core::CarbonSolver(inst, cfg).run();
+          const std::string label =
+              std::string("simd=") + gp::simd::path_name() +
+              " threads=" + std::to_string(threads) +
+              " compiled=" + std::to_string(compiled) +
+              " telemetry=" + std::to_string(telemetry);
+          expect_same_trajectory(golden, trajectory_of(r), label);
 
-        if (telemetry) {
-          // run_start + one record per generation + summary, all parsable.
-          const auto records = parse_journal(sink.str());
-          ASSERT_EQ(records.size(),
-                    static_cast<std::size_t>(r.generations) + 2)
-              << label;
-          EXPECT_EQ(records.front().at("type").as_string(), "run_start");
-          EXPECT_EQ(records.back().at("type").as_string(), "summary");
-          EXPECT_EQ(records.back().at("best_ul").as_number(),
-                    r.best_ul_objective);
+          if (telemetry) {
+            // run_start + one record per generation + summary, all parsable.
+            const auto records = parse_journal(sink.str());
+            ASSERT_EQ(records.size(),
+                      static_cast<std::size_t>(r.generations) + 2)
+                << label;
+            EXPECT_EQ(records.front().at("type").as_string(), "run_start");
+            EXPECT_EQ(records.back().at("type").as_string(), "summary");
+            EXPECT_EQ(records.back().at("best_ul").as_number(),
+                      r.best_ul_objective);
+          }
         }
       }
     }
   }
+  gp::simd::select_path("auto");
 }
 
 TEST(GoldenTrajectory, CarbonJournalTrajectoryIsThreadCountInvariant) {

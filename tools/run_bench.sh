@@ -1,16 +1,44 @@
 #!/usr/bin/env bash
 # Builds and runs the microbenchmarks, leaving their results at the
-# repository root: BENCH_gp_eval.json (GP scoring-tree evaluation) and
-# BENCH_lp_simplex.json (dense-vs-sparse simplex kernels + end-to-end
-# warm-started relaxation batch).
+# repository root: BENCH_gp_eval.json (GP scoring-tree evaluation:
+# interpreter vs compiled-scalar vs compiled-SIMD kernels, plus the
+# incremental-greedy rescoring fractions) and BENCH_lp_simplex.json
+# (dense-vs-sparse simplex kernels + end-to-end warm-started relaxation
+# batch).
 #
-# Usage: tools/run_bench.sh [build-dir]   (default: build)
+# BENCH_gp_eval.json records the machine's SIMD situation in its "simd"
+# block (cpu_avx2, compiled_avx2, dispatched kernel, lanes), so a checked-in
+# result is always attributable to the hardware and build that produced it;
+# the script echoes the same report plus the host CPU feature flags.
+#
+# Usage: tools/run_bench.sh [--commit] [build-dir]   (default: build)
+#   --commit  git-commits the regenerated BENCH_*.json files.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-BUILD_DIR="${1:-build}"
+
+COMMIT=0
+BUILD_DIR=build
+for arg in "$@"; do
+  case "${arg}" in
+    --commit) COMMIT=1 ;;
+    *) BUILD_DIR="${arg}" ;;
+  esac
+done
+
+if [[ -r /proc/cpuinfo ]]; then
+  echo "cpu: $(grep -m1 'model name' /proc/cpuinfo | cut -d: -f2- | sed 's/^ //')"
+  echo "simd flags: $(grep -m1 '^flags' /proc/cpuinfo |
+    tr ' ' '\n' | grep -E '^(sse2|sse4_1|sse4_2|avx|avx2|fma|avx512f)$' |
+    tr '\n' ' ')"
+fi
 
 cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release -DCARBON_BUILD_BENCH=ON
 cmake --build "${BUILD_DIR}" -j --target micro_gp_eval micro_lp_simplex
 "./${BUILD_DIR}/bench/micro_gp_eval" BENCH_gp_eval.json
 "./${BUILD_DIR}/bench/micro_lp_simplex" BENCH_lp_simplex.json
+
+if ((COMMIT)); then
+  git add BENCH_gp_eval.json BENCH_lp_simplex.json
+  git commit -m "Regenerate benchmark results"
+fi

@@ -19,15 +19,21 @@ cd "$(dirname "$0")/.."
 # hammered from pool workers while a reader snapshots), and the LP
 # dense-vs-sparse differential suite (the sparse kernels index through
 # CSC arrays in every inner loop; ASan/UBSan verify those accesses on
-# randomized degenerate/infeasible/unbounded instances), and the
+# randomized degenerate/infeasible/unbounded instances), the
 # checkpoint kill/resume harness (checkpoints are written mid-run while
 # the parallel evaluator is live; the bit-identical-resume assertions run
 # at eval_threads 4, so TSan sees the full snapshot-under-concurrency
-# path). This is the same set labeled `sanitizer-critical` in
-# tests/CMakeLists.txt.
+# path), the SIMD scalar-vs-AVX2 differential fuzz (the 4-wide kernels
+# stride raw register rows — ASan/UBSan check every ragged tail, TSan the
+# lazy dispatch slot resolved from concurrent evaluations), and the
+# incremental-greedy differential (the dirty-set gather/scatter indexes
+# compacted sub-batch columns; ASan validates the bounds and the
+# scratch-reuse runs catch state leaking between solves). This is the
+# same set labeled `sanitizer-critical` in tests/CMakeLists.txt.
 TESTS=(thread_pool_test metrics_test relaxation_cache_test
        bcpop_evaluator_test parallel_evaluator_test gp_compiled_test
-       simplex_differential_test checkpoint_resume_test)
+       simplex_differential_test checkpoint_resume_test
+       gp_simd_eval_test greedy_incremental_test)
 
 FAILED=()
 
