@@ -25,6 +25,7 @@
 #include "carbon/bcpop/instance.hpp"
 #include "carbon/cover/greedy.hpp"
 #include "carbon/cover/relaxation.hpp"
+#include "carbon/guard/guard.hpp"
 #include "carbon/gp/compiled.hpp"
 #include "carbon/gp/tree.hpp"
 #include "carbon/lp/simplex.hpp"
@@ -56,6 +57,11 @@ struct EvalContext {
   std::vector<double> reg_scratch;
   cover::GreedyScratch greedy_scratch;
   std::vector<double> static_scores;
+  /// Per-evaluation resource budgets (default: unlimited, which makes every
+  /// guarded entry point bitwise-identical to its historical unguarded
+  /// form). Owned per context but always set uniformly by the evaluator, so
+  /// evaluations stay pure functions of (pricing, limits).
+  guard::Limits guard{};
 };
 
 /// Solves the LP relaxation of LL(pricing), warm-started from the context's
@@ -64,6 +70,43 @@ struct EvalContext {
 /// std::runtime_error on solver failure (not on infeasibility).
 [[nodiscard]] cover::Relaxation solve_relaxation(
     EvalContext& ctx, std::span<const double> pricing);
+
+/// Budget-guarded relaxation: walks the degradation ladder under
+/// ctx.guard's deterministic limits. With unlimited limits and no forced
+/// trip this IS solve_relaxation (bitwise). Otherwise rung 0 runs the
+/// simplex under an iteration cap; a capped-out (or force-tripped) solve
+/// falls to the rung-1 Lagrangian subgradient bound, and past that to the
+/// rung-2 greedy-only bound (LB = 0, empty duals/x̄). The result — rung,
+/// trip, and node charge included — is a pure function of (pricing,
+/// ctx.guard, force_trip, force_rung), so cap-induced degradations are
+/// safely cacheable; forced (injected) ones are eval-ordinal-dependent and
+/// must bypass the relaxation cache.
+[[nodiscard]] cover::Relaxation solve_relaxation_guarded(
+    EvalContext& ctx, std::span<const double> pricing,
+    guard::Trip force_trip = guard::Trip::kNone,
+    guard::Rung force_rung = guard::Rung::kLagrangian);
+
+/// Construction-stage budget derived from the limits and the node charge
+/// the bound already consumed. When `skip` is set the whole node budget is
+/// gone: score the evaluation via skipped_evaluation without running the
+/// greedy at all.
+struct ConstructionBudget {
+  bool skip = false;
+  cover::GreedyOptions options{};
+};
+
+[[nodiscard]] ConstructionBudget plan_construction(
+    const guard::Limits& limits, const cover::Relaxation& relax);
+
+/// Assembles the Evaluation for a construction stage that never ran (node
+/// budget exhausted before the greedy, or the wall-clock watchdog fired):
+/// infeasible, sentinel gap, all-zero selection, budget_exhausted set.
+/// `trip` overrides the relaxation's own trip when that is kNone.
+[[nodiscard]] Evaluation skipped_evaluation(const Instance& inst,
+                                            std::span<const double> pricing,
+                                            const cover::Relaxation& relax,
+                                            guard::Trip trip,
+                                            EvalPurpose purpose);
 
 /// Records the solver-effort counters of a freshly computed relaxation into
 /// `metrics` (lp/iterations, lp/refactorizations, lp/warm_start_hits,
@@ -75,9 +118,12 @@ void record_lp_metrics(obs::MetricsRegistry* metrics,
 /// Greedy driven by a GP scoring tree; takes the sort-based static fast path
 /// when the tree ignores residual-dependent terminals. When `polish` is set,
 /// feasible covers are improved with cover::local_search (memetic variant).
+/// `greedy` carries the construction-stage budget (from plan_construction);
+/// the default is unlimited and reproduces the historical behavior exactly.
 [[nodiscard]] cover::SolveResult solve_with_heuristic(
     EvalContext& ctx, const cover::Relaxation& relax,
-    std::span<const double> pricing, const gp::Tree& heuristic, bool polish);
+    std::span<const double> pricing, const gp::Tree& heuristic, bool polish,
+    const cover::GreedyOptions& greedy = {});
 
 /// Greedy driven by a compiled GP program, batch-scored in SoA layout
 /// through the incremental cover::greedy_solve_batched: round 1 scores
@@ -94,7 +140,8 @@ void record_lp_metrics(obs::MetricsRegistry* metrics,
 [[nodiscard]] cover::SolveResult solve_with_program(
     EvalContext& ctx, const cover::Relaxation& relax,
     std::span<const double> pricing, const gp::CompiledProgram& program,
-    bool polish, obs::MetricsRegistry* metrics = nullptr);
+    bool polish, obs::MetricsRegistry* metrics = nullptr,
+    const cover::GreedyOptions& greedy = {});
 
 /// Per-batch score memo: jobs whose (scoring tree, pricing, purpose) key
 /// repeats within one heuristic batch are evaluated once and the result is
@@ -126,19 +173,25 @@ struct HeuristicBatchPlan {
 /// Greedy driven by an arbitrary scoring function (baselines, tests).
 [[nodiscard]] cover::SolveResult solve_with_score(
     EvalContext& ctx, const cover::Relaxation& relax,
-    std::span<const double> pricing, const cover::ScoreFunction& score);
+    std::span<const double> pricing, const cover::ScoreFunction& score,
+    const cover::GreedyOptions& greedy = {});
 
 /// Repairs a binary customer genome to cover feasibility (cheapest useful
-/// coverage per cost first); the genome is respected otherwise.
+/// coverage per cost first); the genome is respected otherwise. The round
+/// cap in `greedy` bounds repair ADDITIONS (bundles already set in the
+/// genome are free — the budget meters work, not genome content).
 [[nodiscard]] cover::SolveResult solve_with_selection(
     EvalContext& ctx, const cover::Relaxation& relax,
-    std::span<const double> pricing, std::span<const std::uint8_t> selection);
+    std::span<const double> pricing, std::span<const std::uint8_t> selection,
+    const cover::GreedyOptions& greedy = {});
 
 /// Assembles the Evaluation from a solved lower level. Leader revenue (the
 /// UL objective F) is computed only for EvalPurpose::kBoth — computing F is
 /// exactly what the Table II UL budget charges for, so an evaluation must
 /// never obtain it under a purpose that does not pay (the caller mirrors
-/// this rule when incrementing its counters).
+/// this rule when incrementing its counters). Also folds the relaxation's
+/// guard bookkeeping and the construction round-cap flag into the
+/// Evaluation's guard::Outcome.
 [[nodiscard]] Evaluation finalize_evaluation(const Instance& inst,
                                              std::span<const double> pricing,
                                              const cover::SolveResult& solved,

@@ -130,9 +130,36 @@ class Evaluator final : public EvaluatorInterface {
     metrics_ = metrics;
   }
 
+  /// Installs deterministic per-evaluation budgets + the injection hook.
+  /// Cap-induced degradations are pure functions of (pricing, limits) and
+  /// ride the relaxation cache; call this BEFORE any evaluation (a cache
+  /// warmed under different limits would serve stale rungs). Injected trips
+  /// depend on the evaluation ordinal and always bypass the cache.
+  void set_guard(const guard::GuardConfig& config,
+                 long long eval_base) noexcept override;
+
  private:
   /// Charges the budget counters for one evaluation of `purpose`.
   void charge(EvalPurpose purpose) noexcept;
+  /// Folds one charged evaluation's guard outcome into the trip counters
+  /// (and the obs guard/* counters when a registry is attached).
+  void count_guard(const Evaluation& evaluation) noexcept;
+  /// True when the evaluation with this ll ordinal must be force-tripped.
+  [[nodiscard]] bool inject_now(long long ordinal) const noexcept {
+    return inject_at_ >= 0 && ordinal == inject_at_;
+  }
+  /// Construction stage + scoring under the guard plan for `relax`:
+  /// skip-or-solve, then finalize. `program` (optional) supplies an already
+  /// compiled form of `heuristic`.
+  Evaluation finish_heuristic(const cover::Relaxation& relax,
+                              std::span<const double> pricing,
+                              const gp::Tree& heuristic,
+                              const gp::CompiledProgram* program,
+                              EvalPurpose purpose);
+  Evaluation finish_selection(const cover::Relaxation& relax,
+                              std::span<const double> pricing,
+                              std::span<const std::uint8_t> selection,
+                              EvalPurpose purpose);
 
   const Instance& inst_;
   EvalContext ctx_;
@@ -140,9 +167,14 @@ class Evaluator final : public EvaluatorInterface {
   bool polish_ = false;
   bool compiled_scoring_ = true;
   obs::MetricsRegistry* metrics_ = nullptr;
+  guard::GuardConfig guard_{};
+  long long inject_at_ = -1;  ///< Absolute ll ordinal to trip; -1 = never.
   long long ul_evals_ = 0;
   long long ll_evals_ = 0;
   long long dedup_hits_ = 0;
+  long long guard_trips_ = 0;
+  long long guard_degraded_ = 0;
+  long long guard_exhausted_ = 0;
 };
 
 }  // namespace carbon::bcpop

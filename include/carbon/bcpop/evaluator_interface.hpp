@@ -15,6 +15,7 @@
 
 #include "carbon/ea/real_ops.hpp"
 #include "carbon/gp/tree.hpp"
+#include "carbon/guard/guard.hpp"
 
 namespace carbon::obs {
 class MetricsRegistry;
@@ -40,6 +41,9 @@ struct Evaluation {
   double lower_bound = 0.0;   ///< LB(x): relaxation optimum.
   double gap_percent = 0.0;   ///< Eq. (1).
   std::vector<std::uint8_t> selection;  ///< Follower decision vector.
+  /// Where on the guard degradation ladder this evaluation ran (default:
+  /// full fidelity, untripped). See carbon/guard/guard.hpp.
+  guard::Outcome guard{};
 
   /// Field-wise (bitwise for doubles) equality; the checkpoint round-trip
   /// tests rely on this being exact.
@@ -75,6 +79,13 @@ struct BackendStats {
   long long relaxation_cache_evictions = 0;
   /// Batch heuristic jobs answered by the per-batch score memo.
   long long heuristic_dedup_hits = 0;
+  /// Charged evaluations whose guard outcome recorded a budget trip.
+  long long guard_trips = 0;
+  /// Charged evaluations that ran degraded (off-rung bound, capped or
+  /// skipped construction) — a superset of guard_trips' effects.
+  long long guard_degraded_evals = 0;
+  /// Charged evaluations whose node budget ran out before construction.
+  long long guard_budget_exhausted = 0;
 };
 
 class EvaluatorInterface {
@@ -149,6 +160,18 @@ class EvaluatorInterface {
   /// a registry may never change evaluation results — so the default is to
   /// ignore it. Configure between batches, not during one.
   virtual void set_metrics(obs::MetricsRegistry* /*metrics*/) noexcept {}
+
+  /// Installs per-evaluation resource budgets and the fault-injection hook
+  /// (see carbon/guard/guard.hpp). `eval_base` is this evaluator's
+  /// ll_evaluations() reading that corresponds to run-evaluation #0, so the
+  /// injection fires when ll_evaluations() == eval_base + inject.at_eval —
+  /// solvers pass their post-resume offset, which makes an injection that
+  /// already fired before a checkpoint land below the current counter and
+  /// never re-fire after resume. Backends without guard support ignore the
+  /// call (their evaluations always run full fidelity). Configure between
+  /// batches, not during one.
+  virtual void set_guard(const guard::GuardConfig& /*config*/,
+                         long long /*eval_base*/) noexcept {}
 };
 
 }  // namespace carbon::bcpop

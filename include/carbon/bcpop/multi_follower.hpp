@@ -94,6 +94,12 @@ class MultiFollowerEvaluator final : public EvaluatorInterface {
   /// Forwards the registry to every per-follower evaluator.
   void set_metrics(obs::MetricsRegistry* metrics) noexcept override;
 
+  /// Forwards the guard config to every per-follower evaluator. Each
+  /// follower meters its own injection countdown against its own ll
+  /// counter, so `eval_base` is forwarded as-is.
+  void set_guard(const guard::GuardConfig& config,
+                 long long eval_base) noexcept override;
+
  private:
   Evaluation aggregate(std::span<const double> pricing, EvalPurpose purpose);
 

@@ -129,16 +129,37 @@ class ParallelEvaluator final : public EvaluatorInterface {
     metrics_ = metrics;
   }
 
+  /// Installs deterministic per-evaluation budgets + the injection hook on
+  /// every context. Injection ordinals are assigned in submission order
+  /// (batch job i gets ordinal base+i, planned before fan-out), so the trip
+  /// lands on the same evaluation for any thread count. Configure between
+  /// batches; a relaxation cache warmed under different limits would serve
+  /// stale rungs.
+  void set_guard(const guard::GuardConfig& config,
+                 long long eval_base) noexcept override;
+
  private:
   /// RAII lease of one evaluation context from the free list.
   class ContextLease;
 
   /// Solve + finalize, WITHOUT charging (batch/scalar callers charge per
   /// submitted job so memo hits still pay). Null `program` = interpreter.
+  /// `injected` forces the guard trip (fresh, cache-bypassing relaxation).
   Evaluation evaluate_heuristic_job(EvalContext& ctx, const HeuristicJob& job,
-                                    const gp::CompiledProgram* program);
-  Evaluation evaluate_one(EvalContext& ctx, const SelectionJob& job);
+                                    const gp::CompiledProgram* program,
+                                    bool injected);
+  /// Charges, then solves + finalizes + counts guard outcomes.
+  Evaluation evaluate_one(EvalContext& ctx, const SelectionJob& job,
+                          bool injected);
+  /// Construction stage under the guard plan (skip-or-solve + finalize).
+  Evaluation finish_heuristic(EvalContext& ctx, const cover::Relaxation& relax,
+                              const HeuristicJob& job,
+                              const gp::CompiledProgram* program);
   void charge(EvalPurpose purpose) noexcept;
+  void count_guard(const Evaluation& evaluation) noexcept;
+  [[nodiscard]] bool inject_now(long long ordinal) const noexcept {
+    return inject_at_ >= 0 && ordinal == inject_at_;
+  }
 
   template <typename Job>
   std::vector<Evaluation> run_batch(std::span<const Job> jobs);
@@ -155,9 +176,14 @@ class ParallelEvaluator final : public EvaluatorInterface {
   std::atomic<long long> ul_evals_{0};
   std::atomic<long long> ll_evals_{0};
   std::atomic<long long> dedup_hits_{0};
+  std::atomic<long long> guard_trips_{0};
+  std::atomic<long long> guard_degraded_{0};
+  std::atomic<long long> guard_exhausted_{0};
   bool polish_ = false;
   bool compiled_scoring_ = true;
   obs::MetricsRegistry* metrics_ = nullptr;
+  guard::GuardConfig guard_{};
+  long long inject_at_ = -1;  ///< Absolute ll ordinal to trip; -1 = never.
 };
 
 }  // namespace carbon::bcpop

@@ -14,6 +14,7 @@
 //   ea/        GA operators and archives
 //   bilevel/   %-gap metric, linear bi-level examples
 //   bcpop/     the Bi-level Cloud Pricing problem (+ multi-follower)
+//   guard/     deterministic resource budgets + degradation ladder
 //   obs/       run telemetry: metrics registry, JSONL run journal
 //   core/      CARBON and the experiment harness
 //   cobra/     the COBRA baseline
@@ -61,6 +62,7 @@
 #include "carbon/gp/scoring.hpp"
 #include "carbon/gp/tree.hpp"
 #include "carbon/graph/graph.hpp"
+#include "carbon/guard/guard.hpp"
 #include "carbon/lp/problem.hpp"
 #include "carbon/lp/simplex.hpp"
 #include "carbon/obs/json.hpp"

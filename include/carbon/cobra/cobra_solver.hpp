@@ -77,6 +77,11 @@ struct CobraConfig {
   /// CarbonConfig::checkpoint, except checkpoints land on the first
   /// outer-round boundary at or past each multiple of `every`.
   core::CheckpointConfig checkpoint{};
+
+  /// Deterministic per-evaluation resource budgets + degradation ladder;
+  /// same semantics (unlimited defaults, bit-identical trajectories) as
+  /// CarbonConfig::guard.
+  guard::GuardConfig guard{};
 };
 
 class CobraSolver {

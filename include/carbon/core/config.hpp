@@ -6,6 +6,7 @@
 #include "carbon/core/checkpoint.hpp"
 #include "carbon/ea/real_ops.hpp"
 #include "carbon/gp/operators.hpp"
+#include "carbon/guard/guard.hpp"
 #include "carbon/obs/run_journal.hpp"
 
 namespace carbon::core {
@@ -99,6 +100,12 @@ struct CarbonConfig {
   /// checkpoint never changes the trajectory, and resuming from one
   /// reproduces the uninterrupted run bit for bit.
   CheckpointConfig checkpoint{};
+
+  /// Deterministic per-evaluation resource budgets + degradation ladder
+  /// (docs/ALGORITHMS.md §13). Defaults are unlimited: the guarded path is
+  /// then bitwise-identical to the historical unguarded one, for any
+  /// eval_threads × compiled_scoring × SIMD combination.
+  guard::GuardConfig guard{};
 };
 
 }  // namespace carbon::core

@@ -66,6 +66,11 @@ using BatchScoreFunction =
 struct GreedyOptions {
   /// Drop redundant bundles after reaching feasibility.
   bool eliminate_redundancy = true;
+  /// Deterministic cap on selection rounds (0 = unlimited). A solve that
+  /// still has outstanding demand when the cap is reached returns
+  /// feasible=false with SolveResult::rounds_capped set, and skips the
+  /// redundancy pass (the partial selection is not a cover).
+  long long max_rounds = 0;
 };
 
 namespace detail {
@@ -127,7 +132,15 @@ template <typename Score>
     useful[j] = u;
   }
 
+  long long rounds = 0;
   while (outstanding > 0) {
+    if (options.max_rounds > 0 && rounds >= options.max_rounds) {
+      result.feasible = false;
+      result.rounds_capped = true;
+      result.value = instance.selection_cost(result.selection);
+      return result;
+    }
+    ++rounds;
     double best_score = -std::numeric_limits<double>::infinity();
     std::size_t best_j = m;
     const double bres = static_cast<double>(outstanding);
@@ -323,7 +336,16 @@ template <typename BatchScore>
   view.count = m;
 
   bool first_round = true;
+  long long rounds = 0;
   while (outstanding > 0) {
+    if (options.max_rounds > 0 && rounds >= options.max_rounds) {
+      result.feasible = false;
+      result.rounds_capped = true;
+      result.value = instance.selection_cost(result.selection);
+      if (stats != nullptr) *stats = st;
+      return result;
+    }
+    ++rounds;
     view.bres = static_cast<double>(outstanding);
     if (first_round || rescore_all) {
       batch_score(view, std::span<double>(s.scores));

@@ -104,6 +104,9 @@ struct SolveResult {
   bool feasible = false;
   double value = 0.0;
   std::vector<std::uint8_t> selection;  // size M, 0/1
+  /// Construction stopped by GreedyOptions::max_rounds before feasibility
+  /// (distinguishes a budget trip from a genuinely uncoverable instance).
+  bool rounds_capped = false;
 };
 
 }  // namespace carbon::cover

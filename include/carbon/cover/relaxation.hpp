@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "carbon/cover/instance.hpp"
+#include "carbon/guard/guard.hpp"
 #include "carbon/lp/problem.hpp"
 #include "carbon/lp/simplex.hpp"
 
@@ -29,6 +30,13 @@ struct Relaxation {
   std::vector<double> duals;         ///< One per service (>= 0).
   std::vector<double> relaxed_x;     ///< One per bundle, in [0, 1].
   LpStats stats;                     ///< Solve-effort counters (observability).
+  // Guard bookkeeping. A budget-capped relaxation is still a pure function
+  // of (pricing, limits), so these travel with cached entries: a cache hit
+  // charges exactly the same node budget and lands on the same ladder rung
+  // as a fresh solve would, regardless of eviction order under threading.
+  guard::Rung guard_rung = guard::Rung::kFullLp;  ///< Ladder position.
+  guard::Trip guard_trip = guard::Trip::kNone;    ///< Cap event, if any.
+  long long guard_nodes = 0;  ///< Deterministic node units spent on the bound.
 };
 
 /// Builds the LP  min c'x, Qx >= b, 0 <= x <= 1  for the instance, emitting
@@ -44,6 +52,14 @@ struct Relaxation {
 [[nodiscard]] Relaxation solve_relaxation_lp(const lp::Problem& problem,
                                              const lp::SimplexOptions& options,
                                              lp::Basis* warm);
+
+/// Budget-capped variant of solve_relaxation_lp: an iteration-limited solve
+/// comes back as a Relaxation with guard_trip = kLpIterationCap (infeasible,
+/// so callers fall down the degradation ladder) instead of throwing. All
+/// other failure statuses still throw — they indicate bugs, not budgets.
+[[nodiscard]] Relaxation solve_relaxation_lp_capped(
+    const lp::Problem& problem, const lp::SimplexOptions& options,
+    lp::Basis* warm);
 
 /// Solves the relaxation of `instance` from scratch via the shared kernel.
 [[nodiscard]] Relaxation relax(const Instance& instance);

@@ -48,6 +48,11 @@ struct JournalBackendStats {
   long long relaxation_cache_misses = 0;
   long long relaxation_cache_evictions = 0;
   long long heuristic_dedup_hits = 0;
+  // Guard-rail counters (docs/ALGORITHMS.md §13): budget trips, evaluations
+  // that left the full-fidelity path, and evaluations skipped outright.
+  long long guard_trips = 0;
+  long long guard_degraded_evals = 0;
+  long long guard_budget_exhausted = 0;
 
   bool operator==(const JournalBackendStats&) const = default;
 };

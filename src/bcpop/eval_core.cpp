@@ -4,12 +4,14 @@
 #include <bit>
 #include <cassert>
 #include <cstring>
+#include <limits>
 #include <stdexcept>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "carbon/bilevel/gap.hpp"
+#include "carbon/cover/lagrangian.hpp"
 #include "carbon/cover/local_search.hpp"
 #include "carbon/gp/scoring.hpp"
 #include "carbon/obs/metrics.hpp"
@@ -108,6 +110,143 @@ cover::Relaxation solve_relaxation(EvalContext& ctx,
       ctx.basis_scratch.empty() ? nullptr : &ctx.basis_scratch);
 }
 
+namespace {
+
+/// Rung 2: no bound at all. The evaluation stays valid — LB = 0 is a
+/// trivially correct lower bound for non-negative costs — it just reports a
+/// pessimal gap. Empty duals/x̄ make the DUAL/XBAR terminals read 0, the
+/// same convention the unguarded path uses for absent relaxation data.
+cover::Relaxation greedy_only_relaxation(guard::Trip trip,
+                                         long long nodes_spent) {
+  cover::Relaxation out;
+  out.feasible = true;
+  out.lower_bound = 0.0;
+  out.guard_rung = guard::Rung::kGreedyOnly;
+  out.guard_trip = trip;
+  out.guard_nodes = nodes_spent;
+  return out;
+}
+
+/// Rung 1: Lagrangian subgradient bound. Requires load_pricing to have run
+/// (the multipliers price the CURRENT market). Falls through to rung 2 when
+/// the rung-1 iteration allowance is already zero.
+cover::Relaxation lagrangian_relaxation(EvalContext& ctx, guard::Trip trip,
+                                        long long nodes_spent) {
+  const guard::Limits& lim = ctx.guard;
+  long long cap = lim.lagrangian_iteration_cap;
+  if (lim.ll_node_cap > 0) {
+    const long long remaining = lim.ll_node_cap - nodes_spent;
+    if (remaining <= 0) return greedy_only_relaxation(trip, nodes_spent);
+    cap = guard::combine_caps(cap, remaining);
+  }
+  if (cap <= 0) return greedy_only_relaxation(trip, nodes_spent);
+
+  // Any feasible cover's value calibrates the Polyak steps; the sum of all
+  // bundle costs is one (select everything) and needs no extra solve.
+  double ub = 0.0;
+  for (std::size_t j = 0; j < ctx.ll.num_bundles(); ++j) {
+    ub += ctx.ll.cost(j);
+  }
+  cover::LagrangianOptions opts;
+  opts.max_iterations = static_cast<std::size_t>(cap);
+  const cover::LagrangianResult res =
+      cover::lagrangian_bound(ctx.ll, ub, opts);
+
+  cover::Relaxation out;
+  out.feasible = true;
+  out.lower_bound = res.lower_bound;
+  out.duals = res.multipliers;
+  out.relaxed_x.assign(res.inner_selection.begin(),
+                       res.inner_selection.end());
+  out.guard_rung = guard::Rung::kLagrangian;
+  out.guard_trip = trip;
+  out.guard_nodes = nodes_spent + static_cast<long long>(res.iterations);
+  return out;
+}
+
+}  // namespace
+
+cover::Relaxation solve_relaxation_guarded(EvalContext& ctx,
+                                           std::span<const double> pricing,
+                                           guard::Trip force_trip,
+                                           guard::Rung force_rung) {
+  const guard::Limits& lim = ctx.guard;
+  if (force_trip == guard::Trip::kNone && lim.lp_iteration_cap == 0 &&
+      lim.ll_node_cap == 0) {
+    // No rung-0 cap in play: the unguarded kernel, bit for bit.
+    return solve_relaxation(ctx, pricing);
+  }
+
+  if (force_trip != guard::Trip::kNone) {
+    // Forced (injected) trip: skip rung 0 entirely and land on the
+    // requested rung. The Lagrangian prices the current market, so load it.
+    load_pricing(ctx, pricing);
+    return force_rung == guard::Rung::kGreedyOnly
+               ? greedy_only_relaxation(force_trip, 0)
+               : lagrangian_relaxation(ctx, force_trip, 0);
+  }
+
+  const long long cap =
+      guard::combine_caps(lim.lp_iteration_cap, lim.ll_node_cap);
+  for (std::size_t j = 0; j < pricing.size(); ++j) {
+    ctx.ll_lp.objective[j] = pricing[j];
+  }
+  ctx.basis_scratch = ctx.baseline_basis;
+  lp::SimplexOptions opts;
+  opts.max_iterations = static_cast<int>(
+      std::min<long long>(cap, std::numeric_limits<int>::max()));
+  cover::Relaxation relax = cover::solve_relaxation_lp_capped(
+      ctx.ll_lp, opts,
+      ctx.basis_scratch.empty() ? nullptr : &ctx.basis_scratch);
+  if (relax.guard_trip == guard::Trip::kNone) return relax;
+
+  // The cap that bound first names the trip: the LP cap if it is the
+  // tighter (or only) one, the node budget otherwise.
+  const guard::Trip trip =
+      lim.lp_iteration_cap > 0 && cap == lim.lp_iteration_cap
+          ? guard::Trip::kLpIterationCap
+          : guard::Trip::kNodeBudget;
+  const long long spent = relax.guard_nodes;
+  load_pricing(ctx, pricing);
+  return lagrangian_relaxation(ctx, trip, spent);
+}
+
+ConstructionBudget plan_construction(const guard::Limits& limits,
+                                     const cover::Relaxation& relax) {
+  ConstructionBudget plan;
+  plan.options.max_rounds = limits.construction_round_cap;
+  if (limits.ll_node_cap > 0) {
+    const long long remaining = limits.ll_node_cap - relax.guard_nodes;
+    if (remaining <= 0) {
+      plan.skip = true;
+      return plan;
+    }
+    plan.options.max_rounds =
+        guard::combine_caps(plan.options.max_rounds, remaining);
+  }
+  return plan;
+}
+
+Evaluation skipped_evaluation(const Instance& inst,
+                              std::span<const double> pricing,
+                              const cover::Relaxation& relax,
+                              guard::Trip trip, EvalPurpose purpose) {
+  Evaluation out;
+  out.ll_feasible = false;
+  out.ll_objective = 0.0;
+  out.lower_bound = relax.lower_bound;
+  out.gap_percent = 1e9;
+  out.selection.assign(inst.market().num_bundles(), 0);
+  out.guard.rung = relax.guard_rung;
+  out.guard.trip =
+      relax.guard_trip != guard::Trip::kNone ? relax.guard_trip : trip;
+  out.guard.budget_exhausted = true;
+  if (purpose == EvalPurpose::kBoth) {
+    out.ul_objective = inst.leader_revenue(pricing, out.selection);
+  }
+  return out;
+}
+
 void record_lp_metrics(obs::MetricsRegistry* metrics,
                        const cover::Relaxation& relax) {
   if (metrics == nullptr) return;
@@ -122,8 +261,8 @@ void record_lp_metrics(obs::MetricsRegistry* metrics,
 cover::SolveResult solve_with_heuristic(EvalContext& ctx,
                                         const cover::Relaxation& relax,
                                         std::span<const double> pricing,
-                                        const gp::Tree& heuristic,
-                                        bool polish) {
+                                        const gp::Tree& heuristic, bool polish,
+                                        const cover::GreedyOptions& greedy) {
   load_pricing(ctx, pricing);
 
   if (gp::is_static_heuristic(heuristic)) {
@@ -147,7 +286,8 @@ cover::SolveResult solve_with_heuristic(EvalContext& ctx,
       scores[j] = heuristic.evaluate(
           std::span<const double, gp::kNumTerminals>(arr), ctx.op_scratch);
     }
-    cover::SolveResult solved = cover::greedy_solve_static(ctx.ll, scores);
+    cover::SolveResult solved =
+        cover::greedy_solve_static(ctx.ll, scores, greedy);
     if (polish && solved.feasible) {
       solved.value = cover::local_search(ctx.ll, solved.selection).value;
     }
@@ -163,7 +303,7 @@ cover::SolveResult solve_with_heuristic(EvalContext& ctx,
         return heuristic.evaluate(
             std::span<const double, gp::kNumTerminals>(arr), ctx.op_scratch);
       },
-      relax.duals, relax.relaxed_x);
+      relax.duals, relax.relaxed_x, greedy);
   if (polish && solved.feasible) {
     solved.value = cover::local_search(ctx.ll, solved.selection).value;
   }
@@ -174,8 +314,8 @@ cover::SolveResult solve_with_program(EvalContext& ctx,
                                       const cover::Relaxation& relax,
                                       std::span<const double> pricing,
                                       const gp::CompiledProgram& program,
-                                      bool polish,
-                                      obs::MetricsRegistry* metrics) {
+                                      bool polish, obs::MetricsRegistry* metrics,
+                                      const cover::GreedyOptions& greedy) {
   load_pricing(ctx, pricing);
 
   cover::SolveResult solved;
@@ -208,12 +348,12 @@ cover::SolveResult solve_with_program(EvalContext& ctx,
     batch.count = m;
     ctx.static_scores.resize(m);
     program.evaluate_batch(batch, ctx.static_scores, ctx.reg_scratch);
-    solved = cover::greedy_solve_static(ctx.ll, ctx.static_scores);
+    solved = cover::greedy_solve_static(ctx.ll, ctx.static_scores, greedy);
   } else {
     cover::GreedyBatchStats stats;
     solved = cover::greedy_solve_batched(
         ctx.ll, gp::CompiledBatchScorer(program, ctx.reg_scratch),
-        relax.duals, relax.relaxed_x, {}, &ctx.greedy_scratch, &stats);
+        relax.duals, relax.relaxed_x, greedy, &ctx.greedy_scratch, &stats);
     if (metrics != nullptr && stats.rounds > 0) {
       metrics->add_counter("greedy/rounds",
                            static_cast<long long>(stats.rounds));
@@ -324,15 +464,18 @@ HeuristicBatchPlan plan_heuristic_batch(std::span<const HeuristicJob> jobs,
 cover::SolveResult solve_with_score(EvalContext& ctx,
                                     const cover::Relaxation& relax,
                                     std::span<const double> pricing,
-                                    const cover::ScoreFunction& score) {
+                                    const cover::ScoreFunction& score,
+                                    const cover::GreedyOptions& greedy) {
   load_pricing(ctx, pricing);
-  return cover::greedy_solve(ctx.ll, score, relax.duals, relax.relaxed_x);
+  return cover::greedy_solve(ctx.ll, score, relax.duals, relax.relaxed_x,
+                             greedy);
 }
 
 cover::SolveResult solve_with_selection(EvalContext& ctx,
                                         const cover::Relaxation& relax,
                                         std::span<const double> pricing,
-                                        std::span<const std::uint8_t> selection) {
+                                        std::span<const std::uint8_t> selection,
+                                        const cover::GreedyOptions& greedy) {
   (void)relax;
   load_pricing(ctx, pricing);
 
@@ -344,7 +487,15 @@ cover::SolveResult solve_with_selection(EvalContext& ctx,
   std::vector<int> residual = ctx.ll.residual_demand(solved.selection);
   long long outstanding = 0;
   for (int r : residual) outstanding += r;
+  long long additions = 0;
   while (outstanding > 0) {
+    if (greedy.max_rounds > 0 && additions >= greedy.max_rounds) {
+      solved.feasible = false;
+      solved.rounds_capped = true;
+      solved.value = ctx.ll.selection_cost(solved.selection);
+      return solved;
+    }
+    ++additions;
     double best_ratio = -1.0;
     std::size_t best_j = ctx.ll.num_bundles();
     for (std::size_t j = 0; j < ctx.ll.num_bundles(); ++j) {
@@ -398,6 +549,12 @@ Evaluation finalize_evaluation(const Instance& inst,
   out.gap_percent = solved.feasible
                         ? bilevel::percent_gap(solved.value, relax.lower_bound)
                         : 1e9;
+  out.guard.rung = relax.guard_rung;
+  out.guard.construction_capped = solved.rounds_capped;
+  out.guard.trip = relax.guard_trip != guard::Trip::kNone
+                       ? relax.guard_trip
+                       : (solved.rounds_capped ? guard::Trip::kConstructionCap
+                                               : guard::Trip::kNone);
   if (purpose == EvalPurpose::kBoth) {
     out.ul_objective = inst.leader_revenue(pricing, out.selection);
   }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "carbon/common/stopwatch.hpp"
 #include "carbon/gp/simd.hpp"
 
 namespace carbon::bcpop {
@@ -17,7 +18,7 @@ Evaluator::RelaxationPtr Evaluator::relaxation(
     std::span<const double> pricing) {
   return cache_.get_or_compute(pricing, [this](std::span<const double> p) {
     obs::ScopedTimer timer(metrics_, "time/lp_relaxation");
-    cover::Relaxation relax = solve_relaxation(ctx_, p);
+    cover::Relaxation relax = solve_relaxation_guarded(ctx_, p);
     timer.stop();
     record_lp_metrics(metrics_, relax);
     return relax;
@@ -30,7 +31,18 @@ BackendStats Evaluator::backend_stats() const {
   s.relaxation_cache_misses = cache_.solves();
   s.relaxation_cache_evictions = cache_.evictions();
   s.heuristic_dedup_hits = dedup_hits_;
+  s.guard_trips = guard_trips_;
+  s.guard_degraded_evals = guard_degraded_;
+  s.guard_budget_exhausted = guard_exhausted_;
   return s;
+}
+
+void Evaluator::set_guard(const guard::GuardConfig& config,
+                          long long eval_base) noexcept {
+  guard_ = config;
+  ctx_.guard = config.limits;
+  inject_at_ =
+      config.inject.at_eval >= 0 ? eval_base + config.inject.at_eval : -1;
 }
 
 void Evaluator::charge(EvalPurpose purpose) noexcept {
@@ -38,22 +50,100 @@ void Evaluator::charge(EvalPurpose purpose) noexcept {
   if (purpose == EvalPurpose::kBoth) ++ul_evals_;
 }
 
+void Evaluator::count_guard(const Evaluation& evaluation) noexcept {
+  const guard::Outcome& g = evaluation.guard;
+  if (g.tripped()) {
+    ++guard_trips_;
+    obs::count(metrics_, "guard/trips");
+  }
+  if (g.degraded()) {
+    ++guard_degraded_;
+    obs::count(metrics_, "guard/degraded_evals");
+  }
+  if (g.budget_exhausted) {
+    ++guard_exhausted_;
+    obs::count(metrics_, "guard/budget_exhausted");
+  }
+}
+
+Evaluation Evaluator::finish_heuristic(const cover::Relaxation& relax,
+                                       std::span<const double> pricing,
+                                       const gp::Tree& heuristic,
+                                       const gp::CompiledProgram* program,
+                                       EvalPurpose purpose) {
+  const ConstructionBudget plan = plan_construction(ctx_.guard, relax);
+  if (plan.skip) {
+    return skipped_evaluation(inst_, pricing, relax, guard::Trip::kNodeBudget,
+                              purpose);
+  }
+  obs::ScopedTimer timer(metrics_, "time/ll_solve");
+  cover::SolveResult solved;
+  if (program != nullptr) {
+    solved = solve_with_program(ctx_, relax, pricing, *program, polish_,
+                                metrics_, plan.options);
+  } else if (compiled_scoring_) {
+    const gp::CompiledProgram compiled =
+        gp::CompiledProgram::compile(heuristic);
+    solved = solve_with_program(ctx_, relax, pricing, compiled, polish_,
+                                metrics_, plan.options);
+  } else {
+    solved = solve_with_heuristic(ctx_, relax, pricing, heuristic, polish_,
+                                  plan.options);
+  }
+  timer.stop();
+  return finalize_evaluation(inst_, pricing, solved, relax, purpose);
+}
+
+Evaluation Evaluator::finish_selection(const cover::Relaxation& relax,
+                                       std::span<const double> pricing,
+                                       std::span<const std::uint8_t> selection,
+                                       EvalPurpose purpose) {
+  const ConstructionBudget plan = plan_construction(ctx_.guard, relax);
+  if (plan.skip) {
+    return skipped_evaluation(inst_, pricing, relax, guard::Trip::kNodeBudget,
+                              purpose);
+  }
+  obs::ScopedTimer timer(metrics_, "time/ll_solve");
+  const cover::SolveResult solved =
+      solve_with_selection(ctx_, relax, pricing, selection, plan.options);
+  timer.stop();
+  return finalize_evaluation(inst_, pricing, solved, relax, purpose);
+}
+
 Evaluation Evaluator::evaluate_with_heuristic(std::span<const double> pricing,
                                               const gp::Tree& heuristic,
                                               EvalPurpose purpose) {
+  const long long ordinal = ll_evals_;
+  if (inject_now(ordinal)) {
+    // Forced trip: a fresh, cache-bypassing relaxation (the degradation is
+    // ordinal-dependent, so it must never land in — or come from — the
+    // pricing-keyed cache).
+    charge(purpose);
+    const cover::Relaxation relax = solve_relaxation_guarded(
+        ctx_, pricing, guard::Trip::kInjected, guard_.inject.degrade_to);
+    Evaluation result =
+        finish_heuristic(relax, pricing, heuristic, nullptr, purpose);
+    count_guard(result);
+    return result;
+  }
+
+  common::Stopwatch watchdog;
   const RelaxationPtr relax = relaxation(pricing);
   charge(purpose);
-  obs::ScopedTimer timer(metrics_, "time/ll_solve");
-  cover::SolveResult solved;
-  if (compiled_scoring_) {
-    const gp::CompiledProgram program = gp::CompiledProgram::compile(heuristic);
-    solved = solve_with_program(ctx_, *relax, pricing, program, polish_,
-                                metrics_);
-  } else {
-    solved = solve_with_heuristic(ctx_, *relax, pricing, heuristic, polish_);
+  if (guard_.limits.watchdog_seconds > 0.0 &&
+      watchdog.seconds() > guard_.limits.watchdog_seconds) {
+    // The (cacheable) relaxation is kept full-fidelity; only this
+    // evaluation's construction stage is skipped. Opt-in and explicitly
+    // non-deterministic.
+    Evaluation result = skipped_evaluation(inst_, pricing, *relax,
+                                           guard::Trip::kWatchdog, purpose);
+    count_guard(result);
+    return result;
   }
-  timer.stop();
-  return finalize_evaluation(inst_, pricing, solved, *relax, purpose);
+  Evaluation result =
+      finish_heuristic(*relax, pricing, heuristic, nullptr, purpose);
+  count_guard(result);
+  return result;
 }
 
 std::vector<Evaluation> Evaluator::evaluate_heuristic_batch(
@@ -66,28 +156,45 @@ std::vector<Evaluation> Evaluator::evaluate_heuristic_batch(
   obs::gauge(metrics_, "gp/lanes", static_cast<double>(gp::simd::lanes()));
   const HeuristicBatchPlan plan =
       plan_heuristic_batch(jobs, compiled_scoring_);
+  // Jobs are charged in submission order below, so job i's ll ordinal is
+  // base + i — the same ordinal the serial scalar path would assign. The
+  // injection target is therefore identical for any batching.
+  const long long base = ll_evals_;
   std::vector<Evaluation> unique_results(plan.uniques.size());
   for (std::size_t u = 0; u < plan.uniques.size(); ++u) {
     const HeuristicBatchPlan::Unique& uq = plan.uniques[u];
     const HeuristicJob& job = jobs[uq.job_index];
+    common::Stopwatch watchdog;
     const RelaxationPtr relax = relaxation(job.pricing);
-    obs::ScopedTimer timer(metrics_, "time/ll_solve");
-    const cover::SolveResult solved =
-        uq.program
-            ? solve_with_program(ctx_, *relax, job.pricing, *uq.program,
-                                 polish_, metrics_)
-            : solve_with_heuristic(ctx_, *relax, job.pricing, *job.heuristic,
-                                   polish_);
-    timer.stop();
-    unique_results[u] =
-        finalize_evaluation(inst_, job.pricing, solved, *relax, job.purpose);
+    if (guard_.limits.watchdog_seconds > 0.0 &&
+        watchdog.seconds() > guard_.limits.watchdog_seconds) {
+      unique_results[u] = skipped_evaluation(
+          inst_, job.pricing, *relax, guard::Trip::kWatchdog, job.purpose);
+      continue;
+    }
+    unique_results[u] = finish_heuristic(*relax, job.pricing, *job.heuristic,
+                                         uq.program.get(), job.purpose);
   }
   // Every submitted job pays the budget — the memo optimizes wall-clock,
   // never the Table II accounting (purpose is part of the memo key, so a
   // duplicate always shares its representative's purpose).
   for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (inject_now(base + static_cast<long long>(i))) {
+      // The injected job gets its own forced-trip evaluation; its memo
+      // siblings keep the full-fidelity result, exactly as the scalar call
+      // sequence would produce.
+      const cover::Relaxation relax =
+          solve_relaxation_guarded(ctx_, jobs[i].pricing,
+                                   guard::Trip::kInjected,
+                                   guard_.inject.degrade_to);
+      results[i] = finish_heuristic(
+          relax, jobs[i].pricing, *jobs[i].heuristic,
+          plan.uniques[plan.result_of[i]].program.get(), jobs[i].purpose);
+    } else {
+      results[i] = unique_results[plan.result_of[i]];
+    }
     charge(jobs[i].purpose);
-    results[i] = unique_results[plan.result_of[i]];
+    count_guard(results[i]);
   }
   dedup_hits_ += static_cast<long long>(plan.duplicates());
   return results;
@@ -98,23 +205,48 @@ Evaluation Evaluator::evaluate_with_score(std::span<const double> pricing,
                                           EvalPurpose purpose) {
   const RelaxationPtr relax = relaxation(pricing);
   charge(purpose);
-  obs::ScopedTimer timer(metrics_, "time/ll_solve");
-  const cover::SolveResult solved =
-      solve_with_score(ctx_, *relax, pricing, score);
-  timer.stop();
-  return finalize_evaluation(inst_, pricing, solved, *relax, purpose);
+  const ConstructionBudget plan = plan_construction(ctx_.guard, *relax);
+  Evaluation result;
+  if (plan.skip) {
+    result = skipped_evaluation(inst_, pricing, *relax,
+                                guard::Trip::kNodeBudget, purpose);
+  } else {
+    obs::ScopedTimer timer(metrics_, "time/ll_solve");
+    const cover::SolveResult solved =
+        solve_with_score(ctx_, *relax, pricing, score, plan.options);
+    timer.stop();
+    result = finalize_evaluation(inst_, pricing, solved, *relax, purpose);
+  }
+  count_guard(result);
+  return result;
 }
 
 Evaluation Evaluator::evaluate_with_selection(
     std::span<const double> pricing, std::span<const std::uint8_t> selection,
     EvalPurpose purpose) {
+  const long long ordinal = ll_evals_;
+  if (inject_now(ordinal)) {
+    charge(purpose);
+    const cover::Relaxation relax = solve_relaxation_guarded(
+        ctx_, pricing, guard::Trip::kInjected, guard_.inject.degrade_to);
+    Evaluation result = finish_selection(relax, pricing, selection, purpose);
+    count_guard(result);
+    return result;
+  }
+
+  common::Stopwatch watchdog;
   const RelaxationPtr relax = relaxation(pricing);
   charge(purpose);
-  obs::ScopedTimer timer(metrics_, "time/ll_solve");
-  const cover::SolveResult solved =
-      solve_with_selection(ctx_, *relax, pricing, selection);
-  timer.stop();
-  return finalize_evaluation(inst_, pricing, solved, *relax, purpose);
+  if (guard_.limits.watchdog_seconds > 0.0 &&
+      watchdog.seconds() > guard_.limits.watchdog_seconds) {
+    Evaluation result = skipped_evaluation(inst_, pricing, *relax,
+                                           guard::Trip::kWatchdog, purpose);
+    count_guard(result);
+    return result;
+  }
+  Evaluation result = finish_selection(*relax, pricing, selection, purpose);
+  count_guard(result);
+  return result;
 }
 
 }  // namespace carbon::bcpop

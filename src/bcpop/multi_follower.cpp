@@ -152,6 +152,9 @@ BackendStats MultiFollowerEvaluator::backend_stats() const {
     total.relaxation_cache_misses += s.relaxation_cache_misses;
     total.relaxation_cache_evictions += s.relaxation_cache_evictions;
     total.heuristic_dedup_hits += s.heuristic_dedup_hits;
+    total.guard_trips += s.guard_trips;
+    total.guard_degraded_evals += s.guard_degraded_evals;
+    total.guard_budget_exhausted += s.guard_budget_exhausted;
   }
   return total;
 }
@@ -159,6 +162,11 @@ BackendStats MultiFollowerEvaluator::backend_stats() const {
 void MultiFollowerEvaluator::set_metrics(
     obs::MetricsRegistry* metrics) noexcept {
   for (const auto& eval : per_follower_) eval->set_metrics(metrics);
+}
+
+void MultiFollowerEvaluator::set_guard(const guard::GuardConfig& config,
+                                       long long eval_base) noexcept {
+  for (const auto& eval : per_follower_) eval->set_guard(config, eval_base);
 }
 
 }  // namespace carbon::bcpop

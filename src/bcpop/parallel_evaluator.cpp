@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <thread>
 
+#include "carbon/common/stopwatch.hpp"
 #include "carbon/gp/simd.hpp"
 
 namespace carbon::bcpop {
@@ -60,44 +61,133 @@ void ParallelEvaluator::charge(EvalPurpose purpose) noexcept {
   }
 }
 
+void ParallelEvaluator::count_guard(const Evaluation& evaluation) noexcept {
+  const guard::Outcome& g = evaluation.guard;
+  if (g.tripped()) {
+    guard_trips_.fetch_add(1, std::memory_order_relaxed);
+    obs::count(metrics_, "guard/trips");
+  }
+  if (g.degraded()) {
+    guard_degraded_.fetch_add(1, std::memory_order_relaxed);
+    obs::count(metrics_, "guard/degraded_evals");
+  }
+  if (g.budget_exhausted) {
+    guard_exhausted_.fetch_add(1, std::memory_order_relaxed);
+    obs::count(metrics_, "guard/budget_exhausted");
+  }
+}
+
+void ParallelEvaluator::set_guard(const guard::GuardConfig& config,
+                                  long long eval_base) noexcept {
+  guard_ = config;
+  inject_at_ =
+      config.inject.at_eval >= 0 ? eval_base + config.inject.at_eval : -1;
+  for (const auto& ctx : contexts_) ctx->guard = config.limits;
+}
+
+Evaluation ParallelEvaluator::finish_heuristic(
+    EvalContext& ctx, const cover::Relaxation& relax, const HeuristicJob& job,
+    const gp::CompiledProgram* program) {
+  const ConstructionBudget plan = plan_construction(ctx.guard, relax);
+  if (plan.skip) {
+    return skipped_evaluation(inst_, job.pricing, relax,
+                              guard::Trip::kNodeBudget, job.purpose);
+  }
+  obs::ScopedTimer timer(metrics_, "time/ll_solve");
+  const cover::SolveResult solved =
+      program
+          ? solve_with_program(ctx, relax, job.pricing, *program, polish_,
+                               metrics_, plan.options)
+          : solve_with_heuristic(ctx, relax, job.pricing, *job.heuristic,
+                                 polish_, plan.options);
+  timer.stop();
+  return finalize_evaluation(inst_, job.pricing, solved, relax, job.purpose);
+}
+
 Evaluation ParallelEvaluator::evaluate_heuristic_job(
     EvalContext& ctx, const HeuristicJob& job,
-    const gp::CompiledProgram* program) {
+    const gp::CompiledProgram* program, bool injected) {
+  if (injected) {
+    // Forced trip: the degradation is ordinal-dependent, so it must never
+    // land in — or come from — the pricing-keyed shared cache.
+    const cover::Relaxation relax = solve_relaxation_guarded(
+        ctx, job.pricing, guard::Trip::kInjected, guard_.inject.degrade_to);
+    return finish_heuristic(ctx, relax, job, program);
+  }
+  common::Stopwatch watchdog;
   const auto relax =
       cache_.get_or_compute(job.pricing, [&](std::span<const double> p) {
         obs::ScopedTimer timer(metrics_, "time/lp_relaxation");
-        cover::Relaxation r = solve_relaxation(ctx, p);
+        cover::Relaxation r = solve_relaxation_guarded(ctx, p);
         timer.stop();
         record_lp_metrics(metrics_, r);
         return r;
       });
-  obs::ScopedTimer timer(metrics_, "time/ll_solve");
-  const cover::SolveResult solved =
-      program
-          ? solve_with_program(ctx, *relax, job.pricing, *program, polish_,
-                               metrics_)
-          : solve_with_heuristic(ctx, *relax, job.pricing, *job.heuristic,
-                                 polish_);
-  timer.stop();
-  return finalize_evaluation(inst_, job.pricing, solved, *relax, job.purpose);
+  if (guard_.limits.watchdog_seconds > 0.0 &&
+      watchdog.seconds() > guard_.limits.watchdog_seconds) {
+    // Only this evaluation's construction stage is skipped; the cached
+    // relaxation stays full-fidelity. Opt-in, explicitly non-deterministic.
+    return skipped_evaluation(inst_, job.pricing, *relax,
+                              guard::Trip::kWatchdog, job.purpose);
+  }
+  return finish_heuristic(ctx, *relax, job, program);
 }
 
 Evaluation ParallelEvaluator::evaluate_one(EvalContext& ctx,
-                                           const SelectionJob& job) {
+                                           const SelectionJob& job,
+                                           bool injected) {
+  Evaluation result;
+  if (injected) {
+    const cover::Relaxation relax = solve_relaxation_guarded(
+        ctx, job.pricing, guard::Trip::kInjected, guard_.inject.degrade_to);
+    charge(job.purpose);
+    const ConstructionBudget plan = plan_construction(ctx.guard, relax);
+    if (plan.skip) {
+      result = skipped_evaluation(inst_, job.pricing, relax,
+                                  guard::Trip::kNodeBudget, job.purpose);
+    } else {
+      obs::ScopedTimer timer(metrics_, "time/ll_solve");
+      const cover::SolveResult solved = solve_with_selection(
+          ctx, relax, job.pricing, job.selection, plan.options);
+      timer.stop();
+      result =
+          finalize_evaluation(inst_, job.pricing, solved, relax, job.purpose);
+    }
+    count_guard(result);
+    return result;
+  }
+
+  common::Stopwatch watchdog;
   const auto relax =
       cache_.get_or_compute(job.pricing, [&](std::span<const double> p) {
         obs::ScopedTimer timer(metrics_, "time/lp_relaxation");
-        cover::Relaxation r = solve_relaxation(ctx, p);
+        cover::Relaxation r = solve_relaxation_guarded(ctx, p);
         timer.stop();
         record_lp_metrics(metrics_, r);
         return r;
       });
   charge(job.purpose);
-  obs::ScopedTimer timer(metrics_, "time/ll_solve");
-  const cover::SolveResult solved =
-      solve_with_selection(ctx, *relax, job.pricing, job.selection);
-  timer.stop();
-  return finalize_evaluation(inst_, job.pricing, solved, *relax, job.purpose);
+  if (guard_.limits.watchdog_seconds > 0.0 &&
+      watchdog.seconds() > guard_.limits.watchdog_seconds) {
+    result = skipped_evaluation(inst_, job.pricing, *relax,
+                                guard::Trip::kWatchdog, job.purpose);
+    count_guard(result);
+    return result;
+  }
+  const ConstructionBudget plan = plan_construction(ctx.guard, *relax);
+  if (plan.skip) {
+    result = skipped_evaluation(inst_, job.pricing, *relax,
+                                guard::Trip::kNodeBudget, job.purpose);
+  } else {
+    obs::ScopedTimer timer(metrics_, "time/ll_solve");
+    const cover::SolveResult solved = solve_with_selection(
+        ctx, *relax, job.pricing, job.selection, plan.options);
+    timer.stop();
+    result =
+        finalize_evaluation(inst_, job.pricing, solved, *relax, job.purpose);
+  }
+  count_guard(result);
+  return result;
 }
 
 BackendStats ParallelEvaluator::backend_stats() const {
@@ -106,6 +196,10 @@ BackendStats ParallelEvaluator::backend_stats() const {
   s.relaxation_cache_misses = cache_.solves();
   s.relaxation_cache_evictions = cache_.evictions();
   s.heuristic_dedup_hits = dedup_hits_.load(std::memory_order_relaxed);
+  s.guard_trips = guard_trips_.load(std::memory_order_relaxed);
+  s.guard_degraded_evals = guard_degraded_.load(std::memory_order_relaxed);
+  s.guard_budget_exhausted =
+      guard_exhausted_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -114,12 +208,18 @@ std::vector<Evaluation> ParallelEvaluator::run_batch(
     std::span<const Job> jobs) {
   std::vector<Evaluation> results(jobs.size());
   if (jobs.empty()) return results;
+  // Injection ordinals are assigned by submission index BEFORE fan-out
+  // (job i gets base + i — the ordinal the serial call sequence would
+  // charge it with), so the tripped job is the same for any thread count
+  // even though the atomic charges land in arbitrary order.
+  const long long base = ll_evals_.load(std::memory_order_relaxed);
   // Tasks write disjoint slots of `results`; parallel_for drains every task
   // before returning (even on exceptions), so the by-reference captures
   // cannot dangle.
   pool_.parallel_for(jobs.size(), [&](std::size_t i) {
     ContextLease lease(*this);
-    results[i] = evaluate_one(lease.get(), jobs[i]);
+    results[i] = evaluate_one(lease.get(), jobs[i],
+                              inject_now(base + static_cast<long long>(i)));
   });
   return results;
 }
@@ -134,18 +234,31 @@ std::vector<Evaluation> ParallelEvaluator::evaluate_heuristic_batch(
   // and the set of real solves is identical for any thread count.
   const HeuristicBatchPlan plan =
       plan_heuristic_batch(jobs, compiled_scoring_);
+  const long long base = ll_evals_.load(std::memory_order_relaxed);
   std::vector<Evaluation> unique_results(plan.uniques.size());
   pool_.parallel_for(plan.uniques.size(), [&](std::size_t u) {
     ContextLease lease(*this);
     unique_results[u] =
         evaluate_heuristic_job(lease.get(), jobs[plan.uniques[u].job_index],
-                               plan.uniques[u].program.get());
+                               plan.uniques[u].program.get(),
+                               /*injected=*/false);
   });
   // Every submitted job pays the budget — the memo optimizes wall-clock,
   // never the Table II accounting, so trajectories stay bit-identical.
   for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (inject_now(base + static_cast<long long>(i))) {
+      // The injected job gets its own forced-trip evaluation on the calling
+      // thread; its memo siblings keep the full-fidelity result, exactly as
+      // the serial call sequence would produce.
+      ContextLease lease(*this);
+      results[i] = evaluate_heuristic_job(
+          lease.get(), jobs[i], plan.uniques[plan.result_of[i]].program.get(),
+          /*injected=*/true);
+    } else {
+      results[i] = unique_results[plan.result_of[i]];
+    }
     charge(jobs[i].purpose);
-    results[i] = unique_results[plan.result_of[i]];
+    count_guard(results[i]);
   }
   dedup_hits_.fetch_add(static_cast<long long>(plan.duplicates()),
                         std::memory_order_relaxed);
@@ -162,19 +275,28 @@ Evaluation ParallelEvaluator::evaluate_with_heuristic(
     EvalPurpose purpose) {
   ContextLease lease(*this);
   const HeuristicJob job{pricing, &heuristic, purpose};
+  const bool injected =
+      inject_now(ll_evals_.load(std::memory_order_relaxed));
   charge(purpose);
+  Evaluation result;
   if (compiled_scoring_) {
     const gp::CompiledProgram program = gp::CompiledProgram::compile(heuristic);
-    return evaluate_heuristic_job(lease.get(), job, &program);
+    result = evaluate_heuristic_job(lease.get(), job, &program, injected);
+  } else {
+    result = evaluate_heuristic_job(lease.get(), job, nullptr, injected);
   }
-  return evaluate_heuristic_job(lease.get(), job, nullptr);
+  count_guard(result);
+  return result;
 }
 
 Evaluation ParallelEvaluator::evaluate_with_selection(
     std::span<const double> pricing, std::span<const std::uint8_t> selection,
     EvalPurpose purpose) {
   ContextLease lease(*this);
-  return evaluate_one(lease.get(), SelectionJob{pricing, selection, purpose});
+  const SelectionJob job{pricing, selection, purpose};
+  const bool injected =
+      inject_now(ll_evals_.load(std::memory_order_relaxed));
+  return evaluate_one(lease.get(), job, injected);
 }
 
 }  // namespace carbon::bcpop

@@ -35,6 +35,11 @@ obs::JournalBackendStats backend_delta(const bcpop::BackendStats& now,
       now.relaxation_cache_evictions - start.relaxation_cache_evictions;
   d.heuristic_dedup_hits =
       now.heuristic_dedup_hits - start.heuristic_dedup_hits;
+  d.guard_trips = now.guard_trips - start.guard_trips;
+  d.guard_degraded_evals =
+      now.guard_degraded_evals - start.guard_degraded_evals;
+  d.guard_budget_exhausted =
+      now.guard_budget_exhausted - start.guard_budget_exhausted;
   return d;
 }
 
@@ -56,6 +61,7 @@ void validate_config(const CobraConfig& cfg) {
     throw std::invalid_argument(
         "CobraSolver: checkpoint.path required when checkpoint.every > 0");
   }
+  guard::validate(cfg.guard);
 }
 
 }  // namespace
@@ -170,6 +176,11 @@ core::RunResult CobraSolver::run_with(bcpop::EvaluatorInterface& eval) {
         ck.progress.backend.relaxation_cache_evictions;
     backend_start.heuristic_dedup_hits -=
         ck.progress.backend.heuristic_dedup_hits;
+    backend_start.guard_trips -= ck.progress.backend.guard_trips;
+    backend_start.guard_degraded_evals -=
+        ck.progress.backend.guard_degraded_evals;
+    backend_start.guard_budget_exhausted -=
+        ck.progress.backend.guard_budget_exhausted;
     result = std::move(ck.progress.result);
     // Archives are stored best-first; re-adding in that order reproduces
     // the exact internal ordering (ties keep insertion order).
@@ -194,6 +205,14 @@ core::RunResult CobraSolver::run_with(bcpop::EvaluatorInterface& eval) {
       journal->write_resume(rec);
     }
   }
+
+  // Guard budgets + injection countdown. ll_start is the evaluator counter
+  // reading at run-evaluation #0 (already offset by the resumed segment's
+  // consumption), so an injection ordinal counts evaluations of the WHOLE
+  // logical run: a trip injected before the checkpoint never re-fires after
+  // resume, and one injected after it fires exactly once, at the same
+  // evaluation as in the uninterrupted run.
+  eval.set_guard(cfg_.guard, ll_start);
 
   const auto write_checkpoint = [&] {
     core::CobraCheckpoint out;

@@ -36,6 +36,11 @@ obs::JournalBackendStats backend_delta(const bcpop::BackendStats& now,
       now.relaxation_cache_evictions - start.relaxation_cache_evictions;
   d.heuristic_dedup_hits =
       now.heuristic_dedup_hits - start.heuristic_dedup_hits;
+  d.guard_trips = now.guard_trips - start.guard_trips;
+  d.guard_degraded_evals =
+      now.guard_degraded_evals - start.guard_degraded_evals;
+  d.guard_budget_exhausted =
+      now.guard_budget_exhausted - start.guard_budget_exhausted;
   return d;
 }
 
@@ -57,6 +62,7 @@ void validate_config(const CarbonConfig& cfg) {
     throw std::invalid_argument(
         "CarbonSolver: checkpoint.path required when checkpoint.every > 0");
   }
+  guard::validate(cfg.guard);
 }
 
 }  // namespace
@@ -166,6 +172,11 @@ CarbonResult CarbonSolver::run_with(bcpop::EvaluatorInterface& eval) {
         ck.progress.backend.relaxation_cache_evictions;
     backend_start.heuristic_dedup_hits -=
         ck.progress.backend.heuristic_dedup_hits;
+    backend_start.guard_trips -= ck.progress.backend.guard_trips;
+    backend_start.guard_degraded_evals -=
+        ck.progress.backend.guard_degraded_evals;
+    backend_start.guard_budget_exhausted -=
+        ck.progress.backend.guard_budget_exhausted;
     static_cast<RunResult&>(result) = std::move(ck.progress.result);
     ul_pop = std::move(ck.ul_pop);
     gp_pop = std::move(ck.gp_pop);
@@ -187,6 +198,14 @@ CarbonResult CarbonSolver::run_with(bcpop::EvaluatorInterface& eval) {
       journal->write_resume(rec);
     }
   }
+
+  // Guard budgets + injection countdown. ll_start is the evaluator counter
+  // reading at run-evaluation #0 (already offset by the resumed segment's
+  // consumption), so an injection ordinal counts evaluations of the WHOLE
+  // logical run: one that fired before the checkpoint lands below the
+  // current counter and never re-fires, and a degraded-then-resumed run is
+  // bit-identical to an uninterrupted one.
+  eval.set_guard(cfg_.guard, ll_start);
 
   const auto write_checkpoint = [&] {
     CarbonCheckpoint out;

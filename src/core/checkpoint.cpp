@@ -235,6 +235,16 @@ obs::JsonObjectWriter write_evaluation(const bcpop::Evaluation& e) {
       .field("lb", encode_f64(e.lower_bound))
       .field("gap", encode_f64(e.gap_percent))
       .field("sel", encode_bytes(e.selection));
+  // Guard outcome fields are emitted only when the evaluation left the
+  // full-fidelity path, so checkpoints of unguarded runs keep their exact
+  // historical bytes (and schema version 1 stays honest: old files simply
+  // read back a default Outcome).
+  if (e.guard != guard::Outcome{}) {
+    w.field("grng", static_cast<long long>(e.guard.rung))
+        .field("gtrip", static_cast<long long>(e.guard.trip))
+        .field("gcap", e.guard.construction_capped)
+        .field("gex", e.guard.budget_exhausted);
+  }
   return w;
 }
 
@@ -246,6 +256,18 @@ bcpop::Evaluation read_evaluation(const obs::JsonValue& v) {
   e.lower_bound = decode_f64(v.at("lb").as_string());
   e.gap_percent = decode_f64(v.at("gap").as_string());
   e.selection = decode_bytes(v.at("sel").as_string());
+  if (v.has("grng")) {
+    const long long rung = v.at("grng").as_integer();
+    const long long trip = v.at("gtrip").as_integer();
+    if (rung < 0 || rung > static_cast<long long>(guard::Rung::kGreedyOnly) ||
+        trip < 0 || trip > static_cast<long long>(guard::Trip::kWatchdog)) {
+      fail("checkpoint: guard outcome out of range");
+    }
+    e.guard.rung = static_cast<guard::Rung>(rung);
+    e.guard.trip = static_cast<guard::Trip>(trip);
+    e.guard.construction_capped = v.at("gcap").as_bool();
+    e.guard.budget_exhausted = v.at("gex").as_bool();
+  }
   return e;
 }
 
@@ -285,6 +307,14 @@ obs::JsonObjectWriter write_progress(const SolverProgress& p) {
       .field("rcm", encode_i64(p.backend.relaxation_cache_misses))
       .field("rce", encode_i64(p.backend.relaxation_cache_evictions))
       .field("ddh", encode_i64(p.backend.heuristic_dedup_hits));
+  // Optional guard counters; omitted when zero so unguarded checkpoints keep
+  // their historical bytes, and absent keys read back as zero.
+  if (p.backend.guard_trips != 0 || p.backend.guard_degraded_evals != 0 ||
+      p.backend.guard_budget_exhausted != 0) {
+    backend.field("gtr", encode_i64(p.backend.guard_trips))
+        .field("gde", encode_i64(p.backend.guard_degraded_evals))
+        .field("gex", encode_i64(p.backend.guard_budget_exhausted));
+  }
 
   obs::JsonObjectWriter result;
   result.field("best_ul", encode_f64(p.result.best_ul_objective))
@@ -322,6 +352,11 @@ SolverProgress read_progress(const obs::JsonValue& v) {
   p.backend.relaxation_cache_misses = decode_i64(b.at("rcm").as_string());
   p.backend.relaxation_cache_evictions = decode_i64(b.at("rce").as_string());
   p.backend.heuristic_dedup_hits = decode_i64(b.at("ddh").as_string());
+  if (b.has("gtr")) {
+    p.backend.guard_trips = decode_i64(b.at("gtr").as_string());
+    p.backend.guard_degraded_evals = decode_i64(b.at("gde").as_string());
+    p.backend.guard_budget_exhausted = decode_i64(b.at("gex").as_string());
+  }
   const obs::JsonValue& r = v.at("result");
   p.result.best_ul_objective = decode_f64(r.at("best_ul").as_string());
   p.result.best_gap = decode_f64(r.at("best_gap").as_string());

@@ -48,7 +48,16 @@ SolveResult construct(const Instance& instance,
   view.xbar = xbar;
   view.count = m;
 
+  long long rounds = 0;
   while (outstanding > 0) {
+    if (greedy_options.max_rounds > 0 &&
+        rounds >= greedy_options.max_rounds) {
+      result.feasible = false;
+      result.rounds_capped = true;
+      result.value = instance.selection_cost(result.selection);
+      return result;
+    }
+    ++rounds;
     for (std::size_t j = 0; j < m; ++j) {
       if (result.selection[j]) {
         useful[j] = 0.0;
@@ -133,8 +142,17 @@ SolveResult multistart(const Instance& instance,
   for (std::size_t r = 0; r < options.restarts; ++r) {
     SolveResult candidate = construct(instance, score, rng, duals, relaxed_x,
                                       options.alpha, options.greedy);
-    if (!candidate.feasible) return candidate;  // instance not coverable
-    if (candidate.value < best.value) best = std::move(candidate);
+    if (!candidate.feasible) {
+      if (!candidate.rounds_capped) return candidate;  // not coverable
+      // A round-capped restart only proves the budget ran out, not that the
+      // instance is uncoverable — remember it (so a fully-capped multistart
+      // still reports the trip) and let later restarts try.
+      if (!best.feasible) best = std::move(candidate);
+      continue;
+    }
+    if (!best.feasible || candidate.value < best.value) {
+      best = std::move(candidate);
+    }
   }
   return best;
 }

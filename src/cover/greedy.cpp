@@ -93,6 +93,9 @@ SolveResult greedy_solve_static(const Instance& instance,
   long long outstanding =
       std::accumulate(residual.begin(), residual.end(), 0LL);
 
+  // Each selection is one "round" of the equivalent argmax greedy, so the
+  // round cap counts selections here too.
+  long long rounds = 0;
   for (std::size_t rank = 0; rank < m && outstanding > 0; ++rank) {
     const std::size_t j = order[rank];
     const auto row = instance.bundle(j);
@@ -103,6 +106,13 @@ SolveResult greedy_solve_static(const Instance& instance,
       }
     }
     if (useful <= 0) continue;
+    if (options.max_rounds > 0 && rounds >= options.max_rounds) {
+      result.feasible = false;
+      result.rounds_capped = true;
+      result.value = instance.selection_cost(result.selection);
+      return result;
+    }
+    ++rounds;
     result.selection[j] = 1;
     for (std::size_t k = 0; k < n; ++k) {
       if (residual[k] > 0 && row[k] > 0) {

@@ -1,5 +1,6 @@
 #include "carbon/cover/orlib_io.hpp"
 
+#include <cmath>
 #include <fstream>
 #include <iomanip>
 #include <sstream>
@@ -39,6 +40,9 @@ Instance read_orlib(std::istream& in) {
   std::vector<double> costs(m);
   for (auto& c : costs) {
     if (!(in >> c)) throw std::runtime_error("read_orlib: truncated costs");
+    if (!std::isfinite(c)) {
+      throw std::runtime_error("read_orlib: non-finite cost");
+    }
   }
   std::vector<std::vector<int>> q(m, std::vector<int>(n));
   for (std::size_t k = 0; k < n; ++k) {

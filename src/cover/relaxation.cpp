@@ -34,9 +34,11 @@ lp::Problem build_relaxation_lp(const Instance& instance) {
   return p;
 }
 
-Relaxation solve_relaxation_lp(const lp::Problem& problem,
-                               const lp::SimplexOptions& options,
-                               lp::Basis* warm) {
+namespace {
+
+Relaxation solve_relaxation_lp_impl(const lp::Problem& problem,
+                                    const lp::SimplexOptions& options,
+                                    lp::Basis* warm, bool capped) {
   const lp::Solution sol = lp::solve(problem, options, warm);
 
   Relaxation out;
@@ -44,6 +46,7 @@ Relaxation solve_relaxation_lp(const lp::Problem& problem,
   out.stats.refactorizations = sol.refactorizations;
   out.stats.warm_start_used = sol.warm_start_used;
   out.stats.ftran_nnz_skipped = sol.ftran_nnz_skipped;
+  out.guard_nodes = sol.iterations;
   switch (sol.status) {
     case lp::SolveStatus::kOptimal:
       out.feasible = true;
@@ -54,11 +57,34 @@ Relaxation solve_relaxation_lp(const lp::Problem& problem,
     case lp::SolveStatus::kInfeasible:
       out.feasible = false;
       return out;
+    case lp::SolveStatus::kIterationLimit:
+      if (capped) {
+        // A deliberate budget cap, not a solver bug: report the trip and let
+        // the caller degrade down the ladder.
+        out.feasible = false;
+        out.guard_trip = guard::Trip::kLpIterationCap;
+        return out;
+      }
+      [[fallthrough]];
     default:
       throw std::runtime_error(
           std::string("cover: relaxation LP solver failed with status ") +
           lp::to_string(sol.status));
   }
+}
+
+}  // namespace
+
+Relaxation solve_relaxation_lp(const lp::Problem& problem,
+                               const lp::SimplexOptions& options,
+                               lp::Basis* warm) {
+  return solve_relaxation_lp_impl(problem, options, warm, /*capped=*/false);
+}
+
+Relaxation solve_relaxation_lp_capped(const lp::Problem& problem,
+                                      const lp::SimplexOptions& options,
+                                      lp::Basis* warm) {
+  return solve_relaxation_lp_impl(problem, options, warm, /*capped=*/true);
 }
 
 Relaxation relax(const Instance& instance) {

@@ -62,6 +62,12 @@ namespace {
 
 class Parser {
  public:
+  /// Recursion limit for nested containers. Each level costs ~2 stack
+  /// frames, so 256 keeps adversarial "[[[[..." inputs from overflowing the
+  /// stack while being far beyond anything the journal/checkpoint schemas
+  /// nest (depth <= 4).
+  static constexpr int kMaxDepth = 256;
+
   explicit Parser(std::string_view text) : text_(text) {}
 
   JsonValue parse_document() {
@@ -139,11 +145,13 @@ class Parser {
 
   JsonValue parse_object() {
     expect('{');
+    if (++depth_ > kMaxDepth) fail("nesting too deep");
     JsonValue v;
     v.kind = JsonValue::Kind::kObject;
     skip_ws();
     if (peek() == '}') {
       ++pos_;
+      --depth_;
       return v;
     }
     for (;;) {
@@ -151,22 +159,33 @@ class Parser {
       std::string key = parse_string();
       skip_ws();
       expect(':');
+      // Duplicate keys are a schema violation, not a tiebreak: silently
+      // keeping either value would let a corrupted or adversarial record
+      // smuggle a second "sel"/"seed" past the readers.
+      if (v.object.find(key) != v.object.end()) {
+        fail("duplicate object key '" + key + "'");
+      }
       v.object[std::move(key)] = parse_value();
       skip_ws();
       const char c = peek();
       ++pos_;
-      if (c == '}') return v;
+      if (c == '}') {
+        --depth_;
+        return v;
+      }
       if (c != ',') fail("expected ',' or '}' in object");
     }
   }
 
   JsonValue parse_array() {
     expect('[');
+    if (++depth_ > kMaxDepth) fail("nesting too deep");
     JsonValue v;
     v.kind = JsonValue::Kind::kArray;
     skip_ws();
     if (peek() == ']') {
       ++pos_;
+      --depth_;
       return v;
     }
     for (;;) {
@@ -174,7 +193,10 @@ class Parser {
       skip_ws();
       const char c = peek();
       ++pos_;
-      if (c == ']') return v;
+      if (c == ']') {
+        --depth_;
+        return v;
+      }
       if (c != ',') fail("expected ',' or ']' in array");
     }
   }
@@ -259,6 +281,11 @@ class Parser {
   JsonValue parse_number() {
     const std::size_t start = pos_;
     if (peek() == '-') ++pos_;
+    // JSON grammar: a digit must follow the optional minus. Without this,
+    // strtod's leniency would admit "+1" or "-.5".
+    if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+      fail("expected a value");
+    }
     while (pos_ < text_.size() &&
            ((text_[pos_] >= '0' && text_[pos_] <= '9') || text_[pos_] == '.' ||
             text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
@@ -272,6 +299,10 @@ class Parser {
     char* end = nullptr;
     const double v = std::strtod(token.c_str(), &end);
     if (end == nullptr || *end != '\0') fail("malformed number");
+    // The writer nulls non-finite doubles, so no valid producer emits a
+    // literal that overflows to infinity ("1e999"); reject instead of
+    // letting Inf/NaN leak into consumers that assume finite numbers.
+    if (!std::isfinite(v)) fail("number out of range");
     JsonValue out;
     out.kind = JsonValue::Kind::kNumber;
     out.number = v;
@@ -280,6 +311,7 @@ class Parser {
 
   std::string_view text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

@@ -34,7 +34,10 @@ void append_backend(JsonObjectWriter& w, const JournalBackendStats& b) {
   inner.field("relax_cache_hits", b.relaxation_cache_hits)
       .field("relax_cache_misses", b.relaxation_cache_misses)
       .field("relax_cache_evictions", b.relaxation_cache_evictions)
-      .field("dedup_hits", b.heuristic_dedup_hits);
+      .field("dedup_hits", b.heuristic_dedup_hits)
+      .field("guard_trips", b.guard_trips)
+      .field("guard_degraded", b.guard_degraded_evals)
+      .field("guard_exhausted", b.guard_budget_exhausted);
   w.object_field("backend", std::move(inner));
 }
 

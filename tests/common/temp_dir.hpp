@@ -1,0 +1,62 @@
+// Per-test unique temporary directories.
+//
+// ::testing::TempDir() is one shared directory per machine, so tests that
+// write fixed filenames there collide when the suite runs with `ctest -j`
+// or when two checkouts share a builder — the classic source of "passes
+// alone, flakes in CI". test_temp_dir() instead derives a directory from
+// the running test's full name, the process id, and a per-process counter:
+// unique across concurrent test binaries, across repeated runs of the same
+// binary, and across two calls within one test.
+//
+// The directory is created eagerly and intentionally NOT removed on
+// destruction: a failing test's artifacts stay on disk for post-mortem, and
+// the OS temp cleaner owns the lifetime (same policy as gtest's own
+// TempDir).
+#pragma once
+
+#include <gtest/gtest.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+namespace carbon::test {
+
+/// Creates (if needed) and returns a unique directory for the current test,
+/// with a trailing '/'. `tag` distinguishes several directories inside one
+/// test body; the default draws from a process-wide counter.
+inline std::string test_temp_dir(const std::string& tag = "") {
+  static std::atomic<unsigned long long> counter{0};
+
+  std::string name = "carbon-test";
+  if (const ::testing::TestInfo* info =
+          ::testing::UnitTest::GetInstance()->current_test_info()) {
+    name += std::string("-") + info->test_suite_name() + "-" + info->name();
+  }
+  name += "-p" + std::to_string(static_cast<long long>(::getpid()));
+  if (tag.empty()) {
+    name += "-n" + std::to_string(counter.fetch_add(1));
+  } else {
+    name += "-" + tag;
+  }
+  // Gtest parameterized/typed test names can contain '/', which would read
+  // as a path separator; flatten them.
+  for (char& c : name) {
+    if (c == '/' || c == '\\' || c == ' ') c = '_';
+  }
+
+  std::string dir = ::testing::TempDir();
+  if (dir.empty() || dir.back() != '/') dir.push_back('/');
+  dir += name;
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    throw std::runtime_error("test_temp_dir: cannot create " + dir);
+  }
+  dir.push_back('/');
+  return dir;
+}
+
+}  // namespace carbon::test

@@ -18,12 +18,15 @@
 
 #include "carbon/common/rng.hpp"
 #include "carbon/gp/generate.hpp"
+#include "common/temp_dir.hpp"
 
 namespace carbon::core {
 namespace {
 
+/// Unique-per-test file path (tests/common/temp_dir.hpp), so parallel ctest
+/// shards never race on a shared "roundtrip.ckpt".
 std::string temp_path(const std::string& name) {
-  return ::testing::TempDir() + name;
+  return carbon::test::test_temp_dir() + name;
 }
 
 // ---- Scalar encodings ------------------------------------------------------
@@ -278,6 +281,49 @@ TEST(CheckpointSnapshot, CobraJsonRoundTripIsExact) {
   const CobraCheckpoint back =
       CobraCheckpoint::from_json(obs::parse_json(ck.to_json()));
   EXPECT_EQ(back, ck);
+}
+
+TEST(CheckpointSnapshot, GuardOutcomeAndCountersRoundTripExactly) {
+  CarbonCheckpoint ck = make_carbon_checkpoint();
+  ck.progress.backend.guard_trips = 7;
+  ck.progress.backend.guard_degraded_evals = 9;
+  ck.progress.backend.guard_budget_exhausted = 2;
+  ck.progress.result.best_evaluation.guard.rung = guard::Rung::kLagrangian;
+  ck.progress.result.best_evaluation.guard.trip = guard::Trip::kInjected;
+  ck.progress.result.best_evaluation.guard.construction_capped = true;
+  ck.solution_archive[0].evaluation.guard.rung = guard::Rung::kGreedyOnly;
+  ck.solution_archive[0].evaluation.guard.trip = guard::Trip::kNodeBudget;
+  ck.solution_archive[0].evaluation.guard.budget_exhausted = true;
+  const CarbonCheckpoint back =
+      CarbonCheckpoint::from_json(obs::parse_json(ck.to_json()));
+  EXPECT_EQ(back, ck);
+}
+
+TEST(CheckpointSnapshot, GuardFieldsAreOptionalForOldFiles) {
+  // Guard fields are emitted only when non-default, so (a) an unguarded
+  // checkpoint's bytes carry no guard keys at all — the pre-guard format —
+  // and (b) such a body reads back with default guard state. Together these
+  // prove schema version 1 stays backward and forward compatible.
+  const CarbonCheckpoint ck = make_carbon_checkpoint();
+  const std::string body = ck.to_json();
+  EXPECT_EQ(body.find("grng"), std::string::npos);
+  EXPECT_EQ(body.find("gtr"), std::string::npos);
+  const CarbonCheckpoint back =
+      CarbonCheckpoint::from_json(obs::parse_json(body));
+  EXPECT_EQ(back.progress.backend.guard_trips, 0);
+  EXPECT_EQ(back.progress.result.best_evaluation.guard, guard::Outcome{});
+}
+
+TEST(CheckpointSnapshot, OutOfRangeGuardEnumsAreRejected) {
+  CarbonCheckpoint ck = make_carbon_checkpoint();
+  ck.progress.result.best_evaluation.guard.rung = guard::Rung::kLagrangian;
+  std::string body = ck.to_json();
+  const std::string needle = "\"grng\":1";
+  const std::size_t at = body.find(needle);
+  ASSERT_NE(at, std::string::npos);
+  body.replace(at, needle.size(), "\"grng\":9");
+  EXPECT_THROW((void)CarbonCheckpoint::from_json(obs::parse_json(body)),
+               CheckpointError);
 }
 
 TEST(CheckpointSnapshot, SaveLoadRoundTripsThroughTheFileLayer) {

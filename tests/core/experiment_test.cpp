@@ -8,6 +8,7 @@
 
 #include "carbon/baselines/nested_ga.hpp"
 #include "carbon/cover/generator.hpp"
+#include "common/temp_dir.hpp"
 
 namespace carbon::core {
 namespace {
@@ -126,7 +127,9 @@ TEST(Experiment, CheckpointedCellMatchesPlainCell) {
     const CellResult plain = run_cell(inst, algo, cfg);
 
     cfg.checkpoint_every = 1;
-    cfg.checkpoint_dir = ::testing::TempDir();
+    // Unique per-test dir: the fixed carbon-run0.ckpt names inside would
+    // collide across parallel ctest shards in the shared gtest TempDir.
+    cfg.checkpoint_dir = carbon::test::test_temp_dir(to_string(algo));
     const CellResult checkpointed = run_cell(inst, algo, cfg);
     // The per-run files exist now, so this second call resumes every run
     // from its final checkpoint.

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "carbon/cover/generator.hpp"
+#include "common/temp_dir.hpp"
 
 namespace carbon::cover {
 namespace {
@@ -81,12 +82,47 @@ TEST(OrlibIo, ZeroDimensionsThrow) {
   EXPECT_THROW((void)read_orlib(in), std::runtime_error);
 }
 
+TEST(OrlibIo, ImplausibleDimensionsThrow) {
+  // A fuzzed/corrupted header must not turn into a multi-terabyte
+  // allocation attempt.
+  std::stringstream big_m("99999999999 2\n");
+  EXPECT_THROW((void)read_orlib(big_m), std::runtime_error);
+  std::stringstream big_n("2 99999999\n");
+  EXPECT_THROW((void)read_orlib(big_n), std::runtime_error);
+}
+
+TEST(OrlibIo, NonNumericTokensThrow) {
+  std::stringstream header("two 3\n");
+  EXPECT_THROW((void)read_orlib(header), std::runtime_error);
+  std::stringstream cost("1 1\nexpensive\n5\n1\n");
+  EXPECT_THROW((void)read_orlib(cost), std::runtime_error);
+  std::stringstream coeff("1 1\n1.0\nfive\n1\n");
+  EXPECT_THROW((void)read_orlib(coeff), std::runtime_error);
+  std::stringstream demand("1 1\n1.0\n5\nlots\n");
+  EXPECT_THROW((void)read_orlib(demand), std::runtime_error);
+}
+
+TEST(OrlibIo, NonFiniteCostsThrow) {
+  // "inf"/"nan" tokens either fail numeric extraction or parse to a
+  // non-finite double; both must reject, never build an Instance whose
+  // greedy scores are NaN.
+  for (const char* tok : {"inf", "-inf", "nan", "1e999"}) {
+    std::stringstream in(std::string("2 1\n1.0 ") + tok + "\n1 1\n1\n");
+    EXPECT_THROW((void)read_orlib(in), std::runtime_error) << tok;
+  }
+}
+
+TEST(OrlibIo, TruncatedDemandsThrow) {
+  std::stringstream in("2 2\n1 2\n1 1\n1 1\n3\n");
+  EXPECT_THROW((void)read_orlib(in), std::runtime_error);
+}
+
 TEST(OrlibIo, FileRoundtrip) {
   GeneratorConfig cfg;
   cfg.num_bundles = 8;
   cfg.num_services = 3;
   const Instance original = generate(cfg);
-  const std::string path = ::testing::TempDir() + "/carbon_orlib_test.txt";
+  const std::string path = carbon::test::test_temp_dir() + "roundtrip.txt";
   save_orlib(path, original);
   const Instance loaded = load_orlib(path);
   EXPECT_EQ(loaded.num_bundles(), original.num_bundles());

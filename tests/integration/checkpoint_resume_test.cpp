@@ -20,6 +20,7 @@
 #include "carbon/cobra/cobra_solver.hpp"
 #include "carbon/core/carbon_solver.hpp"
 #include "carbon/core/checkpoint.hpp"
+#include "common/temp_dir.hpp"
 #include "golden_common.hpp"
 
 namespace carbon {
@@ -30,8 +31,10 @@ using golden::expect_same_trajectory;
 using golden::make_instance;
 using golden::trajectory_of;
 
+/// Unique-per-test file path (tests/common/temp_dir.hpp), so parallel ctest
+/// shards never race on a shared checkpoint file.
 std::string temp_path(const std::string& name) {
-  return ::testing::TempDir() + name;
+  return carbon::test::test_temp_dir() + name;
 }
 
 /// Runs CARBON to completion with checkpointing on but no kill; used as the

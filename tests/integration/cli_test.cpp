@@ -8,6 +8,8 @@
 #include <sstream>
 #include <string>
 
+#include "common/temp_dir.hpp"
+
 #ifndef CARBON_CLI_PATH
 #error "CARBON_CLI_PATH must be defined by the build system"
 #endif
@@ -22,7 +24,7 @@ int run(const std::string& args) {
 }
 
 std::string capture(const std::string& args) {
-  const std::string out_path = ::testing::TempDir() + "/carbon_cli_out.txt";
+  const std::string out_path = carbon::test::test_temp_dir() + "out.txt";
   const std::string cmd = cli() + " " + args + " > " + out_path + " 2>&1";
   EXPECT_EQ(std::system(cmd.c_str()), 0) << cmd;
   std::ifstream f(out_path);
@@ -40,8 +42,8 @@ TEST(Cli, MissingInputFileFails) {
 }
 
 TEST(Cli, FullWorkflow) {
-  const std::string inst = ::testing::TempDir() + "/carbon_cli_market.orlib";
-  const std::string conv = ::testing::TempDir() + "/carbon_cli_conv.csv";
+  const std::string inst = carbon::test::test_temp_dir() + "market.orlib";
+  const std::string conv = carbon::test::test_temp_dir() + "conv.csv";
 
   // generate
   const std::string gen_out = capture(
@@ -77,7 +79,7 @@ TEST(Cli, FullWorkflow) {
 }
 
 TEST(Cli, StrictNumericFlagsAreRejected) {
-  const std::string inst = ::testing::TempDir() + "/carbon_cli_strict.orlib";
+  const std::string inst = carbon::test::test_temp_dir() + "strict.orlib";
   ASSERT_EQ(run("generate --bundles 20 --services 3 --out " + inst), 0);
   const std::string solve = "solve --in " + inst +
                             " --owned 2 --algo carbon --ul-budget 40 "
@@ -97,8 +99,8 @@ TEST(Cli, StrictNumericFlagsAreRejected) {
 }
 
 TEST(Cli, CheckpointFlagsAreValidated) {
-  const std::string inst = ::testing::TempDir() + "/carbon_cli_ckpt.orlib";
-  const std::string ckpt = ::testing::TempDir() + "/carbon_cli_ckpt.ckpt";
+  const std::string inst = carbon::test::test_temp_dir() + "ckpt.orlib";
+  const std::string ckpt = carbon::test::test_temp_dir() + "ckpt.ckpt";
   ASSERT_EQ(run("generate --bundles 20 --services 3 --out " + inst), 0);
   const std::string solve = "solve --in " + inst +
                             " --owned 2 --ul-budget 40 --ll-budget 100 --pop 8";
@@ -115,8 +117,8 @@ TEST(Cli, CheckpointFlagsAreValidated) {
 }
 
 TEST(Cli, CheckpointThenResumeSmoke) {
-  const std::string inst = ::testing::TempDir() + "/carbon_cli_resume.orlib";
-  const std::string ckpt = ::testing::TempDir() + "/carbon_cli_resume.ckpt";
+  const std::string inst = carbon::test::test_temp_dir() + "resume.orlib";
+  const std::string ckpt = carbon::test::test_temp_dir() + "resume.ckpt";
   ASSERT_EQ(run("generate --bundles 20 --services 3 --out " + inst), 0);
   for (const std::string algo : {"carbon", "cobra"}) {
     SCOPED_TRACE(algo);
@@ -138,13 +140,13 @@ TEST(Cli, CheckpointThenResumeSmoke) {
 }
 
 TEST(Cli, SolveRejectsUnknownAlgorithm) {
-  const std::string inst = ::testing::TempDir() + "/carbon_cli_market2.orlib";
+  const std::string inst = carbon::test::test_temp_dir() + "market2.orlib";
   ASSERT_EQ(run("generate --bundles 20 --services 3 --out " + inst), 0);
   EXPECT_NE(run("solve --in " + inst + " --algo magic"), 0);
 }
 
 TEST(Cli, EveryAlgorithmSolves) {
-  const std::string inst = ::testing::TempDir() + "/carbon_cli_market3.orlib";
+  const std::string inst = carbon::test::test_temp_dir() + "market3.orlib";
   ASSERT_EQ(run("generate --bundles 20 --services 3 --out " + inst), 0);
   for (const std::string algo :
        {"carbon", "cobra", "biga", "codba", "nested"}) {

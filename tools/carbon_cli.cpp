@@ -18,6 +18,8 @@
 //                [--threads T] [--convergence OUT.csv] [--memetic]
 //                [--journal OUT.jsonl] [--metrics]
 //                [--checkpoint FILE --checkpoint-every N] [--resume FILE]
+//                [--guard-lp-iters N] [--guard-rounds N] [--guard-nodes N]
+//                [--guard-watchdog SECONDS]
 //       Treats the first L bundles as the leader's and solves the bi-level
 //       pricing problem. --journal appends one JSON record per generation
 //       plus a run summary (schema: docs/ALGORITHMS.md §9); --metrics
@@ -25,7 +27,10 @@
 //       the trajectory (carbon and cobra only). --checkpoint/--checkpoint-
 //       every write crash-safe solver state every N generations; --resume
 //       continues bit-identically from such a file (carbon and cobra only;
-//       schema: docs/ALGORITHMS.md §11).
+//       schema: docs/ALGORITHMS.md §11). --guard-* set deterministic
+//       per-evaluation budgets (simplex iterations, greedy rounds, total LL
+//       nodes) with a fixed degradation ladder, plus an opt-in wall-clock
+//       watchdog (carbon and cobra only; docs/ALGORITHMS.md §13).
 //
 // Exit codes: 0 success, 1 usage error, 2 runtime failure.
 
@@ -204,6 +209,22 @@ int cmd_solve(const common::CliArgs& args) {
     return 1;
   }
 
+  // Resource-budget guardrails (carbon and cobra only). 0 = unlimited.
+  guard::GuardConfig guard_cfg;
+  guard_cfg.limits.lp_iteration_cap = args.get_positive_int("guard-lp-iters", 0);
+  guard_cfg.limits.construction_round_cap =
+      args.get_positive_int("guard-rounds", 0);
+  guard_cfg.limits.ll_node_cap = args.get_positive_int("guard-nodes", 0);
+  guard_cfg.limits.watchdog_seconds = args.get_double("guard-watchdog", 0.0);
+  if (guard_cfg.limits.watchdog_seconds < 0.0) {
+    std::fprintf(stderr, "solve: --guard-watchdog must be >= 0\n");
+    return 1;
+  }
+  if (guard_cfg.enabled() && algo != "carbon" && algo != "cobra") {
+    std::fprintf(stderr, "solve: --guard-* require --algo carbon|cobra\n");
+    return 1;
+  }
+
   // Optional telemetry sinks (outlive the solver run below).
   const std::string journal_path = args.get("journal", "");
   const bool want_metrics = args.get_bool("metrics");
@@ -237,6 +258,7 @@ int cmd_solve(const common::CliArgs& args) {
     cfg.eval_threads = threads;
     cfg.telemetry = telemetry;
     cfg.checkpoint = checkpoint;
+    cfg.guard = guard_cfg;
     const core::CarbonResult r = core::CarbonSolver(inst, cfg).run();
     heuristic_repr = gp::simplify(r.best_heuristic).to_string();
     result = r;
@@ -250,6 +272,7 @@ int cmd_solve(const common::CliArgs& args) {
     cfg.eval_threads = threads;
     cfg.telemetry = telemetry;
     cfg.checkpoint = checkpoint;
+    cfg.guard = guard_cfg;
     result = cobra::CobraSolver(inst, cfg).run();
   } else if (algo == "biga") {
     baselines::BigaConfig cfg;

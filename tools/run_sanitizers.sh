@@ -28,12 +28,16 @@ cd "$(dirname "$0")/.."
 # lazy dispatch slot resolved from concurrent evaluations), and the
 # incremental-greedy differential (the dirty-set gather/scatter indexes
 # compacted sub-batch columns; ASan validates the bounds and the
-# scratch-reuse runs catch state leaking between solves). This is the
+# scratch-reuse runs catch state leaking between solves), and the guard
+# suites (budget degradation and fault injection run whole solvers at
+# eval_threads 4, so TSan sees the injection-ordinal accounting and the
+# cap-degraded relaxations crossing the sharded cache). This is the
 # same set labeled `sanitizer-critical` in tests/CMakeLists.txt.
 TESTS=(thread_pool_test metrics_test relaxation_cache_test
        bcpop_evaluator_test parallel_evaluator_test gp_compiled_test
        simplex_differential_test checkpoint_resume_test
-       gp_simd_eval_test greedy_incremental_test)
+       gp_simd_eval_test greedy_incremental_test
+       guard_test guard_degradation_test)
 
 FAILED=()
 
