@@ -25,6 +25,7 @@
 #include "carbon/bcpop/evaluator_interface.hpp"
 #include "carbon/bcpop/instance.hpp"
 #include "carbon/bcpop/relaxation_cache.hpp"
+#include "carbon/bcpop/score_cache.hpp"
 #include "carbon/cover/greedy.hpp"
 #include "carbon/gp/tree.hpp"
 #include "carbon/obs/metrics.hpp"
@@ -38,7 +39,8 @@ class Evaluator final : public EvaluatorInterface {
   using RelaxationPtr = ShardedRelaxationCache::RelaxationPtr;
 
   explicit Evaluator(const Instance& instance,
-                     std::size_t relaxation_cache_capacity = 4096);
+                     std::size_t relaxation_cache_capacity = 4096,
+                     std::size_t score_cache_capacity = 4096);
 
   /// Greedy driven by a GP scoring tree (CARBON's lower level). Scoring
   /// trees without residual-dependent terminals take the sort-based
@@ -70,15 +72,22 @@ class Evaluator final : public EvaluatorInterface {
   /// When enabled, heuristic-built covers are polished with
   /// cover::local_search (drop + swap descent) before scoring — the memetic
   /// variant evaluated by bench/ablation_memetic. Off by default: the paper's
-  /// CARBON scores the raw greedy output.
-  void set_polish(bool enabled) noexcept { polish_ = enabled; }
+  /// CARBON scores the raw greedy output. Toggling drops the cross-generation
+  /// score cache (its entries were computed under the other setting).
+  void set_polish(bool enabled) noexcept {
+    if (enabled != polish_) xgen_.clear();
+    polish_ = enabled;
+  }
   [[nodiscard]] bool polish() const noexcept { return polish_; }
 
   /// When enabled (the default), scoring trees are compiled once per
   /// evaluation (once per batch per distinct genome) into batched SoA
   /// bytecode instead of being re-interpreted per bundle — bit-identical
   /// results, see gp::CompiledProgram. Off = the reference interpreter.
+  /// Toggling drops the cross-generation score cache (the two backends key
+  /// by different node forms: canonical vs raw).
   void set_compiled_scoring(bool enabled) noexcept {
+    if (enabled != compiled_scoring_) xgen_.clear();
     compiled_scoring_ = enabled;
   }
   [[nodiscard]] bool compiled_scoring() const noexcept {
@@ -120,6 +129,21 @@ class Evaluator final : public EvaluatorInterface {
     return dedup_hits_;
   }
 
+  /// Cross-generation score memoization (docs/ALGORITHMS.md §14): finished
+  /// heuristic Evaluations are cached across batches and generations, keyed
+  /// by (tree nodes × pricing × purpose). Hits still charge the Table II
+  /// budgets, so the trajectory is bit-identical either way; off = every
+  /// repeat re-solves. Disabled automatically while the (explicitly
+  /// non-deterministic) wall-clock watchdog is armed.
+  void set_memo_xgen(bool enabled) noexcept {
+    if (!enabled) xgen_.clear();
+    memo_xgen_ = enabled;
+  }
+  [[nodiscard]] bool memo_xgen() const noexcept { return memo_xgen_; }
+  [[nodiscard]] const ScoreCache& score_cache() const noexcept {
+    return xgen_;
+  }
+
   /// Uniform telemetry snapshot (cache + memo counters).
   [[nodiscard]] BackendStats backend_stats() const override;
 
@@ -132,11 +156,16 @@ class Evaluator final : public EvaluatorInterface {
 
   /// Installs deterministic per-evaluation budgets + the injection hook.
   /// Cap-induced degradations are pure functions of (pricing, limits) and
-  /// ride the relaxation cache; call this BEFORE any evaluation (a cache
-  /// warmed under different limits would serve stale rungs). Injected trips
-  /// depend on the evaluation ordinal and always bypass the cache.
+  /// ride the caches; changing the LIMITS therefore drops both the
+  /// relaxation cache and the cross-generation score cache (entries warmed
+  /// under other limits would serve stale rungs). Injected trips depend on
+  /// the evaluation ordinal and always bypass both caches.
   void set_guard(const guard::GuardConfig& config,
                  long long eval_base) noexcept override;
+
+  /// Drops the relaxation cache and the cross-generation score cache
+  /// (counters kept). Called by solvers on checkpoint resume.
+  void clear_caches() noexcept override;
 
  private:
   /// Charges the budget counters for one evaluation of `purpose`.
@@ -161,9 +190,18 @@ class Evaluator final : public EvaluatorInterface {
                               std::span<const std::uint8_t> selection,
                               EvalPurpose purpose);
 
+  /// True when the cross-generation cache may serve/absorb results right
+  /// now (armed watchdog makes evaluations wall-clock-dependent, so it
+  /// suspends the cache).
+  [[nodiscard]] bool xgen_active() const noexcept {
+    return memo_xgen_ && guard_.limits.watchdog_seconds <= 0.0;
+  }
+
   const Instance& inst_;
   EvalContext ctx_;
   ShardedRelaxationCache cache_;
+  ScoreCache xgen_;
+  bool memo_xgen_ = true;
   bool polish_ = false;
   bool compiled_scoring_ = true;
   obs::MetricsRegistry* metrics_ = nullptr;

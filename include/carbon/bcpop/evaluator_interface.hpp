@@ -79,6 +79,12 @@ struct BackendStats {
   long long relaxation_cache_evictions = 0;
   /// Batch heuristic jobs answered by the per-batch score memo.
   long long heuristic_dedup_hits = 0;
+  /// Heuristic evaluations answered by the cross-generation score cache
+  /// (still charged to the Table II budgets — the cache saves wall-clock,
+  /// never evaluations; see docs/ALGORITHMS.md §14).
+  long long score_cache_hits = 0;
+  /// Cross-generation score-cache entries dropped by the LRU bound.
+  long long score_cache_evictions = 0;
   /// Charged evaluations whose guard outcome recorded a budget trip.
   long long guard_trips = 0;
   /// Charged evaluations that ran degraded (off-rung bound, capped or
@@ -172,6 +178,15 @@ class EvaluatorInterface {
   /// batches, not during one.
   virtual void set_guard(const guard::GuardConfig& /*config*/,
                          long long /*eval_base*/) noexcept {}
+
+  /// Drops every cached intermediate (relaxations, cross-generation score
+  /// entries) while keeping the budget counters. Solvers call this when
+  /// resuming from a checkpoint: a caller-owned evaluator may have been
+  /// warmed under a different configuration (other guard limits, another
+  /// run's pricings), and resume must reproduce the uninterrupted run from
+  /// cold caches, not inherit stale entries. No-op for backends without
+  /// caches. Call between batches, not during one.
+  virtual void clear_caches() noexcept {}
 };
 
 }  // namespace carbon::bcpop

@@ -100,6 +100,9 @@ class MultiFollowerEvaluator final : public EvaluatorInterface {
   void set_guard(const guard::GuardConfig& config,
                  long long eval_base) noexcept override;
 
+  /// Drops every per-follower evaluator's caches (counters kept).
+  void clear_caches() noexcept override;
+
  private:
   Evaluation aggregate(std::span<const double> pricing, EvalPurpose purpose);
 

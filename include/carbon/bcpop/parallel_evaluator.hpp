@@ -4,13 +4,17 @@
 // (pricing × heuristic) or (pricing × genome) pairs before any reduction
 // happens — the hottest path of the whole system (Table II allots 10^5
 // evaluations per run). ParallelEvaluator fans those batches across a
-// common::ThreadPool:
+// work-stealing common::TaskScheduler (default) or the barriered
+// common::ThreadPool reference path (Options::sched):
 //
 //   * each worker evaluates with its OWN EvalContext (market copy, LP,
 //     fixed warm-start basis) — no shared mutable state on the solve path;
 //   * relaxations are shared through a sharded, mutex-per-shard LRU cache
 //     (ShardedRelaxationCache) with once-semantics, so a pricing reused
 //     across jobs, threads, and generations is solved exactly once;
+//   * finished heuristic Evaluations are memoized ACROSS generations in a
+//     bounded ScoreCache (hits still charge the Table II budgets, so the
+//     trajectory is untouched — docs/ALGORITHMS.md §14);
 //   * budget counters are atomics, aggregated per job;
 //   * batch results are returned in submission order.
 //
@@ -24,6 +28,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -33,6 +38,8 @@
 #include "carbon/bcpop/evaluator_interface.hpp"
 #include "carbon/bcpop/instance.hpp"
 #include "carbon/bcpop/relaxation_cache.hpp"
+#include "carbon/bcpop/score_cache.hpp"
+#include "carbon/common/task_scheduler.hpp"
 #include "carbon/common/thread_pool.hpp"
 #include "carbon/obs/metrics.hpp"
 
@@ -47,12 +54,21 @@ class ParallelEvaluator final : public EvaluatorInterface {
     std::size_t threads = 0;  ///< 0 = hardware concurrency
     std::size_t relaxation_cache_capacity = 4096;
     std::size_t cache_shards = 16;
+    /// Fan-out engine: the work-stealing TaskScheduler (default) or the
+    /// barriered ThreadPool::parallel_for reference path. Bit-identical
+    /// results either way; stealing overlaps a slow relaxation-miss job
+    /// with the rest of the batch instead of idling behind chunk barriers.
+    common::SchedKind sched = common::SchedKind::kStealing;
+    /// Cross-generation score memoization (docs/ALGORITHMS.md §14).
+    bool memo_xgen = true;
+    std::size_t score_cache_capacity = 4096;
+    std::size_t score_cache_shards = 16;
   };
 
   ParallelEvaluator(const Instance& instance, Options options);
-  /// Convenience: `threads` workers, default cache geometry.
+  /// Convenience: `threads` workers, default cache geometry and engine.
   ParallelEvaluator(const Instance& instance, std::size_t threads)
-      : ParallelEvaluator(instance, Options{threads, 4096, 16}) {}
+      : ParallelEvaluator(instance, Options{.threads = threads}) {}
 
   /// Fans the jobs across the pool; results[i] answers jobs[i]. Heuristic
   /// batches first deduplicate through the per-batch score memo (planned on
@@ -73,15 +89,23 @@ class ParallelEvaluator final : public EvaluatorInterface {
                                      std::span<const std::uint8_t> selection,
                                      EvalPurpose purpose) override;
 
-  void set_polish(bool enabled) noexcept { polish_ = enabled; }
+  /// Toggling drops the cross-generation score cache (entries were computed
+  /// under the other setting). Configure between batches.
+  void set_polish(bool enabled) noexcept {
+    if (enabled != polish_) xgen_.clear();
+    polish_ = enabled;
+  }
   [[nodiscard]] bool polish() const noexcept { return polish_; }
 
   /// When enabled (the default), scoring trees are compiled into batched
   /// SoA bytecode (one compile per distinct genome per batch) instead of
   /// being re-interpreted per bundle — bit-identical results, see
   /// gp::CompiledProgram. Configure before submitting work; not
-  /// synchronized against in-flight batches.
+  /// synchronized against in-flight batches. Toggling drops the
+  /// cross-generation score cache (the backends key by different node
+  /// forms: canonical vs raw).
   void set_compiled_scoring(bool enabled) noexcept {
+    if (enabled != compiled_scoring_) xgen_.clear();
     compiled_scoring_ = enabled;
   }
   [[nodiscard]] bool compiled_scoring() const noexcept {
@@ -95,7 +119,14 @@ class ParallelEvaluator final : public EvaluatorInterface {
     return inst_.num_bundles();
   }
   [[nodiscard]] const Instance& instance() const noexcept { return inst_; }
-  [[nodiscard]] std::size_t threads() const noexcept { return pool_.size(); }
+  [[nodiscard]] std::size_t threads() const noexcept { return threads_; }
+  /// Which fan-out engine batches run on.
+  [[nodiscard]] common::SchedKind sched() const noexcept { return sched_kind_; }
+  /// Scheduler-side counters (tasks/steals/idle); all-zero under the
+  /// ThreadPool engine. Timing-dependent — observability only.
+  [[nodiscard]] common::TaskScheduler::Stats sched_stats() const noexcept {
+    return scheduler_ ? scheduler_->stats() : common::TaskScheduler::Stats{};
+  }
 
   [[nodiscard]] long long ul_evaluations() const override {
     return ul_evals_.load(std::memory_order_relaxed);
@@ -118,6 +149,20 @@ class ParallelEvaluator final : public EvaluatorInterface {
     return dedup_hits_.load(std::memory_order_relaxed);
   }
 
+  /// Cross-generation score memoization (docs/ALGORITHMS.md §14): finished
+  /// heuristic Evaluations are cached across batches and generations. Hits
+  /// still charge the Table II budgets, so trajectories are bit-identical
+  /// either way. Suspended automatically while the wall-clock watchdog is
+  /// armed. Configure between batches.
+  void set_memo_xgen(bool enabled) noexcept {
+    if (!enabled) xgen_.clear();
+    memo_xgen_ = enabled;
+  }
+  [[nodiscard]] bool memo_xgen() const noexcept { return memo_xgen_; }
+  [[nodiscard]] const ScoreCache& score_cache() const noexcept {
+    return xgen_;
+  }
+
   /// Uniform telemetry snapshot (cache + memo counters).
   [[nodiscard]] BackendStats backend_stats() const override;
 
@@ -133,14 +178,40 @@ class ParallelEvaluator final : public EvaluatorInterface {
   /// every context. Injection ordinals are assigned in submission order
   /// (batch job i gets ordinal base+i, planned before fan-out), so the trip
   /// lands on the same evaluation for any thread count. Configure between
-  /// batches; a relaxation cache warmed under different limits would serve
-  /// stale rungs.
+  /// batches. Changing the LIMITS drops both caches — entries warmed under
+  /// other limits would serve stale degradation rungs.
   void set_guard(const guard::GuardConfig& config,
                  long long eval_base) noexcept override;
+
+  /// Drops the relaxation cache and the cross-generation score cache
+  /// (counters kept). Called by solvers on checkpoint resume.
+  void clear_caches() noexcept override;
 
  private:
   /// RAII lease of one evaluation context from the free list.
   class ContextLease;
+  /// RAII block of per-participant context leases for a scheduler batch
+  /// (acquired lazily: a participant that never runs a job never leases).
+  class BatchLeases;
+
+  /// Engine dispatch: runs body(ctx, i) for every i in [0, n) on the
+  /// configured fan-out engine, handing each invocation a leased context.
+  /// Under the work-stealing engine one context is leased per PARTICIPANT
+  /// for the whole batch (≤ threads+1 free-list round trips per batch,
+  /// instead of one per job) and sched/{tasks,steals,idle_ns} deltas are
+  /// pushed to the metrics registry at the barrier.
+  void for_each(std::size_t n,
+                const std::function<void(EvalContext&, std::size_t)>& body);
+
+  /// True when the cross-generation cache may serve/absorb results right
+  /// now (armed watchdog makes evaluations wall-clock-dependent).
+  [[nodiscard]] bool xgen_active() const noexcept {
+    return memo_xgen_ && guard_.limits.watchdog_seconds <= 0.0;
+  }
+
+  /// Free-list primitives behind ContextLease/BatchLeases.
+  [[nodiscard]] EvalContext* acquire_context();
+  void release_context(EvalContext* ctx) noexcept;
 
   /// Solve + finalize, WITHOUT charging (batch/scalar callers charge per
   /// submitted job so memo hits still pay). Null `program` = interpreter.
@@ -165,8 +236,14 @@ class ParallelEvaluator final : public EvaluatorInterface {
   std::vector<Evaluation> run_batch(std::span<const Job> jobs);
 
   const Instance& inst_;
-  common::ThreadPool pool_;
+  std::size_t threads_;
+  common::SchedKind sched_kind_;
+  // Exactly one engine is constructed, per Options::sched.
+  std::unique_ptr<common::ThreadPool> pool_;
+  std::unique_ptr<common::TaskScheduler> scheduler_;
   ShardedRelaxationCache cache_;
+  ScoreCache xgen_;
+  bool memo_xgen_;
   // threads + 1 contexts: every worker plus the caller thread (scalar calls
   // and the tail of a batch the caller may help with never starve).
   std::vector<std::unique_ptr<EvalContext>> contexts_;

@@ -1,0 +1,119 @@
+// Cross-generation memo of completed heuristic evaluations.
+//
+// The per-batch score memo (eval_core's HeuristicBatchPlan) collapses
+// duplicate (tree × pricing × purpose) jobs WITHIN one batch, but GP
+// reproduction/elitism and archive re-evaluation repeat the same pairs
+// ACROSS generations — and each repeat re-pays the full relaxation-miss +
+// greedy cost. ScoreCache closes that gap: a bounded, sharded LRU from the
+// evaluation's exact inputs to its finished Evaluation.
+//
+// Keying: (scoring-tree nodes × pricing × purpose), hashed FNV-1a over the
+// raw bit patterns and always re-verified bitwise on lookup — a hash
+// collision costs a comparison, never a wrong result. With compiled scoring
+// the caller keys by the CANONICAL program nodes, so syntactically different
+// genomes that simplify to the same program share one entry (the same merge
+// rule the per-batch plan applies); with the interpreter it keys by the raw
+// tree. Everything else an Evaluation depends on (guard limits, the polish
+// toggle, the scoring backend) is held fixed by the owning evaluator, which
+// clears the cache whenever one of them changes — see Evaluator::set_guard.
+//
+// Budget neutrality: the cache stores RESULTS, not budget charges. Callers
+// charge the Table II UL/LL counters for every submitted job, hit or miss,
+// so a cached run walks the exact generation/injection schedule of an
+// uncached one (docs/ALGORITHMS.md §14).
+//
+// Unlike ShardedRelaxationCache there are no in-flight placeholders: the
+// batch path probes and inserts from the calling thread only (outside the
+// fan-out), so once-semantics adds nothing, and the scalar paths tolerate a
+// rare duplicated solve (both compute identical bits).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "carbon/bcpop/evaluator_interface.hpp"
+#include "carbon/gp/tree.hpp"
+
+namespace carbon::bcpop {
+
+class ScoreCache {
+ public:
+  /// `capacity` bounds the total cached evaluations, split evenly across
+  /// `num_shards` (each shard keeps at least one). One shard degenerates to
+  /// a classic mutex-protected LRU with exact eviction order — what the
+  /// serial evaluator uses.
+  explicit ScoreCache(std::size_t capacity, std::size_t num_shards = 16);
+
+  ScoreCache(const ScoreCache&) = delete;
+  ScoreCache& operator=(const ScoreCache&) = delete;
+
+  /// Copies the cached Evaluation for this key into `*out` and refreshes
+  /// its LRU position. Returns false (counting a miss) when absent.
+  bool lookup(std::span<const gp::Node> nodes, std::span<const double> pricing,
+              EvalPurpose purpose, Evaluation* out);
+
+  /// Inserts (or refreshes) the evaluation for this key, evicting
+  /// least-recently-used entries beyond the shard capacity. Callers must
+  /// only insert results that are pure functions of the key — injected
+  /// (ordinal-dependent) and watchdog-skipped (wall-clock-dependent)
+  /// evaluations never belong here.
+  void insert(std::span<const gp::Node> nodes, std::span<const double> pricing,
+              EvalPurpose purpose, const Evaluation& result);
+
+  /// Lookups answered from the cache.
+  [[nodiscard]] long long hits() const noexcept {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  /// Lookups that found nothing.
+  [[nodiscard]] long long misses() const noexcept {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  /// Entries dropped by the per-shard capacity bound (clear() not included).
+  [[nodiscard]] long long evictions() const noexcept {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+  /// Currently cached entries, summed over shards.
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t num_shards() const noexcept {
+    return shards_.size();
+  }
+  [[nodiscard]] std::size_t shard_capacity() const noexcept {
+    return shard_capacity_;
+  }
+
+  /// Drops every entry (counters are kept: they are lifetime totals that
+  /// checkpoint/resume offsets rely on).
+  void clear();
+
+ private:
+  struct Entry {
+    std::vector<gp::Node> nodes;
+    std::vector<double> pricing;
+    EvalPurpose purpose;
+    Evaluation value;
+  };
+
+  struct Shard {
+    std::mutex mutex;
+    /// front = most recently used; iterators are stable across splices.
+    std::list<Entry> lru;
+    /// FNV hash -> entries with that hash (collisions verified bitwise).
+    std::unordered_map<std::uint64_t, std::vector<std::list<Entry>::iterator>>
+        chains;
+  };
+
+  std::size_t shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<long long> hits_{0};
+  std::atomic<long long> misses_{0};
+  std::atomic<long long> evictions_{0};
+};
+
+}  // namespace carbon::bcpop

@@ -38,6 +38,7 @@
 #include "carbon/common/rng.hpp"
 #include "carbon/common/statistics.hpp"
 #include "carbon/common/stopwatch.hpp"
+#include "carbon/common/task_scheduler.hpp"
 #include "carbon/common/thread_pool.hpp"
 #include "carbon/core/carbon_solver.hpp"
 #include "carbon/core/checkpoint.hpp"

@@ -20,6 +20,7 @@
 #include <cstdint>
 
 #include "carbon/bcpop/evaluator.hpp"
+#include "carbon/common/task_scheduler.hpp"
 #include "carbon/core/checkpoint.hpp"
 #include "carbon/core/result.hpp"
 #include "carbon/ea/binary_ops.hpp"
@@ -60,6 +61,14 @@ struct CobraConfig {
   /// Worker threads for batch evaluation (when the solver owns its
   /// evaluator); same semantics as CarbonConfig::eval_threads.
   std::size_t eval_threads = 1;
+
+  /// Fan-out engine for the parallel evaluator; same semantics as
+  /// CarbonConfig::sched.
+  common::SchedKind sched = common::SchedKind::kStealing;
+
+  /// Cross-generation score memoization; same semantics as
+  /// CarbonConfig::memo_xgen (only the heuristic path consults it).
+  bool memo_xgen = true;
 
   /// Compile GP scoring trees to batched bytecode (relevant only when a
   /// heuristic-driven path is exercised through this solver's evaluator);

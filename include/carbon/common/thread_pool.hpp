@@ -3,12 +3,15 @@
 // (see Rng::spawn), so results are identical regardless of scheduling.
 #pragma once
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <future>
 #include <mutex>
 #include <queue>
+#include <stdexcept>
 #include <thread>
 #include <type_traits>
 #include <vector>
@@ -49,12 +52,45 @@ class ThreadPool {
   /// before rethrowing: an early rethrow would return to the caller while
   /// later tasks still run against `fn`, which is captured by reference and
   /// dangles the moment the caller's frame unwinds.
+  ///
+  /// Trivial batches (n <= 1, or a single-worker pool that would serialize
+  /// the caller behind one thread anyway) run inline on the calling thread —
+  /// no lock, no queue, no wake-up. Larger batches are enqueued under ONE
+  /// lock acquisition and wake exactly min(n, size()) workers with targeted
+  /// notify_one calls: per-task submit() used to take the lock and notify n
+  /// times, stampeding every worker at the mutex for work only a few of
+  /// them could claim.
   template <typename Fn>
   void parallel_for(std::size_t n, Fn&& fn) {
+    if (n == 0) return;
+    if (n == 1 || size() == 1) {
+      std::exception_ptr first;
+      for (std::size_t i = 0; i < n; ++i) {
+        try {
+          fn(i);
+        } catch (...) {
+          if (!first) first = std::current_exception();
+        }
+      }
+      if (first) std::rethrow_exception(first);
+      return;
+    }
     std::vector<std::future<void>> futs;
     futs.reserve(n);
-    for (std::size_t i = 0; i < n; ++i) {
-      futs.push_back(submit([&fn, i] { fn(i); }));
+    {
+      std::lock_guard lock(mutex_);
+      if (stopping_) {
+        throw std::runtime_error("ThreadPool::parallel_for after shutdown");
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        auto task = std::make_shared<std::packaged_task<void()>>(
+            [&fn, i] { fn(i); });
+        futs.push_back(task->get_future());
+        tasks_.emplace([task] { (*task)(); });
+      }
+    }
+    for (std::size_t w = std::min(n, size()); w > 0; --w) {
+      cv_.notify_one();
     }
     std::exception_ptr first;
     for (auto& f : futs) {

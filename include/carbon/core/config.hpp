@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "carbon/common/task_scheduler.hpp"
 #include "carbon/core/checkpoint.hpp"
 #include "carbon/ea/real_ops.hpp"
 #include "carbon/gp/operators.hpp"
@@ -78,6 +79,19 @@ struct CarbonConfig {
   /// concurrency. Results are bit-identical for any value at a fixed seed
   /// (per-thread contexts + ordered reduction; see docs/ALGORITHMS.md §7).
   std::size_t eval_threads = 1;
+
+  /// Fan-out engine for the parallel evaluator (eval_threads > 1 or 0):
+  /// the deterministic work-stealing TaskScheduler (default) or the
+  /// barriered ThreadPool reference path. Bit-identical trajectories either
+  /// way (docs/ALGORITHMS.md §14); the knob exists for differential testing
+  /// and benchmarks. Ignored by the serial evaluator.
+  common::SchedKind sched = common::SchedKind::kStealing;
+
+  /// Cross-generation score memoization: finished heuristic Evaluations are
+  /// cached across generations, keyed by (canonical program × pricing ×
+  /// purpose). Hits still charge the Table II budgets, so trajectories are
+  /// bit-identical with it on or off (docs/ALGORITHMS.md §14).
+  bool memo_xgen = true;
 
   /// Compile GP scoring trees to batched SoA bytecode (gp::CompiledProgram)
   /// instead of interpreting them per bundle, and deduplicate repeated

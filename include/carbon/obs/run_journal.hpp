@@ -48,6 +48,9 @@ struct JournalBackendStats {
   long long relaxation_cache_misses = 0;
   long long relaxation_cache_evictions = 0;
   long long heuristic_dedup_hits = 0;
+  // Cross-generation score-memo counters (docs/ALGORITHMS.md §14).
+  long long score_cache_hits = 0;
+  long long score_cache_evictions = 0;
   // Guard-rail counters (docs/ALGORITHMS.md §13): budget trips, evaluations
   // that left the full-fidelity path, and evaluations skipped outright.
   long long guard_trips = 0;

@@ -8,11 +8,15 @@
 namespace carbon::bcpop {
 
 Evaluator::Evaluator(const Instance& instance,
-                     std::size_t relaxation_cache_capacity)
+                     std::size_t relaxation_cache_capacity,
+                     std::size_t score_cache_capacity)
     : inst_(instance),
       ctx_(instance),
       cache_(std::max<std::size_t>(relaxation_cache_capacity, 1),
-             /*num_shards=*/1) {}
+             /*num_shards=*/1),
+      // One shard keeps the serial evaluator's LRU eviction order exact.
+      xgen_(std::max<std::size_t>(score_cache_capacity, 1),
+            /*num_shards=*/1) {}
 
 Evaluator::RelaxationPtr Evaluator::relaxation(
     std::span<const double> pricing) {
@@ -31,6 +35,8 @@ BackendStats Evaluator::backend_stats() const {
   s.relaxation_cache_misses = cache_.solves();
   s.relaxation_cache_evictions = cache_.evictions();
   s.heuristic_dedup_hits = dedup_hits_;
+  s.score_cache_hits = xgen_.hits();
+  s.score_cache_evictions = xgen_.evictions();
   s.guard_trips = guard_trips_;
   s.guard_degraded_evals = guard_degraded_;
   s.guard_budget_exhausted = guard_exhausted_;
@@ -39,10 +45,22 @@ BackendStats Evaluator::backend_stats() const {
 
 void Evaluator::set_guard(const guard::GuardConfig& config,
                           long long eval_base) noexcept {
+  if (!(config.limits == ctx_.guard)) {
+    // Cached relaxations and evaluations are pure functions of
+    // (inputs, limits); entries warmed under other limits would serve
+    // stale degradation rungs.
+    cache_.clear();
+    xgen_.clear();
+  }
   guard_ = config;
   ctx_.guard = config.limits;
   inject_at_ =
       config.inject.at_eval >= 0 ? eval_base + config.inject.at_eval : -1;
+}
+
+void Evaluator::clear_caches() noexcept {
+  cache_.clear();
+  xgen_.clear();
 }
 
 void Evaluator::charge(EvalPurpose purpose) noexcept {
@@ -117,7 +135,7 @@ Evaluation Evaluator::evaluate_with_heuristic(std::span<const double> pricing,
   if (inject_now(ordinal)) {
     // Forced trip: a fresh, cache-bypassing relaxation (the degradation is
     // ordinal-dependent, so it must never land in — or come from — the
-    // pricing-keyed cache).
+    // pricing-keyed cache, nor in the cross-generation score cache).
     charge(purpose);
     const cover::Relaxation relax = solve_relaxation_guarded(
         ctx_, pricing, guard::Trip::kInjected, guard_.inject.degrade_to);
@@ -127,6 +145,28 @@ Evaluation Evaluator::evaluate_with_heuristic(std::span<const double> pricing,
     return result;
   }
 
+  // Cross-generation memo: key by the canonical program (compiled scoring)
+  // or the raw tree (interpreter). A hit still charges the full budget —
+  // the cache saves wall-clock, never evaluations.
+  const gp::CompiledProgram* program = nullptr;
+  gp::CompiledProgram compiled;
+  if (compiled_scoring_) {
+    compiled = gp::CompiledProgram::compile(heuristic);
+    program = &compiled;
+  }
+  const bool use_xgen = xgen_active();
+  const std::span<const gp::Node> key_nodes =
+      program != nullptr ? program->canonical_nodes() : heuristic.nodes();
+  if (use_xgen) {
+    Evaluation cached;
+    if (xgen_.lookup(key_nodes, pricing, purpose, &cached)) {
+      obs::count(metrics_, "memo/xgen_hits");
+      charge(purpose);
+      count_guard(cached);
+      return cached;
+    }
+  }
+
   common::Stopwatch watchdog;
   const RelaxationPtr relax = relaxation(pricing);
   charge(purpose);
@@ -134,15 +174,21 @@ Evaluation Evaluator::evaluate_with_heuristic(std::span<const double> pricing,
       watchdog.seconds() > guard_.limits.watchdog_seconds) {
     // The (cacheable) relaxation is kept full-fidelity; only this
     // evaluation's construction stage is skipped. Opt-in and explicitly
-    // non-deterministic.
+    // non-deterministic (which is why xgen_active() is false here).
     Evaluation result = skipped_evaluation(inst_, pricing, *relax,
                                            guard::Trip::kWatchdog, purpose);
     count_guard(result);
     return result;
   }
   Evaluation result =
-      finish_heuristic(*relax, pricing, heuristic, nullptr, purpose);
+      finish_heuristic(*relax, pricing, heuristic, program, purpose);
   count_guard(result);
+  if (use_xgen) {
+    const long long evictions_before = xgen_.evictions();
+    xgen_.insert(key_nodes, pricing, purpose, result);
+    const long long evicted = xgen_.evictions() - evictions_before;
+    if (evicted > 0) obs::count(metrics_, "memo/xgen_evictions", evicted);
+  }
   return result;
 }
 
@@ -160,10 +206,26 @@ std::vector<Evaluation> Evaluator::evaluate_heuristic_batch(
   // base + i — the same ordinal the serial scalar path would assign. The
   // injection target is therefore identical for any batching.
   const long long base = ll_evals_;
+  const bool use_xgen = xgen_active();
   std::vector<Evaluation> unique_results(plan.uniques.size());
+  long long xgen_hits = 0;
   for (std::size_t u = 0; u < plan.uniques.size(); ++u) {
     const HeuristicBatchPlan::Unique& uq = plan.uniques[u];
     const HeuristicJob& job = jobs[uq.job_index];
+    // Cross-generation memo: the per-batch plan already collapsed
+    // duplicates within this batch; the xgen cache collapses repeats
+    // ACROSS batches and generations. Probes, inserts and the LRU walk all
+    // happen here in unique order, so the cache state after the batch is a
+    // pure function of the submitted jobs.
+    const std::span<const gp::Node> key_nodes =
+        uq.program != nullptr ? uq.program->canonical_nodes()
+                              : job.heuristic->nodes();
+    if (use_xgen &&
+        xgen_.lookup(key_nodes, job.pricing, job.purpose,
+                     &unique_results[u])) {
+      ++xgen_hits;
+      continue;
+    }
     common::Stopwatch watchdog;
     const RelaxationPtr relax = relaxation(job.pricing);
     if (guard_.limits.watchdog_seconds > 0.0 &&
@@ -174,7 +236,14 @@ std::vector<Evaluation> Evaluator::evaluate_heuristic_batch(
     }
     unique_results[u] = finish_heuristic(*relax, job.pricing, *job.heuristic,
                                          uq.program.get(), job.purpose);
+    if (use_xgen) {
+      const long long evictions_before = xgen_.evictions();
+      xgen_.insert(key_nodes, job.pricing, job.purpose, unique_results[u]);
+      const long long evicted = xgen_.evictions() - evictions_before;
+      if (evicted > 0) obs::count(metrics_, "memo/xgen_evictions", evicted);
+    }
   }
+  if (xgen_hits > 0) obs::count(metrics_, "memo/xgen_hits", xgen_hits);
   // Every submitted job pays the budget — the memo optimizes wall-clock,
   // never the Table II accounting (purpose is part of the memo key, so a
   // duplicate always shares its representative's purpose).

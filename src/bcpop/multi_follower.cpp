@@ -152,6 +152,8 @@ BackendStats MultiFollowerEvaluator::backend_stats() const {
     total.relaxation_cache_misses += s.relaxation_cache_misses;
     total.relaxation_cache_evictions += s.relaxation_cache_evictions;
     total.heuristic_dedup_hits += s.heuristic_dedup_hits;
+    total.score_cache_hits += s.score_cache_hits;
+    total.score_cache_evictions += s.score_cache_evictions;
     total.guard_trips += s.guard_trips;
     total.guard_degraded_evals += s.guard_degraded_evals;
     total.guard_budget_exhausted += s.guard_budget_exhausted;
@@ -167,6 +169,10 @@ void MultiFollowerEvaluator::set_metrics(
 void MultiFollowerEvaluator::set_guard(const guard::GuardConfig& config,
                                        long long eval_base) noexcept {
   for (const auto& eval : per_follower_) eval->set_guard(config, eval_base);
+}
+
+void MultiFollowerEvaluator::clear_caches() noexcept {
+  for (const auto& eval : per_follower_) eval->clear_caches();
 }
 
 }  // namespace carbon::bcpop

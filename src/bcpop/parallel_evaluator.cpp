@@ -8,25 +8,30 @@
 
 namespace carbon::bcpop {
 
+EvalContext* ParallelEvaluator::acquire_context() {
+  std::unique_lock lock(free_mutex_);
+  free_cv_.wait(lock, [&] { return !free_contexts_.empty(); });
+  EvalContext* ctx = free_contexts_.back();
+  free_contexts_.pop_back();
+  return ctx;
+}
+
+void ParallelEvaluator::release_context(EvalContext* ctx) noexcept {
+  {
+    std::lock_guard lock(free_mutex_);
+    free_contexts_.push_back(ctx);
+  }
+  free_cv_.notify_one();
+}
+
 /// Pops a context off the free list (waiting if every context is in use —
 /// only possible under caller-side oversubscription) and returns it on
 /// destruction, exception-safe.
 class ParallelEvaluator::ContextLease {
  public:
-  explicit ContextLease(ParallelEvaluator& owner) : owner_(owner) {
-    std::unique_lock lock(owner_.free_mutex_);
-    owner_.free_cv_.wait(lock,
-                         [&] { return !owner_.free_contexts_.empty(); });
-    ctx_ = owner_.free_contexts_.back();
-    owner_.free_contexts_.pop_back();
-  }
-  ~ContextLease() {
-    {
-      std::lock_guard lock(owner_.free_mutex_);
-      owner_.free_contexts_.push_back(ctx_);
-    }
-    owner_.free_cv_.notify_one();
-  }
+  explicit ContextLease(ParallelEvaluator& owner)
+      : owner_(owner), ctx_(owner.acquire_context()) {}
+  ~ContextLease() { owner_.release_context(ctx_); }
   ContextLease(const ContextLease&) = delete;
   ContextLease& operator=(const ContextLease&) = delete;
 
@@ -37,21 +42,87 @@ class ParallelEvaluator::ContextLease {
   EvalContext* ctx_ = nullptr;
 };
 
+/// Per-participant context leases for one scheduler batch. Slot p is only
+/// ever touched by participant p (the scheduler guarantees a participant id
+/// is never observed by two jobs concurrently), so acquisition is lazy and
+/// lock-free on the slot itself; all acquired contexts return to the free
+/// list at the batch barrier.
+class ParallelEvaluator::BatchLeases {
+ public:
+  BatchLeases(ParallelEvaluator& owner, std::size_t participants)
+      : owner_(owner), slots_(participants, nullptr) {}
+  ~BatchLeases() {
+    for (EvalContext* ctx : slots_) {
+      if (ctx != nullptr) owner_.release_context(ctx);
+    }
+  }
+  BatchLeases(const BatchLeases&) = delete;
+  BatchLeases& operator=(const BatchLeases&) = delete;
+
+  [[nodiscard]] EvalContext& get(std::size_t participant) {
+    EvalContext*& slot = slots_[participant];
+    if (slot == nullptr) slot = owner_.acquire_context();
+    return *slot;
+  }
+
+ private:
+  ParallelEvaluator& owner_;
+  std::vector<EvalContext*> slots_;
+};
+
 ParallelEvaluator::ParallelEvaluator(const Instance& instance, Options options)
     : inst_(instance),
-      pool_(options.threads != 0
-                ? options.threads
-                : std::max<std::size_t>(
-                      1, std::thread::hardware_concurrency())),
+      threads_(options.threads != 0
+                   ? options.threads
+                   : std::max<std::size_t>(
+                         1, std::thread::hardware_concurrency())),
+      sched_kind_(options.sched),
       cache_(std::max<std::size_t>(options.relaxation_cache_capacity, 1),
-             std::max<std::size_t>(options.cache_shards, 1)) {
-  const std::size_t n = pool_.size() + 1;
+             std::max<std::size_t>(options.cache_shards, 1)),
+      xgen_(std::max<std::size_t>(options.score_cache_capacity, 1),
+            std::max<std::size_t>(options.score_cache_shards, 1)),
+      memo_xgen_(options.memo_xgen) {
+  if (sched_kind_ == common::SchedKind::kStealing) {
+    scheduler_ = std::make_unique<common::TaskScheduler>(threads_);
+  } else {
+    pool_ = std::make_unique<common::ThreadPool>(threads_);
+  }
+  const std::size_t n = threads_ + 1;
   contexts_.reserve(n);
   free_contexts_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     contexts_.push_back(std::make_unique<EvalContext>(inst_));
     free_contexts_.push_back(contexts_.back().get());
   }
+}
+
+void ParallelEvaluator::for_each(
+    std::size_t n, const std::function<void(EvalContext&, std::size_t)>& body) {
+  if (scheduler_ != nullptr) {
+    const common::TaskScheduler::Stats before = scheduler_->stats();
+    {
+      BatchLeases leases(*this, scheduler_->participants());
+      scheduler_->parallel_for(
+          n, [&](std::size_t participant, std::size_t i) {
+            body(leases.get(participant), i);
+          });
+    }
+    if (metrics_ != nullptr) {
+      const common::TaskScheduler::Stats after = scheduler_->stats();
+      obs::count(metrics_, "sched/tasks", after.tasks - before.tasks);
+      if (after.steals > before.steals) {
+        obs::count(metrics_, "sched/steals", after.steals - before.steals);
+      }
+      if (after.idle_ns > before.idle_ns) {
+        obs::count(metrics_, "sched/idle_ns", after.idle_ns - before.idle_ns);
+      }
+    }
+    return;
+  }
+  pool_->parallel_for(n, [&](std::size_t i) {
+    ContextLease lease(*this);
+    body(lease.get(), i);
+  });
 }
 
 void ParallelEvaluator::charge(EvalPurpose purpose) noexcept {
@@ -79,10 +150,22 @@ void ParallelEvaluator::count_guard(const Evaluation& evaluation) noexcept {
 
 void ParallelEvaluator::set_guard(const guard::GuardConfig& config,
                                   long long eval_base) noexcept {
+  if (!(config.limits == guard_.limits)) {
+    // Cached relaxations and evaluations are pure functions of
+    // (inputs, limits); entries warmed under other limits would serve
+    // stale degradation rungs.
+    cache_.clear();
+    xgen_.clear();
+  }
   guard_ = config;
   inject_at_ =
       config.inject.at_eval >= 0 ? eval_base + config.inject.at_eval : -1;
   for (const auto& ctx : contexts_) ctx->guard = config.limits;
+}
+
+void ParallelEvaluator::clear_caches() noexcept {
+  cache_.clear();
+  xgen_.clear();
 }
 
 Evaluation ParallelEvaluator::finish_heuristic(
@@ -196,6 +279,8 @@ BackendStats ParallelEvaluator::backend_stats() const {
   s.relaxation_cache_misses = cache_.solves();
   s.relaxation_cache_evictions = cache_.evictions();
   s.heuristic_dedup_hits = dedup_hits_.load(std::memory_order_relaxed);
+  s.score_cache_hits = xgen_.hits();
+  s.score_cache_evictions = xgen_.evictions();
   s.guard_trips = guard_trips_.load(std::memory_order_relaxed);
   s.guard_degraded_evals = guard_degraded_.load(std::memory_order_relaxed);
   s.guard_budget_exhausted =
@@ -213,12 +298,11 @@ std::vector<Evaluation> ParallelEvaluator::run_batch(
   // charge it with), so the tripped job is the same for any thread count
   // even though the atomic charges land in arbitrary order.
   const long long base = ll_evals_.load(std::memory_order_relaxed);
-  // Tasks write disjoint slots of `results`; parallel_for drains every task
+  // Tasks write disjoint slots of `results`; both engines drain every task
   // before returning (even on exceptions), so the by-reference captures
   // cannot dangle.
-  pool_.parallel_for(jobs.size(), [&](std::size_t i) {
-    ContextLease lease(*this);
-    results[i] = evaluate_one(lease.get(), jobs[i],
+  for_each(jobs.size(), [&](EvalContext& ctx, std::size_t i) {
+    results[i] = evaluate_one(ctx, jobs[i],
                               inject_now(base + static_cast<long long>(i)));
   });
   return results;
@@ -236,13 +320,55 @@ std::vector<Evaluation> ParallelEvaluator::evaluate_heuristic_batch(
       plan_heuristic_batch(jobs, compiled_scoring_);
   const long long base = ll_evals_.load(std::memory_order_relaxed);
   std::vector<Evaluation> unique_results(plan.uniques.size());
-  pool_.parallel_for(plan.uniques.size(), [&](std::size_t u) {
-    ContextLease lease(*this);
+
+  // Cross-generation memo: probe on the calling thread in unique order (so
+  // hit/miss counters and the LRU walk are thread-count independent), fan
+  // out only the misses, then insert the fresh results — again in unique
+  // order, after the barrier. The cache state after the batch is therefore
+  // a pure function of the submitted jobs.
+  const bool use_xgen = xgen_active();
+  const auto key_nodes_of = [&](std::size_t u) -> std::span<const gp::Node> {
+    const HeuristicBatchPlan::Unique& uq = plan.uniques[u];
+    return uq.program != nullptr ? uq.program->canonical_nodes()
+                                 : jobs[uq.job_index].heuristic->nodes();
+  };
+  std::vector<std::size_t> misses;
+  if (use_xgen) {
+    misses.reserve(plan.uniques.size());
+    long long xgen_hits = 0;
+    for (std::size_t u = 0; u < plan.uniques.size(); ++u) {
+      const HeuristicJob& job = jobs[plan.uniques[u].job_index];
+      if (xgen_.lookup(key_nodes_of(u), job.pricing, job.purpose,
+                       &unique_results[u])) {
+        ++xgen_hits;
+      } else {
+        misses.push_back(u);
+      }
+    }
+    if (xgen_hits > 0) obs::count(metrics_, "memo/xgen_hits", xgen_hits);
+  } else {
+    misses.resize(plan.uniques.size());
+    for (std::size_t u = 0; u < misses.size(); ++u) misses[u] = u;
+  }
+
+  for_each(misses.size(), [&](EvalContext& ctx, std::size_t m) {
+    const std::size_t u = misses[m];
     unique_results[u] =
-        evaluate_heuristic_job(lease.get(), jobs[plan.uniques[u].job_index],
+        evaluate_heuristic_job(ctx, jobs[plan.uniques[u].job_index],
                                plan.uniques[u].program.get(),
                                /*injected=*/false);
   });
+
+  if (use_xgen) {
+    const long long evictions_before = xgen_.evictions();
+    for (const std::size_t u : misses) {
+      const HeuristicJob& job = jobs[plan.uniques[u].job_index];
+      xgen_.insert(key_nodes_of(u), job.pricing, job.purpose,
+                   unique_results[u]);
+    }
+    const long long evicted = xgen_.evictions() - evictions_before;
+    if (evicted > 0) obs::count(metrics_, "memo/xgen_evictions", evicted);
+  }
   // Every submitted job pays the budget — the memo optimizes wall-clock,
   // never the Table II accounting, so trajectories stay bit-identical.
   for (std::size_t i = 0; i < jobs.size(); ++i) {
@@ -273,19 +399,42 @@ std::vector<Evaluation> ParallelEvaluator::evaluate_selection_batch(
 Evaluation ParallelEvaluator::evaluate_with_heuristic(
     std::span<const double> pricing, const gp::Tree& heuristic,
     EvalPurpose purpose) {
-  ContextLease lease(*this);
   const HeuristicJob job{pricing, &heuristic, purpose};
   const bool injected =
       inject_now(ll_evals_.load(std::memory_order_relaxed));
   charge(purpose);
-  Evaluation result;
+
+  const gp::CompiledProgram* program = nullptr;
+  gp::CompiledProgram compiled;
   if (compiled_scoring_) {
-    const gp::CompiledProgram program = gp::CompiledProgram::compile(heuristic);
-    result = evaluate_heuristic_job(lease.get(), job, &program, injected);
-  } else {
-    result = evaluate_heuristic_job(lease.get(), job, nullptr, injected);
+    compiled = gp::CompiledProgram::compile(heuristic);
+    program = &compiled;
   }
+  // Cross-generation memo (skipped for injected jobs — their degradation is
+  // ordinal-dependent). Concurrent scalar callers race benignly: both
+  // compute identical bits, insert() keeps one.
+  const bool use_xgen = xgen_active() && !injected;
+  const std::span<const gp::Node> key_nodes =
+      program != nullptr ? program->canonical_nodes() : heuristic.nodes();
+  if (use_xgen) {
+    Evaluation cached;
+    if (xgen_.lookup(key_nodes, pricing, purpose, &cached)) {
+      obs::count(metrics_, "memo/xgen_hits");
+      count_guard(cached);
+      return cached;
+    }
+  }
+
+  ContextLease lease(*this);
+  Evaluation result = evaluate_heuristic_job(lease.get(), job, program,
+                                             injected);
   count_guard(result);
+  if (use_xgen) {
+    const long long evictions_before = xgen_.evictions();
+    xgen_.insert(key_nodes, pricing, purpose, result);
+    const long long evicted = xgen_.evictions() - evictions_before;
+    if (evicted > 0) obs::count(metrics_, "memo/xgen_evictions", evicted);
+  }
   return result;
 }
 

@@ -1,0 +1,145 @@
+#include "carbon/bcpop/score_cache.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+namespace carbon::bcpop {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+void fnv_mix(std::uint64_t& h, std::uint64_t v) noexcept {
+  h ^= v;
+  h *= kFnvPrime;
+}
+
+/// FNV-1a over the exact key content (node bit patterns included, so -0.0
+/// and NaN payloads key distinctly — strictly finer than ==, never coarser).
+std::uint64_t hash_key(std::span<const gp::Node> nodes,
+                       std::span<const double> pricing,
+                       EvalPurpose purpose) noexcept {
+  std::uint64_t h = kFnvOffset;
+  for (const gp::Node& nd : nodes) {
+    fnv_mix(h, static_cast<std::uint64_t>(nd.op));
+    fnv_mix(h, nd.terminal);
+    fnv_mix(h, std::bit_cast<std::uint64_t>(nd.value));
+  }
+  fnv_mix(h, 0x9e3779b97f4a7c15ull);  // separate the node and pricing runs
+  for (double x : pricing) {
+    fnv_mix(h, std::bit_cast<std::uint64_t>(x));
+  }
+  fnv_mix(h, static_cast<std::uint64_t>(purpose));
+  return h;
+}
+
+bool same_nodes(std::span<const gp::Node> a,
+                std::span<const gp::Node> b) noexcept {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].op != b[i].op || a[i].terminal != b[i].terminal ||
+        std::bit_cast<std::uint64_t>(a[i].value) !=
+            std::bit_cast<std::uint64_t>(b[i].value)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool same_doubles(std::span<const double> a,
+                  std::span<const double> b) noexcept {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+}  // namespace
+
+ScoreCache::ScoreCache(std::size_t capacity, std::size_t num_shards) {
+  num_shards = std::max<std::size_t>(num_shards, 1);
+  capacity = std::max<std::size_t>(capacity, 1);
+  shard_capacity_ = std::max<std::size_t>(1, capacity / num_shards);
+  shards_.reserve(num_shards);
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+bool ScoreCache::lookup(std::span<const gp::Node> nodes,
+                        std::span<const double> pricing, EvalPurpose purpose,
+                        Evaluation* out) {
+  const std::uint64_t h = hash_key(nodes, pricing, purpose);
+  Shard& shard = *shards_[h % shards_.size()];
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto chain = shard.chains.find(h);
+    if (chain != shard.chains.end()) {
+      for (const auto it : chain->second) {
+        if (it->purpose == purpose && same_nodes(it->nodes, nodes) &&
+            same_doubles(it->pricing, pricing)) {
+          shard.lru.splice(shard.lru.begin(), shard.lru, it);
+          *out = it->value;
+          hits_.fetch_add(1, std::memory_order_relaxed);
+          return true;
+        }
+      }
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+void ScoreCache::insert(std::span<const gp::Node> nodes,
+                        std::span<const double> pricing, EvalPurpose purpose,
+                        const Evaluation& result) {
+  const std::uint64_t h = hash_key(nodes, pricing, purpose);
+  Shard& shard = *shards_[h % shards_.size()];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto& chain = shard.chains[h];
+  for (const auto it : chain) {
+    if (it->purpose == purpose && same_nodes(it->nodes, nodes) &&
+        same_doubles(it->pricing, pricing)) {
+      // Concurrent scalar callers may race a probe-then-insert; both
+      // computed identical bits, so refreshing recency is all that is left.
+      shard.lru.splice(shard.lru.begin(), shard.lru, it);
+      return;
+    }
+  }
+  shard.lru.push_front(Entry{{nodes.begin(), nodes.end()},
+                             {pricing.begin(), pricing.end()},
+                             purpose,
+                             result});
+  chain.push_back(shard.lru.begin());
+  while (shard.lru.size() > shard_capacity_) {
+    const auto victim = std::prev(shard.lru.end());
+    const std::uint64_t vh =
+        hash_key(victim->nodes, victim->pricing, victim->purpose);
+    auto vchain = shard.chains.find(vh);
+    auto& vec = vchain->second;
+    vec.erase(std::find(vec.begin(), vec.end(), victim));
+    if (vec.empty()) shard.chains.erase(vchain);
+    shard.lru.erase(victim);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::size_t ScoreCache::size() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->lru.size();
+  }
+  return total;
+}
+
+void ScoreCache::clear() {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->chains.clear();
+    shard->lru.clear();
+  }
+}
+
+}  // namespace carbon::bcpop

@@ -35,6 +35,9 @@ obs::JournalBackendStats backend_delta(const bcpop::BackendStats& now,
       now.relaxation_cache_evictions - start.relaxation_cache_evictions;
   d.heuristic_dedup_hits =
       now.heuristic_dedup_hits - start.heuristic_dedup_hits;
+  d.score_cache_hits = now.score_cache_hits - start.score_cache_hits;
+  d.score_cache_evictions =
+      now.score_cache_evictions - start.score_cache_evictions;
   d.guard_trips = now.guard_trips - start.guard_trips;
   d.guard_degraded_evals =
       now.guard_degraded_evals - start.guard_degraded_evals;
@@ -80,12 +83,16 @@ CobraSolver::CobraSolver(bcpop::EvaluatorInterface& evaluator,
 core::RunResult CobraSolver::run() {
   if (external_ != nullptr) return run_with(*external_);
   if (cfg_.eval_threads != 1) {
-    bcpop::ParallelEvaluator par(*inst_, cfg_.eval_threads);
+    bcpop::ParallelEvaluator par(
+        *inst_, bcpop::ParallelEvaluator::Options{.threads = cfg_.eval_threads,
+                                                  .sched = cfg_.sched,
+                                                  .memo_xgen = cfg_.memo_xgen});
     par.set_compiled_scoring(cfg_.compiled_scoring);
     return run_with(par);
   }
   bcpop::Evaluator own(*inst_);
   own.set_compiled_scoring(cfg_.compiled_scoring);
+  own.set_memo_xgen(cfg_.memo_xgen);
   return run_with(own);
 }
 
@@ -176,12 +183,20 @@ core::RunResult CobraSolver::run_with(bcpop::EvaluatorInterface& eval) {
         ck.progress.backend.relaxation_cache_evictions;
     backend_start.heuristic_dedup_hits -=
         ck.progress.backend.heuristic_dedup_hits;
+    backend_start.score_cache_hits -= ck.progress.backend.score_cache_hits;
+    backend_start.score_cache_evictions -=
+        ck.progress.backend.score_cache_evictions;
     backend_start.guard_trips -= ck.progress.backend.guard_trips;
     backend_start.guard_degraded_evals -=
         ck.progress.backend.guard_degraded_evals;
     backend_start.guard_budget_exhausted -=
         ck.progress.backend.guard_budget_exhausted;
     result = std::move(ck.progress.result);
+    // Drop any cache state the (possibly reused) evaluator accumulated
+    // before this resume: entries warmed by a different run segment — e.g.
+    // under other guard limits or toggles — must not leak into the resumed
+    // trajectory. Counters survive; the offsets above rely on them.
+    eval.clear_caches();
     // Archives are stored best-first; re-adding in that order reproduces
     // the exact internal ordering (ties keep insertion order).
     for (core::ArchivedPairState& e : ck.upper_archive) {

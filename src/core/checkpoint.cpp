@@ -307,6 +307,14 @@ obs::JsonObjectWriter write_progress(const SolverProgress& p) {
       .field("rcm", encode_i64(p.backend.relaxation_cache_misses))
       .field("rce", encode_i64(p.backend.relaxation_cache_evictions))
       .field("ddh", encode_i64(p.backend.heuristic_dedup_hits));
+  // Optional cross-generation score-memo counters; omitted when zero so
+  // memo-less checkpoints keep their historical bytes, and absent keys read
+  // back as zero.
+  if (p.backend.score_cache_hits != 0 ||
+      p.backend.score_cache_evictions != 0) {
+    backend.field("xgh", encode_i64(p.backend.score_cache_hits))
+        .field("xge", encode_i64(p.backend.score_cache_evictions));
+  }
   // Optional guard counters; omitted when zero so unguarded checkpoints keep
   // their historical bytes, and absent keys read back as zero.
   if (p.backend.guard_trips != 0 || p.backend.guard_degraded_evals != 0 ||
@@ -352,6 +360,10 @@ SolverProgress read_progress(const obs::JsonValue& v) {
   p.backend.relaxation_cache_misses = decode_i64(b.at("rcm").as_string());
   p.backend.relaxation_cache_evictions = decode_i64(b.at("rce").as_string());
   p.backend.heuristic_dedup_hits = decode_i64(b.at("ddh").as_string());
+  if (b.has("xgh")) {
+    p.backend.score_cache_hits = decode_i64(b.at("xgh").as_string());
+    p.backend.score_cache_evictions = decode_i64(b.at("xge").as_string());
+  }
   if (b.has("gtr")) {
     p.backend.guard_trips = decode_i64(b.at("gtr").as_string());
     p.backend.guard_degraded_evals = decode_i64(b.at("gde").as_string());

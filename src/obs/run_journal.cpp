@@ -35,6 +35,8 @@ void append_backend(JsonObjectWriter& w, const JournalBackendStats& b) {
       .field("relax_cache_misses", b.relaxation_cache_misses)
       .field("relax_cache_evictions", b.relaxation_cache_evictions)
       .field("dedup_hits", b.heuristic_dedup_hits)
+      .field("xgen_hits", b.score_cache_hits)
+      .field("xgen_evictions", b.score_cache_evictions)
       .field("guard_trips", b.guard_trips)
       .field("guard_degraded", b.guard_degraded_evals)
       .field("guard_exhausted", b.guard_budget_exhausted);

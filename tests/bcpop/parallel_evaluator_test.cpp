@@ -166,8 +166,14 @@ TEST(ParallelEvaluator, CacheOnceSemantics) {
 
 TEST(ParallelEvaluator, ScalarCallsWorkAndShareTheCache) {
   const Instance inst = make_instance();
-  ParallelEvaluator par(inst, /*threads=*/2);
+  // Cross-generation memoization off: this test pins the RELAXATION cache
+  // (the score memo would answer the repeat before the relaxation lookup).
+  ParallelEvaluator::Options opt;
+  opt.threads = 2;
+  opt.memo_xgen = false;
+  ParallelEvaluator par(inst, opt);
   Evaluator serial(inst);
+  serial.set_memo_xgen(false);
   const auto pricings = random_pricings(inst, 4, 77);
   common::Rng rng(19);
   const gp::Tree tree = gp::generate_ramped(rng);
@@ -180,6 +186,29 @@ TEST(ParallelEvaluator, ScalarCallsWorkAndShareTheCache) {
   (void)par.evaluate_with_heuristic(pricings[0], tree);
   EXPECT_EQ(par.relaxations_solved(), 4);
   EXPECT_GE(par.relaxation_cache_hits(), 1);
+}
+
+TEST(ParallelEvaluator, ScalarRepeatIsServedByTheScoreMemo) {
+  const Instance inst = make_instance();
+  ParallelEvaluator par(inst, /*threads=*/2);
+  Evaluator serial(inst);
+  const auto pricings = random_pricings(inst, 4, 77);
+  common::Rng rng(19);
+  const gp::Tree tree = gp::generate_ramped(rng);
+  for (const auto& p : pricings) {
+    expect_same(serial.evaluate_with_heuristic(p, tree),
+                par.evaluate_with_heuristic(p, tree));
+  }
+  EXPECT_EQ(par.relaxations_solved(), 4);
+  const long long ll_before = par.ll_evaluations();
+  // A repeat is answered by the cross-generation score cache without a new
+  // relaxation solve OR lookup — but it still charges the LL budget.
+  const Evaluation again = par.evaluate_with_heuristic(pricings[0], tree);
+  expect_same(serial.evaluate_with_heuristic(pricings[0], tree), again);
+  EXPECT_EQ(par.relaxations_solved(), 4);
+  EXPECT_EQ(par.score_cache().hits(), 1);
+  EXPECT_EQ(par.ll_evaluations(), ll_before + 1);
+  EXPECT_EQ(par.backend_stats().score_cache_hits, 1);
 }
 
 TEST(ShardedRelaxationCache, CapacityOneChurnKeepsPinnedEntriesValid) {

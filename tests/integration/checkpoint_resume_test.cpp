@@ -17,9 +17,14 @@
 #include <string>
 
 #include "carbon/bcpop/evaluator.hpp"
+#include "carbon/bcpop/parallel_evaluator.hpp"
 #include "carbon/cobra/cobra_solver.hpp"
+#include "carbon/common/rng.hpp"
 #include "carbon/core/carbon_solver.hpp"
 #include "carbon/core/checkpoint.hpp"
+#include "carbon/ea/real_ops.hpp"
+#include "carbon/gp/generate.hpp"
+#include "carbon/guard/guard.hpp"
 #include "common/temp_dir.hpp"
 #include "golden_common.hpp"
 
@@ -327,6 +332,66 @@ TEST(CheckpointResume, RejectedResumeLeavesEvaluatorUntouched) {
   }
 
   std::remove(good.c_str());
+}
+
+TEST(CheckpointResume, ReusedEvaluatorWithWarmCachesResumesBitIdentically) {
+  // The cache-poisoning kill-at-k case: ONE external evaluator serves the
+  // killed phase-1 run, then absorbs unrelated work between the kill and
+  // the resume — first under TIGHT guard limits (degraded-ladder bits in
+  // both caches), then re-warmed under the run's own limits so the resume
+  // path's set_guard sees UNCHANGED limits and clears nothing itself —
+  // and finally serves the resumed run. run_with() must drop that inherited
+  // cache state before the first resumed evaluation (clear_caches-on-resume)
+  // WITHOUT resetting the lifetime counters its budget/backend offsets are
+  // computed from; the resumed trajectory must match the uninterrupted
+  // golden run bit for bit despite the evaluator's foreign history.
+  const bcpop::Instance inst = make_instance();
+  const Trajectory golden_run = carbon_golden(inst);
+  const std::string path = temp_path("carbon-poison.ckpt");
+
+  bcpop::ParallelEvaluator eval(inst, /*threads=*/4);
+
+  // Phase 1: kill right after the checkpoint at generation 2.
+  core::CarbonConfig cfg = golden::carbon_config();
+  cfg.checkpoint.every = 2;
+  cfg.checkpoint.path = path;
+  cfg.checkpoint.stop_after_checkpoint = [](int) { return true; };
+  (void)core::CarbonSolver(eval, cfg).run();
+  const long long ll_after_kill = eval.ll_evaluations();
+
+  // Poison wave 1: evaluations under tight limits; wave 2: back to the
+  // run's (unlimited) limits — the set_guard transitions clear the caches
+  // between waves, so the state the resume inherits was warmed under limits
+  // IDENTICAL to the resumed run's, and only clear_caches-on-resume
+  // separates the segments.
+  for (const bool tight : {true, false}) {
+    guard::GuardConfig poison_guard;
+    if (tight) {
+      poison_guard.limits.lp_iteration_cap = 3;
+      poison_guard.limits.construction_round_cap = 2;
+    }
+    eval.set_guard(poison_guard, 0);
+    common::Rng rng(tight ? 99 : 101);
+    for (int i = 0; i < 6; ++i) {
+      const gp::Tree tree = gp::generate_ramped(rng);
+      const bcpop::Pricing pricing =
+          ea::random_real_vector(rng, eval.price_bounds());
+      (void)eval.evaluate_with_heuristic(pricing, tree,
+                                         bcpop::EvalPurpose::kLowerOnly);
+    }
+  }
+  ASSERT_GT(eval.score_cache().size(), 0u) << "poisoning must warm the memo";
+  ASSERT_GT(eval.cache().size(), 0u);
+  ASSERT_GT(eval.ll_evaluations(), ll_after_kill)
+      << "poisoning must consume budget the resume offsets absorb";
+
+  // Phase 2: the SAME evaluator object resumes the run.
+  core::CarbonConfig resume = golden::carbon_config();
+  resume.checkpoint.resume_from = path;
+  const Trajectory resumed =
+      trajectory_of(core::CarbonSolver(eval, resume).run());
+  expect_same_trajectory(golden_run, resumed, "poisoned-evaluator resume");
+  std::remove(path.c_str());
 }
 
 TEST(CheckpointResume, AtomicWriteLeavesNoTempFile) {

@@ -89,6 +89,79 @@ TEST(GoldenTrajectory, CarbonIsInvariantAcrossThreadsCompilationTelemetry) {
   gp::simd::select_path("auto");
 }
 
+TEST(GoldenTrajectory, CarbonIsInvariantAcrossSchedulerAndScoreMemo) {
+  // The PR-9 axes against the unregenerated baseline: the work-stealing
+  // scheduler (vs the barriered parallel_for reference) and the
+  // cross-generation score memo (vs none) both claim bit-identical
+  // trajectories — memo hits still charge the Table II budgets, and the
+  // scheduler only reorders execution of pure jobs committed into
+  // index-ordered slots (docs/ALGORITHMS.md §14). A divergence anywhere in
+  // sched x memo_xgen x eval_threads x compiled_scoring lands here.
+  const bcpop::Instance inst = make_instance();
+
+  // Baseline: the legacy path — serial, interpreted, no memoization.
+  core::CarbonConfig base = carbon_config();
+  base.eval_threads = 1;
+  base.compiled_scoring = false;
+  base.memo_xgen = false;
+  const Trajectory golden =
+      trajectory_of(core::CarbonSolver(inst, base).run());
+  ASSERT_GT(golden.generations, 1);
+
+  for (const common::SchedKind sched :
+       {common::SchedKind::kParallelFor, common::SchedKind::kStealing}) {
+    for (const bool memo : {false, true}) {
+      for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+        for (const bool compiled : {false, true}) {
+          core::CarbonConfig cfg = carbon_config();
+          cfg.sched = sched;
+          cfg.memo_xgen = memo;
+          cfg.eval_threads = threads;
+          cfg.compiled_scoring = compiled;
+          const std::string label =
+              std::string("sched=") +
+              (sched == common::SchedKind::kStealing ? "stealing"
+                                                     : "parallel_for") +
+              " memo_xgen=" + std::to_string(memo) +
+              " threads=" + std::to_string(threads) +
+              " compiled=" + std::to_string(compiled);
+          expect_same_trajectory(
+              golden, trajectory_of(core::CarbonSolver(inst, cfg).run()),
+              label);
+        }
+      }
+    }
+  }
+}
+
+TEST(GoldenTrajectory, CobraIsInvariantAcrossSchedulerAndScoreMemo) {
+  const bcpop::Instance inst = make_instance();
+
+  cobra::CobraConfig base = cobra_config();
+  base.eval_threads = 1;
+  base.memo_xgen = false;
+  const Trajectory golden =
+      trajectory_of(cobra::CobraSolver(inst, base).run());
+  ASSERT_GT(golden.generations, 1);
+
+  for (const common::SchedKind sched :
+       {common::SchedKind::kParallelFor, common::SchedKind::kStealing}) {
+    for (const bool memo : {false, true}) {
+      cobra::CobraConfig cfg = cobra_config();
+      cfg.sched = sched;
+      cfg.memo_xgen = memo;
+      cfg.eval_threads = 4;
+      const std::string label =
+          std::string("sched=") +
+          (sched == common::SchedKind::kStealing ? "stealing"
+                                                 : "parallel_for") +
+          " memo_xgen=" + std::to_string(memo);
+      expect_same_trajectory(
+          golden, trajectory_of(cobra::CobraSolver(inst, cfg).run()), label);
+    }
+  }
+}
+
 TEST(GoldenTrajectory, CarbonJournalTrajectoryIsThreadCountInvariant) {
   // Beyond the in-memory trace: the *journal contents* (minus wall-clock
   // noise) must agree between a serial and a 4-thread run.

@@ -20,6 +20,7 @@
 //                [--checkpoint FILE --checkpoint-every N] [--resume FILE]
 //                [--guard-lp-iters N] [--guard-rounds N] [--guard-nodes N]
 //                [--guard-watchdog SECONDS]
+//                [--sched stealing|parallel_for] [--memo-xgen on|off]
 //       Treats the first L bundles as the leader's and solves the bi-level
 //       pricing problem. --journal appends one JSON record per generation
 //       plus a run summary (schema: docs/ALGORITHMS.md §9); --metrics
@@ -31,6 +32,10 @@
 //       per-evaluation budgets (simplex iterations, greedy rounds, total LL
 //       nodes) with a fixed degradation ladder, plus an opt-in wall-clock
 //       watchdog (carbon and cobra only; docs/ALGORITHMS.md §13).
+//       --sched picks the parallel evaluator's fan-out engine and
+//       --memo-xgen toggles cross-generation score memoization; both are
+//       trajectory-neutral knobs for benchmarking and differential testing
+//       (carbon and cobra only; docs/ALGORITHMS.md §14).
 //
 // Exit codes: 0 success, 1 usage error, 2 runtime failure.
 
@@ -225,6 +230,28 @@ int cmd_solve(const common::CliArgs& args) {
     return 1;
   }
 
+  // Evaluator knobs (trajectory-neutral; docs/ALGORITHMS.md §14).
+  const std::string sched_str = args.get("sched", "stealing");
+  common::SchedKind sched = common::SchedKind::kStealing;
+  if (sched_str == "parallel_for") {
+    sched = common::SchedKind::kParallelFor;
+  } else if (sched_str != "stealing") {
+    std::fprintf(stderr, "solve: --sched must be stealing|parallel_for\n");
+    return 1;
+  }
+  const std::string memo_str = args.get("memo-xgen", "on");
+  if (memo_str != "on" && memo_str != "off") {
+    std::fprintf(stderr, "solve: --memo-xgen must be on|off\n");
+    return 1;
+  }
+  const bool memo_xgen = memo_str == "on";
+  if ((args.has("sched") || args.has("memo-xgen")) && algo != "carbon" &&
+      algo != "cobra") {
+    std::fprintf(stderr,
+                 "solve: --sched/--memo-xgen require --algo carbon|cobra\n");
+    return 1;
+  }
+
   // Optional telemetry sinks (outlive the solver run below).
   const std::string journal_path = args.get("journal", "");
   const bool want_metrics = args.get_bool("metrics");
@@ -256,6 +283,8 @@ int cmd_solve(const common::CliArgs& args) {
     cfg.memetic_polish = args.get_bool("memetic");
     cfg.seed = seed;
     cfg.eval_threads = threads;
+    cfg.sched = sched;
+    cfg.memo_xgen = memo_xgen;
     cfg.telemetry = telemetry;
     cfg.checkpoint = checkpoint;
     cfg.guard = guard_cfg;
@@ -270,6 +299,8 @@ int cmd_solve(const common::CliArgs& args) {
     cfg.ll_eval_budget = ll_budget;
     cfg.seed = seed;
     cfg.eval_threads = threads;
+    cfg.sched = sched;
+    cfg.memo_xgen = memo_xgen;
     cfg.telemetry = telemetry;
     cfg.checkpoint = checkpoint;
     cfg.guard = guard_cfg;

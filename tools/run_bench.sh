@@ -4,7 +4,13 @@
 # interpreter vs compiled-scalar vs compiled-SIMD kernels, plus the
 # incremental-greedy rescoring fractions) and BENCH_lp_simplex.json
 # (dense-vs-sparse simplex kernels + end-to-end warm-started relaxation
-# batch).
+# batch) and BENCH_parallel_eval.json (work-stealing TaskScheduler vs the
+# barriered ThreadPool::parallel_for on skewed job-cost grids, plus the
+# ParallelEvaluator replay across sched x memo_xgen).
+#
+# After regenerating, each BENCH_*.json is diffed against the committed
+# baseline (warn-only: timing drift across machines is expected; the diff
+# is a prompt to eyeball speedup ratios, not a gate).
 #
 # BENCH_gp_eval.json records the machine's SIMD situation in its "simd"
 # block (cpu_avx2, compiled_avx2, dispatched kernel, lanes), so a checked-in
@@ -33,12 +39,27 @@ if [[ -r /proc/cpuinfo ]]; then
     tr '\n' ' ')"
 fi
 
+RESULTS=(BENCH_gp_eval.json BENCH_lp_simplex.json BENCH_parallel_eval.json)
+
 cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release -DCARBON_BUILD_BENCH=ON
-cmake --build "${BUILD_DIR}" -j --target micro_gp_eval micro_lp_simplex
+cmake --build "${BUILD_DIR}" -j \
+  --target micro_gp_eval micro_lp_simplex micro_parallel_eval
 "./${BUILD_DIR}/bench/micro_gp_eval" BENCH_gp_eval.json
 "./${BUILD_DIR}/bench/micro_lp_simplex" BENCH_lp_simplex.json
+"./${BUILD_DIR}/bench/micro_parallel_eval" BENCH_parallel_eval.json
+
+for result in "${RESULTS[@]}"; do
+  if git cat-file -e "HEAD:${result}" 2>/dev/null; then
+    if ! git diff --quiet -- "${result}"; then
+      echo "WARN: ${result} drifted from the committed baseline:"
+      git --no-pager diff --stat -- "${result}"
+    fi
+  else
+    echo "WARN: ${result} has no committed baseline yet."
+  fi
+done
 
 if ((COMMIT)); then
-  git add BENCH_gp_eval.json BENCH_lp_simplex.json
+  git add "${RESULTS[@]}"
   git commit -m "Regenerate benchmark results"
 fi

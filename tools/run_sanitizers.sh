@@ -11,6 +11,11 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 # The tests that exercise shared-state code paths: the thread pool, the
+# work-stealing task scheduler (Chase-Lev-style deques probed by the
+# determinism fuzz: 500 seeds of skewed job durations across worker counts
+# 1/2/4/8, where TSan sees every owner-pop vs thief-CAS interleaving), the
+# cross-generation score cache (sharded LRU under concurrent mixed
+# lookup/insert traffic at eviction pressure), the
 # sharded relaxation cache (direct eviction/pinning contention), the
 # parallel evaluator (including the capacity-1 eviction churn, the
 # thread-count-invariance runs, and the compiled-scoring batch memo), the
@@ -33,7 +38,8 @@ cd "$(dirname "$0")/.."
 # eval_threads 4, so TSan sees the injection-ordinal accounting and the
 # cap-degraded relaxations crossing the sharded cache). This is the
 # same set labeled `sanitizer-critical` in tests/CMakeLists.txt.
-TESTS=(thread_pool_test metrics_test relaxation_cache_test
+TESTS=(thread_pool_test task_scheduler_test metrics_test
+       relaxation_cache_test score_cache_test
        bcpop_evaluator_test parallel_evaluator_test gp_compiled_test
        simplex_differential_test checkpoint_resume_test
        gp_simd_eval_test greedy_incremental_test
