@@ -14,17 +14,29 @@
 // covering instances, dense vs sparse mode, asserting bit-identical
 // iteration counts and objectives.
 //
+// Part 3 — evaluator replay: simulates the UL population walk the
+// evaluator actually serves (a population of pricings mutating
+// multiplicatively across generations) through the ProblemFamily rebind
+// path, comparing the fixed-baseline warm start (lp_warm=baseline) against
+// the deterministic nearest-pricing BasisPool (lp_warm=pool, including the
+// pool's own select/insert overhead). Reports pivots and us/solve per mode;
+// the optimal objective VALUES must agree (alternate optimal bases may
+// differ — that is the documented pool golden axis).
+//
 // Usage: micro_lp_simplex [--smoke] [output.json]
 //   Prints tables to stdout and writes machine-readable results to the JSON
 //   file (default: BENCH_lp_simplex.json). --smoke shrinks the grid and
 //   repetition counts to a sub-second run for the bench-smoke ctest label.
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "carbon/bcpop/basis_pool.hpp"
 #include "carbon/common/rng.hpp"
 #include "carbon/cover/generator.hpp"
 #include "carbon/cover/relaxation.hpp"
@@ -288,6 +300,153 @@ EndToEndCase run_end_to_end_case(std::size_t services, std::size_t bundles,
   return c;
 }
 
+struct ReplayCase {
+  std::size_t m, n;  ///< rows (services), columns (bundles)
+  double density;
+  std::size_t population, generations, solves;
+  double baseline_us;  ///< per solve, fixed-baseline warm start
+  double pool_us;      ///< per solve, BasisPool warm start (incl. overhead)
+  double speedup;
+  long long baseline_pivots;
+  long long pool_pivots;
+  long long pool_hits;     ///< solves served from a pooled basis
+  long long pool_rejects;  ///< pooled bases rejected -> baseline re-solve
+};
+
+ReplayCase run_replay_case(std::size_t services, std::size_t bundles,
+                           double density, bool smoke) {
+  cover::GeneratorConfig cfg;
+  cfg.num_bundles = bundles;
+  cfg.num_services = services;
+  cfg.density = density;
+  cfg.seed = 7000 + services + bundles;
+  const cover::Instance inst = cover::generate(cfg);
+  lp::ProblemFamily family(cover::build_relaxation_lp(inst));
+  lp::SolveScratch scratch;
+
+  lp::SimplexOptions opts;
+  opts.max_iterations = 400'000;
+
+  // Baseline basis, exactly as RelaxationFamily pins it at construction.
+  lp::Basis baseline;
+  {
+    lp::Basis b;
+    const lp::Solution sol = lp::solve(family, opts, &b, &scratch);
+    if (!sol.optimal()) {
+      std::fprintf(stderr, "replay baseline solve failed\n");
+      std::abort();
+    }
+    baseline = b;
+  }
+
+  // The UL population walk, shaped like the load the evaluator actually
+  // serves: the leader re-prices only an OWNED prefix of the bundles (the
+  // pricing-prefix convention), and polynomial mutation touches ~1/n of the
+  // genes per offspring — so each generation every member drifts in a
+  // couple of owned coordinates, not everywhere. That sparse locality is
+  // exactly what nearest-pricing selection exploits: a member's own parent
+  // is far closer than any other member.
+  const std::size_t population = smoke ? 4 : 24;
+  const std::size_t generations = smoke ? 2 : 8;
+  const std::size_t owned = std::max<std::size_t>(4, bundles / 5);
+  common::Rng rng(31 + services);
+  std::vector<std::vector<double>> pop(population);
+  for (auto& pr : pop) {
+    pr.resize(bundles);
+    for (std::size_t j = 0; j < bundles; ++j) pr[j] = inst.cost(j);
+    for (std::size_t j = 0; j < owned; ++j) pr[j] *= rng.uniform(0.5, 1.5);
+  }
+  const double gene_rate = 2.0 / static_cast<double>(owned);
+  std::vector<std::vector<std::vector<double>>> walk;  // per generation
+  walk.push_back(pop);
+  for (std::size_t g = 1; g < generations; ++g) {
+    for (auto& pr : pop) {
+      for (std::size_t j = 0; j < owned; ++j) {
+        if (rng.chance(gene_rate)) pr[j] *= rng.uniform(0.8, 1.2);
+      }
+    }
+    walk.push_back(pop);
+  }
+
+  long long baseline_pivots = 0;
+  long long pool_pivots = 0;
+  long long pool_hits = 0;
+  long long pool_rejects = 0;
+  double baseline_obj = 0.0;
+  double pool_obj = 0.0;
+  lp::Basis basis;
+
+  // Mode 1: the fixed-baseline scheme (lp_warm=baseline).
+  const auto t0 = Clock::now();
+  for (const auto& gen : walk) {
+    for (const auto& pr : gen) {
+      family.rebind(pr);
+      basis = baseline;
+      const cover::Relaxation relax =
+          cover::solve_relaxation_lp(family, opts, &basis, &scratch);
+      baseline_pivots += relax.stats.iterations;
+      baseline_obj += relax.lower_bound;
+    }
+  }
+  const double baseline_s = seconds_since(t0);
+
+  // Mode 2: the nearest-pricing pool (lp_warm=pool), fallback to the
+  // baseline basis on an empty pool or a rejected warm start — the exact
+  // discipline of the pool-mode evaluator, overhead included.
+  // Sized like the solvers size it: two generations of the population must
+  // fit, or mid-generation LRU evictions reap exactly the parent bases the
+  // not-yet-re-evaluated members are about to warm-start from, and the pool
+  // degenerates to cousin-basis warm starts (~the baseline's pivot count).
+  bcpop::BasisPool pool(2 * population);
+  const auto t1 = Clock::now();
+  for (const auto& gen : walk) {
+    for (const auto& pr : gen) {
+      family.rebind(pr);
+      const lp::Basis* warm = pool.select(pr);
+      const bool from_pool = warm != nullptr;
+      basis = from_pool ? *warm : baseline;
+      cover::Relaxation relax =
+          cover::solve_relaxation_lp(family, opts, &basis, &scratch);
+      if (from_pool && relax.stats.warm_start_rejected) {
+        ++pool_rejects;
+        basis = baseline;
+        relax = cover::solve_relaxation_lp(family, opts, &basis, &scratch);
+      } else if (from_pool) {
+        ++pool_hits;
+      }
+      pool_pivots += relax.stats.iterations;
+      pool_obj += relax.lower_bound;
+      if (relax.stats.basis_saved) pool.insert(pr, basis);
+    }
+  }
+  const double pool_s = seconds_since(t1);
+
+  // Optimal VALUES must agree (the bases may legitimately differ).
+  const double denom = std::max(1.0, std::abs(baseline_obj));
+  if (std::abs(baseline_obj - pool_obj) / denom > 1e-9) {
+    std::fprintf(stderr,
+                 "replay objective mismatch at m=%zu n=%zu (%.12g vs %.12g)\n",
+                 services, bundles, baseline_obj, pool_obj);
+    std::abort();
+  }
+
+  ReplayCase c;
+  c.m = services;
+  c.n = bundles;
+  c.density = density;
+  c.population = population;
+  c.generations = generations;
+  c.solves = population * generations;
+  c.baseline_us = baseline_s * 1e6 / static_cast<double>(c.solves);
+  c.pool_us = pool_s * 1e6 / static_cast<double>(c.solves);
+  c.speedup = c.baseline_us / c.pool_us;
+  c.baseline_pivots = baseline_pivots;
+  c.pool_pivots = pool_pivots;
+  c.pool_hits = pool_hits;
+  c.pool_rejects = pool_rejects;
+  return c;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -358,6 +517,35 @@ int main(int argc, char** argv) {
                 c.sparse_us, c.speedup);
   }
 
+  // Evaluator replay: baseline vs pool warm starts over a population walk.
+  std::vector<ReplayCase> replay;
+  // Table III-shaped classes (services x bundles like the paper's
+  // generated instances) plus one LP-bench-sized shape.
+  const std::vector<Shape> replay_shapes =
+      smoke ? std::vector<Shape>{{20, 80, 0.10}}
+            : std::vector<Shape>{{5, 100, 0.10},
+                                 {10, 250, 0.10},
+                                 {30, 500, 0.10},
+                                 {50, 400, 0.10},
+                                 {200, 800, 0.05}};
+  for (const Shape& s : replay_shapes) {
+    std::fprintf(stderr, "# evaluator replay m=%zu n=%zu density=%.2f...\n",
+                 s.services, s.bundles, s.density);
+    replay.push_back(run_replay_case(s.services, s.bundles, s.density, smoke));
+  }
+
+  std::printf("\nevaluator replay: baseline vs pool warm start\n");
+  std::printf("%5s %6s %8s %7s | %9s %9s | %12s %12s %8s | %6s %7s\n", "m",
+              "n", "density", "solves", "base piv", "pool piv", "base us/sv",
+              "pool us/sv", "speedup", "hits", "rejects");
+  for (const ReplayCase& c : replay) {
+    std::printf(
+        "%5zu %6zu %8.2f %7zu | %9lld %9lld | %12.1f %12.1f %7.2fx | %6lld "
+        "%7lld\n",
+        c.m, c.n, c.density, c.solves, c.baseline_pivots, c.pool_pivots,
+        c.baseline_us, c.pool_us, c.speedup, c.pool_hits, c.pool_rejects);
+  }
+
   std::FILE* f = std::fopen(json_path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open %s for writing\n", json_path.c_str());
@@ -387,6 +575,20 @@ int main(int argc, char** argv) {
         "%.2f, \"sparse_us_per_solve\": %.2f, \"speedup\": %.3f}%s\n",
         c.m, c.n, c.density, c.solves, c.iterations, c.dense_us, c.sparse_us,
         c.speedup, i + 1 < e2e.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"evaluator_replay\": [\n");
+  for (std::size_t i = 0; i < replay.size(); ++i) {
+    const ReplayCase& c = replay[i];
+    std::fprintf(
+        f,
+        "    {\"services_m\": %zu, \"bundles_n\": %zu, \"density\": %.3f, "
+        "\"population\": %zu, \"generations\": %zu, \"solves\": %zu, "
+        "\"baseline_pivots\": %lld, \"pool_pivots\": %lld, "
+        "\"baseline_us_per_solve\": %.2f, \"pool_us_per_solve\": %.2f, "
+        "\"speedup\": %.3f, \"pool_hits\": %lld, \"pool_rejects\": %lld}%s\n",
+        c.m, c.n, c.density, c.population, c.generations, c.solves,
+        c.baseline_pivots, c.pool_pivots, c.baseline_us, c.pool_us, c.speedup,
+        c.pool_hits, c.pool_rejects, i + 1 < replay.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);

@@ -38,11 +38,23 @@ namespace carbon::bcpop {
 
 /// Per-thread mutable evaluation state for one market.
 struct EvalContext {
+  /// Builds (and validates, and baseline-solves) the relaxation family for
+  /// this context alone.
   explicit EvalContext(const Instance& instance);
+  /// Clones the relaxation structure from a shared, already-validated
+  /// family — the parallel evaluator builds ONE RelaxationFamily and stamps
+  /// out per-thread contexts from it, so the matrix is built/validated and
+  /// the baseline LP solved once per evaluator instead of once per thread.
+  EvalContext(const Instance& instance, const cover::RelaxationFamily& shared);
 
   const Instance* inst;
-  cover::Instance ll;        ///< Working copy; leader prices substituted.
-  lp::Problem ll_lp;         ///< Relaxation LP; only the objective changes.
+  cover::Instance ll;  ///< Working copy; leader prices substituted.
+  /// Relaxation LP family: constraint matrix/bounds frozen, validated once;
+  /// only the objective moves via rebind(). Replaces the per-evaluation
+  /// rebuild/re-validate of a plain lp::Problem.
+  lp::ProblemFamily ll_family;
+  /// Reusable simplex working memory bound to every solve of this context.
+  lp::SolveScratch lp_scratch;
   lp::Basis baseline_basis;  ///< Optimal basis of the base-market LP.
   /// Per-solve working copy of baseline_basis. Assigned (not constructed)
   /// each call, so the two basis vectors keep their capacity and the hot
@@ -86,6 +98,18 @@ struct EvalContext {
     guard::Trip force_trip = guard::Trip::kNone,
     guard::Rung force_rung = guard::Rung::kLagrangian);
 
+/// Pool-mode relaxation kernel: like solve_relaxation_guarded without the
+/// forced-trip branch (injected evaluations bypass the pool entirely), but
+/// warm-starting from an EXPLICIT basis instead of the context's fixed
+/// baseline. Pass an empty `warm` to crash-start. When `final_basis` is
+/// non-null and the rung-0 simplex finished optimal with an artificial-free
+/// basis, that basis is copied out for the caller to commit to its pool;
+/// degraded rungs (cap trips) never export one. Pure in (pricing, warm,
+/// ctx.guard) like the other kernels.
+[[nodiscard]] cover::Relaxation solve_relaxation_pooled(
+    EvalContext& ctx, std::span<const double> pricing, const lp::Basis& warm,
+    lp::Basis* final_basis);
+
 /// Construction-stage budget derived from the limits and the node charge
 /// the bound already consumed. When `skip` is set the whole node budget is
 /// gone: score the evaluation via skipped_evaluation without running the
@@ -110,8 +134,8 @@ struct ConstructionBudget {
 
 /// Records the solver-effort counters of a freshly computed relaxation into
 /// `metrics` (lp/iterations, lp/refactorizations, lp/warm_start_hits,
-/// lp/ftran_nnz_skipped). Null-safe; call only on cache MISSES so the
-/// counters measure actual simplex work, not cache hits.
+/// lp/warm_start_rejects, lp/ftran_nnz_skipped). Null-safe; call only on
+/// cache MISSES so the counters measure actual simplex work, not cache hits.
 void record_lp_metrics(obs::MetricsRegistry* metrics,
                        const cover::Relaxation& relax);
 

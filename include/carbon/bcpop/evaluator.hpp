@@ -210,6 +210,10 @@ class Evaluator final : public EvaluatorInterface {
   long long ul_evals_ = 0;
   long long ll_evals_ = 0;
   long long dedup_hits_ = 0;
+  /// Fresh LP solves whose warm-start basis the solver rejected. The serial
+  /// evaluator is baseline-only (no basis pool), so the pool counters in
+  /// BackendStats stay zero here.
+  long long warm_rejects_ = 0;
   long long guard_trips_ = 0;
   long long guard_degraded_ = 0;
   long long guard_exhausted_ = 0;

@@ -92,6 +92,21 @@ struct BackendStats {
   long long guard_degraded_evals = 0;
   /// Charged evaluations whose node budget ran out before construction.
   long long guard_budget_exhausted = 0;
+  // LP family / warm-start-pool counters (docs/ALGORITHMS.md §15). All zero
+  // for evaluators that do not implement pool mode.
+  /// Cost-only rebind() calls on per-context problem families (== rung-0
+  /// simplex attempts; replaces the per-evaluation problem rebuild).
+  long long lp_family_rebinds = 0;
+  /// Warm-start bases rejected by the solver (fell back to a crash start).
+  long long lp_warm_start_rejects = 0;
+  /// Solves warm-started from a pooled (nearest-pricing) basis.
+  long long lp_pool_hits = 0;
+  /// Pooled bases the solver rejected (re-solved from the fixed baseline).
+  long long lp_pool_rejects = 0;
+  /// Estimated pivots avoided by pooled warm starts: for each accepted
+  /// pooled solve, max(0, round(mean baseline-start iterations) - actual
+  /// iterations), accumulated in submission order (deterministic).
+  long long lp_pivots_saved = 0;
 };
 
 class EvaluatorInterface {

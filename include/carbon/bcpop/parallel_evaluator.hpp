@@ -23,6 +23,20 @@
 // and scoring are deterministic; evaluation consumes no RNG), and solvers
 // reduce batch results in submission order — so a run with N threads is
 // bit-identical to the serial path for a fixed seed, for any N.
+//
+// Pool mode (Options::lp_warm = LpWarm::kPool, docs/ALGORITHMS.md §15):
+// relaxation solves warm-start from the nearest pooled basis instead of the
+// fixed baseline. Batches then run a staged discipline — cache probes and
+// pool selections on the calling thread in submission order, LP solves
+// fanned out with pre-copied start bases, commits back on the calling
+// thread in submission order — so the pool, the (1-shard) caches and every
+// counter evolve identically for any thread count and either engine. A
+// rejected pooled basis is re-solved from the fixed baseline, making the
+// result bit-identical to a pool miss. Scalar entry points in pool mode run
+// the same staging inline and are NOT safe to call concurrently (the
+// solvers only call them from their main loop); the wall-clock watchdog
+// skip is not applied on pooled batch solves (it is explicitly
+// non-deterministic and suspends the score memo anyway).
 #pragma once
 
 #include <atomic>
@@ -34,6 +48,7 @@
 #include <span>
 #include <vector>
 
+#include "carbon/bcpop/basis_pool.hpp"
 #include "carbon/bcpop/eval_core.hpp"
 #include "carbon/bcpop/evaluator_interface.hpp"
 #include "carbon/bcpop/instance.hpp"
@@ -63,6 +78,14 @@ class ParallelEvaluator final : public EvaluatorInterface {
     bool memo_xgen = true;
     std::size_t score_cache_capacity = 4096;
     std::size_t score_cache_shards = 16;
+    /// Warm-start policy for the LL relaxation solves. kPool switches the
+    /// evaluator to the staged pool discipline (see the header comment) and
+    /// forces both caches to ONE shard so their eviction order matches the
+    /// serial LRU exactly; kBaseline (default) leaves PR-1 behavior — and
+    /// every existing golden trajectory — bit-for-bit intact.
+    LpWarm lp_warm = LpWarm::kBaseline;
+    /// Bound on the basis pool (pool mode only).
+    std::size_t basis_pool_capacity = BasisPool::kDefaultCapacity;
   };
 
   ParallelEvaluator(const Instance& instance, Options options);
@@ -120,6 +143,13 @@ class ParallelEvaluator final : public EvaluatorInterface {
   }
   [[nodiscard]] const Instance& instance() const noexcept { return inst_; }
   [[nodiscard]] std::size_t threads() const noexcept { return threads_; }
+  /// Warm-start policy this evaluator was built with (immutable: switching
+  /// would invalidate cached relaxations computed under the other policy).
+  [[nodiscard]] LpWarm lp_warm() const noexcept { return lp_warm_; }
+  /// The warm-start basis pool (empty and untouched under kBaseline).
+  [[nodiscard]] const BasisPool& basis_pool() const noexcept {
+    return basis_pool_;
+  }
   /// Which fan-out engine batches run on.
   [[nodiscard]] common::SchedKind sched() const noexcept { return sched_kind_; }
   /// Scheduler-side counters (tasks/steals/idle); all-zero under the
@@ -188,6 +218,8 @@ class ParallelEvaluator final : public EvaluatorInterface {
   void clear_caches() noexcept override;
 
  private:
+  using RelaxationPtr = ShardedRelaxationCache::RelaxationPtr;
+
   /// RAII lease of one evaluation context from the free list.
   class ContextLease;
   /// RAII block of per-participant context leases for a scheduler batch
@@ -222,6 +254,20 @@ class ParallelEvaluator final : public EvaluatorInterface {
   /// Charges, then solves + finalizes + counts guard outcomes.
   Evaluation evaluate_one(EvalContext& ctx, const SelectionJob& job,
                           bool injected);
+  /// Pool-mode variant of evaluate_one: the relaxation was already resolved
+  /// by the staged pass, only the construction stage runs here.
+  Evaluation evaluate_one_with(EvalContext& ctx, const SelectionJob& job,
+                               const cover::Relaxation& relax);
+  /// Pool-mode staged relaxation resolution: stage A probes the cache and
+  /// selects (copying) pooled start bases on the calling thread in
+  /// submission order; stage B fans the misses out through
+  /// solve_relaxation_pooled (a rejected pooled basis is re-solved from the
+  /// fixed baseline); stage C — again the calling thread, in submission
+  /// order — records metrics and pool counters, commits final bases to the
+  /// pool and inserts results into the cache. Returns one pinned relaxation
+  /// per input pricing (duplicates share a solve).
+  [[nodiscard]] std::vector<RelaxationPtr> resolve_pooled(
+      std::span<const std::span<const double>> pricings);
   /// Construction stage under the guard plan (skip-or-solve + finalize).
   Evaluation finish_heuristic(EvalContext& ctx, const cover::Relaxation& relax,
                               const HeuristicJob& job,
@@ -238,6 +284,7 @@ class ParallelEvaluator final : public EvaluatorInterface {
   const Instance& inst_;
   std::size_t threads_;
   common::SchedKind sched_kind_;
+  LpWarm lp_warm_;
   // Exactly one engine is constructed, per Options::sched.
   std::unique_ptr<common::ThreadPool> pool_;
   std::unique_ptr<common::TaskScheduler> scheduler_;
@@ -256,6 +303,22 @@ class ParallelEvaluator final : public EvaluatorInterface {
   std::atomic<long long> guard_trips_{0};
   std::atomic<long long> guard_degraded_{0};
   std::atomic<long long> guard_exhausted_{0};
+  /// Warm-start bases the solver rejected (any mode; workers count their
+  /// own baseline-mode solves, hence atomic).
+  std::atomic<long long> warm_rejects_{0};
+  // Pool-mode state. The pool and these counters are only ever touched on
+  // the batch-submitting thread (stage A/C of resolve_pooled), in
+  // submission order — which is the determinism argument for plain fields.
+  BasisPool basis_pool_;
+  long long pool_hits_ = 0;
+  long long pool_rejects_ = 0;
+  long long pivots_saved_ = 0;
+  /// Running mean inputs for the pivots_saved estimate: iterations of
+  /// baseline-start, full-rung, feasible solves seen so far. Reset with the
+  /// pool (clear_caches / limit changes) so a resumed segment estimates
+  /// from its own history only.
+  long long base_iter_sum_ = 0;
+  long long base_iter_count_ = 0;
   bool polish_ = false;
   bool compiled_scoring_ = true;
   obs::MetricsRegistry* metrics_ = nullptr;

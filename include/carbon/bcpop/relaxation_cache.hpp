@@ -64,6 +64,19 @@ class ShardedRelaxationCache {
   RelaxationPtr get_or_compute(std::span<const double> pricing,
                                const SolveFn& solve);
 
+  /// Staged-batch probe (pool-mode evaluator): returns the ready entry for
+  /// `pricing` — counting a hit and touching its recency — or null on a
+  /// miss, counting nothing; the caller solves outside the cache and
+  /// insert()s the result, which books the solve. In-flight placeholders
+  /// read as misses (the staged discipline never runs concurrently with
+  /// get_or_compute on the same cache).
+  [[nodiscard]] RelaxationPtr lookup(std::span<const double> pricing);
+
+  /// Staged-batch completion: caches an externally computed relaxation,
+  /// counting one solve and applying the LRU bound. Overwrites any existing
+  /// entry for the key.
+  void insert(std::span<const double> pricing, RelaxationPtr value);
+
   /// Completed solves (cache misses that ran the solver).
   [[nodiscard]] long long solves() const noexcept {
     return solves_.load(std::memory_order_relaxed);

@@ -19,6 +19,7 @@
 
 #include <cstdint>
 
+#include "carbon/bcpop/basis_pool.hpp"
 #include "carbon/bcpop/evaluator.hpp"
 #include "carbon/common/task_scheduler.hpp"
 #include "carbon/core/checkpoint.hpp"
@@ -69,6 +70,11 @@ struct CobraConfig {
   /// Cross-generation score memoization; same semantics as
   /// CarbonConfig::memo_xgen (only the heuristic path consults it).
   bool memo_xgen = true;
+
+  /// Warm-start policy for the LL relaxation LPs; same semantics as
+  /// CarbonConfig::lp_warm (kPool routes evaluation through the parallel
+  /// evaluator even when eval_threads == 1).
+  bcpop::LpWarm lp_warm = bcpop::LpWarm::kBaseline;
 
   /// Compile GP scoring trees to batched bytecode (relevant only when a
   /// heuristic-driven path is exercised through this solver's evaluator);

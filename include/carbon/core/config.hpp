@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "carbon/bcpop/basis_pool.hpp"
 #include "carbon/common/task_scheduler.hpp"
 #include "carbon/core/checkpoint.hpp"
 #include "carbon/ea/real_ops.hpp"
@@ -92,6 +93,16 @@ struct CarbonConfig {
   /// purpose). Hits still charge the Table II budgets, so trajectories are
   /// bit-identical with it on or off (docs/ALGORITHMS.md §14).
   bool memo_xgen = true;
+
+  /// Warm-start policy for the LL relaxation LPs (docs/ALGORITHMS.md §15).
+  /// kBaseline (default): every solve starts from the fixed base-cost basis
+  /// — existing golden trajectories hold bit for bit. kPool: solves start
+  /// from the nearest pooled basis (deterministic for any eval_threads ×
+  /// sched × compiled_scoring, but a DIFFERENT golden axis: degenerate LPs
+  /// can surface alternate optimal duals/x̄ under a different start basis).
+  /// kPool routes evaluation through the parallel evaluator even when
+  /// eval_threads == 1.
+  bcpop::LpWarm lp_warm = bcpop::LpWarm::kBaseline;
 
   /// Compile GP scoring trees to batched SoA bytecode (gp::CompiledProgram)
   /// instead of interpreting them per bundle, and deduplicate repeated

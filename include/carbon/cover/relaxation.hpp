@@ -6,11 +6,13 @@
 // bounded-variable simplex, so the basis size is the (small) service count.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "carbon/cover/instance.hpp"
 #include "carbon/guard/guard.hpp"
 #include "carbon/lp/problem.hpp"
+#include "carbon/lp/problem_family.hpp"
 #include "carbon/lp/simplex.hpp"
 
 namespace carbon::cover {
@@ -21,6 +23,10 @@ struct LpStats {
   int iterations = 0;
   int refactorizations = 0;
   bool warm_start_used = false;
+  bool warm_start_rejected = false;
+  /// The final clean optimal basis was written back through `warm` (basis
+  /// pool commits key off this, never off the raw out-parameter content).
+  bool basis_saved = false;
   long long ftran_nnz_skipped = 0;
 };
 
@@ -43,6 +49,27 @@ struct Relaxation {
 /// only the nonzero coefficients (via the instance's supplier index).
 [[nodiscard]] lp::Problem build_relaxation_lp(const Instance& instance);
 
+/// Shared per-instance relaxation structure: the constraint matrix, slack
+/// layout and bounds of the relaxation LP are identical across every solve
+/// of a run — only the cost vector moves with the UL pricing — so build and
+/// validate them once, then clone the (cheap-to-copy, never re-validated)
+/// ProblemFamily into each EvalContext and rebind() costs per evaluation.
+struct RelaxationFamily {
+  /// Validated prototype with the instance's base costs as the objective.
+  lp::ProblemFamily family;
+  /// Optimal basis of the base-cost LP; empty when that solve was not
+  /// optimal. Cost-only rebinding keeps it primal-feasible, so it is the
+  /// fixed warm-start fallback for every evaluation.
+  lp::Basis baseline_basis;
+
+  explicit RelaxationFamily(const Instance& instance);
+
+  [[nodiscard]] static std::shared_ptr<const RelaxationFamily> make(
+      const Instance& instance) {
+    return std::make_shared<const RelaxationFamily>(instance);
+  }
+};
+
 /// Solves a relaxation LP (as built by build_relaxation_lp, possibly with a
 /// different objective) into a Relaxation. This is the one kernel path shared
 /// by cover::relax() and bcpop's per-evaluation solve: warm-started when
@@ -53,6 +80,14 @@ struct Relaxation {
                                              const lp::SimplexOptions& options,
                                              lp::Basis* warm);
 
+/// Family fast path of solve_relaxation_lp: skips validation and reuses the
+/// caller's SolveScratch. Bit-identical to the Problem overload on
+/// family.problem().
+[[nodiscard]] Relaxation solve_relaxation_lp(const lp::ProblemFamily& family,
+                                             const lp::SimplexOptions& options,
+                                             lp::Basis* warm,
+                                             lp::SolveScratch* scratch);
+
 /// Budget-capped variant of solve_relaxation_lp: an iteration-limited solve
 /// comes back as a Relaxation with guard_trip = kLpIterationCap (infeasible,
 /// so callers fall down the degradation ladder) instead of throwing. All
@@ -60,6 +95,11 @@ struct Relaxation {
 [[nodiscard]] Relaxation solve_relaxation_lp_capped(
     const lp::Problem& problem, const lp::SimplexOptions& options,
     lp::Basis* warm);
+
+/// Family fast path of solve_relaxation_lp_capped (see above).
+[[nodiscard]] Relaxation solve_relaxation_lp_capped(
+    const lp::ProblemFamily& family, const lp::SimplexOptions& options,
+    lp::Basis* warm, lp::SolveScratch* scratch);
 
 /// Solves the relaxation of `instance` from scratch via the shared kernel.
 [[nodiscard]] Relaxation relax(const Instance& instance);

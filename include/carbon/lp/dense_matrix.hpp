@@ -1,6 +1,10 @@
 // Dense row-major matrix with just the operations the simplex solver needs.
-// Constraint counts in this project are small (m <= ~50), so dense storage and
-// O(m^3) refactorization are the right trade-off.
+// Constraint counts in this project reach m = 400 in the benchmark grid
+// (BENCH_lp_simplex.json sweeps m in {50, 200, 400}), and the dense kernels
+// only beat the sparse CSC kernels once column density reaches ~0.75 — below
+// that crossover the sparse path wins at every measured size. The solver
+// therefore prices/FTRANs sparsely and keeps dense storage only where it is
+// structurally dense: the basis inverse and its O(m^3) refactorization.
 #pragma once
 
 #include <cassert>
@@ -40,6 +44,20 @@ class DenseMatrix {
     DenseMatrix m(n, n);
     for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
     return m;
+  }
+
+  /// Reshape to rows x cols and zero-fill, reusing the existing allocation
+  /// when capacity allows. Equivalent to assigning DenseMatrix(rows, cols).
+  void reset(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, 0.0);
+  }
+
+  /// Reshape to the n x n identity in place (see reset()).
+  void set_identity(std::size_t n) {
+    reset(n, n);
+    for (std::size_t i = 0; i < n; ++i) data_[i * n + i] = 1.0;
   }
 
   /// out = this * v  (rows() results).

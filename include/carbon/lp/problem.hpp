@@ -109,6 +109,15 @@ struct Solution {
   /// True when a caller-provided warm-start basis was accepted (the solve
   /// skipped the crash/Phase-1 start entirely).
   bool warm_start_used = false;
+  /// True when a caller-provided (non-empty) warm-start basis was REJECTED —
+  /// wrong size, duplicate/invalid statuses, singular after refactorization,
+  /// or primal-infeasible — and the solve fell back to a crash/Phase-1 start.
+  bool warm_start_rejected = false;
+  /// True when the final optimal basis was clean (artificial-free) and was
+  /// written back through the caller's `warm` pointer. Distinguishes "the
+  /// basis out-parameter holds the solve's result" from "it still holds the
+  /// caller's input" for basis-pool commits.
+  bool basis_saved = false;
   /// Multiply-accumulate operations the sparse FTRAN kernel skipped because
   /// the entering column entry was structurally zero. Zero when the solve
   /// ran with SimplexOptions::use_dense_kernels.

@@ -24,6 +24,7 @@
 
 #include "carbon/lp/dense_matrix.hpp"
 #include "carbon/lp/problem.hpp"
+#include "carbon/lp/problem_family.hpp"
 
 namespace carbon::lp {
 
@@ -54,6 +55,27 @@ struct Basis {
   [[nodiscard]] bool empty() const noexcept { return basic_vars.empty(); }
 };
 
+namespace detail {
+/// Nonbasic/basic marker for every column (structural, slack, artificial).
+enum class VarStatus : unsigned char { kAtLower, kAtUpper, kBasic };
+}  // namespace detail
+
+/// Reusable per-solve working memory for the simplex. A fresh SimplexSolver
+/// allocates about a dozen vectors plus an m x m matrix per solve (and
+/// another per refactorization); binding one SolveScratch to consecutive
+/// solves of the same ProblemFamily reuses those allocations instead. Every
+/// buffer is fully re-assigned before its first read each solve, so a
+/// scratch-backed solve is bit-identical to a fresh-solver solve. NOT
+/// thread-safe: one SolveScratch per thread (EvalContext owns one).
+struct SolveScratch {
+  std::vector<double> cost, lower, upper, slack_sign, art_sign;
+  std::vector<detail::VarStatus> status, status_cand;
+  std::vector<unsigned char> mark;
+  std::vector<std::size_t> basis;
+  std::vector<double> xb, y, alpha, work, work2, col;
+  DenseMatrix binv, refactor;
+};
+
 /// Solves `problem` (minimization). The problem must pass validate().
 /// When `warm` is non-null and holds a compatible basis, the solve starts
 /// from it (skipping Phase 1); on optimal exit the basis is written back.
@@ -61,17 +83,24 @@ struct Basis {
                              const SimplexOptions& options = {},
                              Basis* warm = nullptr);
 
+/// Family fast path: skips validation (done once by ProblemFamily) and, when
+/// `scratch` is non-null, reuses its buffers instead of allocating. Results
+/// are bit-identical to solve(family.problem(), options, warm).
+[[nodiscard]] Solution solve(const ProblemFamily& family,
+                             const SimplexOptions& options = {},
+                             Basis* warm = nullptr,
+                             SolveScratch* scratch = nullptr);
+
 namespace detail {
 
 /// Internal solver exposed for white-box testing.
 class SimplexSolver {
  public:
-  SimplexSolver(const Problem& problem, const SimplexOptions& options);
+  SimplexSolver(const Problem& problem, const SimplexOptions& options,
+                SolveScratch* scratch = nullptr);
   Solution run(Basis* warm = nullptr);
 
  private:
-  enum class VarStatus : unsigned char { kAtLower, kAtUpper, kBasic };
-
   // Column j of the full (structural + slack + artificial) matrix, densely.
   void full_column(std::size_t j, std::vector<double>& out) const;
   double column_dot(std::size_t j, const std::vector<double>& y) const;
@@ -111,26 +140,44 @@ class SimplexSolver {
   std::size_t m_ = 0;         // rows == slacks == artificials
   std::size_t n_total_ = 0;   // struct + slack + artificial
 
-  std::vector<double> cost_;        // current phase objective (size n_total_)
-  std::vector<double> lower_;       // bounds for all variables
-  std::vector<double> upper_;
-  std::vector<double> slack_sign_;  // +1 for <=/=, -1 for >=
-  std::vector<double> art_sign_;    // chosen at phase-1 setup
+  // Working memory lives in a SolveScratch — caller-provided (reused across
+  // solves) or the solver's own. Every buffer is fully re-assigned by the
+  // constructor or by the start-basis installation before its first read,
+  // so reuse cannot leak state between solves. The reference members below
+  // bind to whichever scratch is active, keeping the solver body identical
+  // either way.
+  SolveScratch own_;
+
+  std::vector<double>& cost_;        // current phase objective (size n_total_)
+  std::vector<double>& lower_;       // bounds for all variables
+  std::vector<double>& upper_;
+  std::vector<double>& slack_sign_;  // +1 for <=/=, -1 for >=
+  std::vector<double>& art_sign_;    // chosen at phase-1 setup
 
   // Dense reference path only: structural columns materialized with their
   // zeros, exactly as the pre-sparse Problem stored them.
   std::vector<std::vector<double>> dense_cols_;
-  std::vector<double> col_scratch_;
+  std::vector<double>& col_scratch_;
 
-  std::vector<VarStatus> status_;
-  std::vector<std::size_t> basis_;  // basis_[i] = variable basic in row i
-  DenseMatrix binv_;
-  std::vector<double> xb_;          // values of basic variables
+  std::vector<VarStatus>& status_;
+  std::vector<std::size_t>& basis_;  // basis_[i] = variable basic in row i
+  DenseMatrix& binv_;
+  std::vector<double>& xb_;          // values of basic variables
+
+  // Start-basis candidates and per-phase temporaries (see SolveScratch).
+  std::vector<VarStatus>& status_cand_;
+  std::vector<unsigned char>& mark_;
+  DenseMatrix& refactor_;
+  std::vector<double>& y_;
+  std::vector<double>& alpha_;
+  std::vector<double>& work_;
+  std::vector<double>& work2_;
 
   int iterations_ = 0;
   int refactorizations_ = 0;
   long long ftran_skipped_ = 0;
   bool warm_start_used_ = false;
+  bool warm_start_rejected_ = false;
   bool numerical_failure_ = false;
 };
 

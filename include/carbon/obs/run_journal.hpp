@@ -56,6 +56,12 @@ struct JournalBackendStats {
   long long guard_trips = 0;
   long long guard_degraded_evals = 0;
   long long guard_budget_exhausted = 0;
+  // LP family / warm-start-pool counters (docs/ALGORITHMS.md §15).
+  long long lp_family_rebinds = 0;
+  long long lp_warm_start_rejects = 0;
+  long long lp_pool_hits = 0;
+  long long lp_pool_rejects = 0;
+  long long lp_pivots_saved = 0;
 
   bool operator==(const JournalBackendStats&) const = default;
 };

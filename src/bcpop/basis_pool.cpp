@@ -1,0 +1,109 @@
+#include "carbon/bcpop/basis_pool.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace carbon::bcpop {
+
+const char* to_string(LpWarm w) noexcept {
+  switch (w) {
+    case LpWarm::kBaseline:
+      return "baseline";
+    case LpWarm::kPool:
+      return "pool";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Quantized squared Euclidean distance: accumulated in double over
+/// ascending indices (one fixed order — no reduction-order ambiguity), then
+/// cast to float so that near-ties collapse onto one quantum and the
+/// explicit ordinal tie-break decides them reproducibly.
+[[nodiscard]] float quantized_distance(std::span<const double> a,
+                                       std::span<const double> b) {
+  assert(a.size() == b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return static_cast<float>(acc);
+}
+
+[[nodiscard]] bool same_key(std::span<const double> a,
+                            std::span<const double> b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+BasisPool::BasisPool(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, 1)) {
+  entries_.reserve(capacity_);
+}
+
+const lp::Basis* BasisPool::select(std::span<const double> pricing) {
+  if (entries_.empty()) return nullptr;
+  std::size_t best = entries_.size();
+  float best_dist = 0.0f;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    // Keys of a pool always share one length (one family per evaluator),
+    // but guard anyway: a mismatched key can never win.
+    if (entries_[i].key.size() != pricing.size()) continue;
+    const float d = quantized_distance(entries_[i].key, pricing);
+    if (best == entries_.size() || d < best_dist ||
+        (d == best_dist && entries_[i].ordinal < entries_[best].ordinal)) {
+      best = i;
+      best_dist = d;
+    }
+  }
+  if (best == entries_.size()) return nullptr;
+  entries_[best].last_use = ++clock_;
+  return &entries_[best].basis;
+}
+
+void BasisPool::insert(std::span<const double> pricing,
+                       const lp::Basis& basis) {
+  for (Entry& e : entries_) {
+    if (same_key(e.key, pricing)) {
+      e.basis = basis;
+      e.last_use = ++clock_;
+      return;
+    }
+  }
+  if (entries_.size() >= capacity_) {
+    // Evict the least-recently-used entry; ties (possible only among
+    // never-selected entries inserted before the clock first ticked) fall
+    // to the lowest insertion ordinal.
+    std::size_t victim = 0;
+    for (std::size_t i = 1; i < entries_.size(); ++i) {
+      if (entries_[i].last_use < entries_[victim].last_use ||
+          (entries_[i].last_use == entries_[victim].last_use &&
+           entries_[i].ordinal < entries_[victim].ordinal)) {
+        victim = i;
+      }
+    }
+    entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(victim));
+    ++evictions_;
+  }
+  Entry e;
+  e.key.assign(pricing.begin(), pricing.end());
+  e.basis = basis;
+  e.ordinal = next_ordinal_++;
+  e.last_use = ++clock_;
+  entries_.push_back(std::move(e));
+}
+
+void BasisPool::clear() {
+  entries_.clear();
+  next_ordinal_ = 0;
+  clock_ = 0;
+}
+
+}  // namespace carbon::bcpop

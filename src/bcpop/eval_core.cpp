@@ -82,32 +82,32 @@ void fnv_mix(std::uint64_t& h, std::uint64_t v) noexcept {
 }  // namespace
 
 EvalContext::EvalContext(const Instance& instance)
+    : EvalContext(instance, cover::RelaxationFamily(instance.market())) {}
+
+EvalContext::EvalContext(const Instance& instance,
+                         const cover::RelaxationFamily& shared)
     : inst(&instance),
       ll(instance.market()),
-      ll_lp(cover::build_relaxation_lp(instance.market())) {
-  // Solve the base-market LP once to pin the warm-start basis. The basis
-  // stays primal-feasible under any leader pricing (costs only enter the
-  // objective). If the base market is not coverable the basis stays empty
-  // and later solves crash-start, which is equally deterministic.
-  lp::Basis basis;
-  const lp::Solution sol = lp::solve(ll_lp, {}, &basis);
-  if (sol.status == lp::SolveStatus::kOptimal) {
-    baseline_basis = std::move(basis);
-  }
-}
+      // Copying the family clones the validated problem without
+      // re-validating; the baseline basis (optimal for the base costs,
+      // primal-feasible under any leader pricing — costs only enter the
+      // objective) was pinned once when `shared` was built. An empty
+      // baseline means the base market is not coverable; later solves then
+      // crash-start, which is equally deterministic.
+      ll_family(shared.family),
+      baseline_basis(shared.baseline_basis) {}
 
 cover::Relaxation solve_relaxation(EvalContext& ctx,
                                    std::span<const double> pricing) {
-  for (std::size_t j = 0; j < pricing.size(); ++j) {
-    ctx.ll_lp.objective[j] = pricing[j];
-  }
+  ctx.ll_family.rebind(pricing);
   // Warm-start from a COPY of the fixed baseline so the basis stored in the
   // context never drifts with evaluation order. The copy lands in the
   // context's scratch basis, whose vectors keep their capacity across calls.
   ctx.basis_scratch = ctx.baseline_basis;
   return cover::solve_relaxation_lp(
-      ctx.ll_lp, {},
-      ctx.basis_scratch.empty() ? nullptr : &ctx.basis_scratch);
+      ctx.ll_family, {},
+      ctx.basis_scratch.empty() ? nullptr : &ctx.basis_scratch,
+      &ctx.lp_scratch);
 }
 
 namespace {
@@ -188,16 +188,15 @@ cover::Relaxation solve_relaxation_guarded(EvalContext& ctx,
 
   const long long cap =
       guard::combine_caps(lim.lp_iteration_cap, lim.ll_node_cap);
-  for (std::size_t j = 0; j < pricing.size(); ++j) {
-    ctx.ll_lp.objective[j] = pricing[j];
-  }
+  ctx.ll_family.rebind(pricing);
   ctx.basis_scratch = ctx.baseline_basis;
   lp::SimplexOptions opts;
   opts.max_iterations = static_cast<int>(
       std::min<long long>(cap, std::numeric_limits<int>::max()));
   cover::Relaxation relax = cover::solve_relaxation_lp_capped(
-      ctx.ll_lp, opts,
-      ctx.basis_scratch.empty() ? nullptr : &ctx.basis_scratch);
+      ctx.ll_family, opts,
+      ctx.basis_scratch.empty() ? nullptr : &ctx.basis_scratch,
+      &ctx.lp_scratch);
   if (relax.guard_trip == guard::Trip::kNone) return relax;
 
   // The cap that bound first names the trip: the LP cap if it is the
@@ -209,6 +208,48 @@ cover::Relaxation solve_relaxation_guarded(EvalContext& ctx,
   const long long spent = relax.guard_nodes;
   load_pricing(ctx, pricing);
   return lagrangian_relaxation(ctx, trip, spent);
+}
+
+cover::Relaxation solve_relaxation_pooled(EvalContext& ctx,
+                                          std::span<const double> pricing,
+                                          const lp::Basis& warm,
+                                          lp::Basis* final_basis) {
+  const guard::Limits& lim = ctx.guard;
+  ctx.ll_family.rebind(pricing);
+  // The start basis is copied into the context scratch; on an optimal clean
+  // exit the solver overwrites it with the FINAL basis (stats.basis_saved).
+  ctx.basis_scratch = warm;
+  lp::Basis* warm_ptr = &ctx.basis_scratch;
+
+  cover::Relaxation relax;
+  if (lim.lp_iteration_cap == 0 && lim.ll_node_cap == 0) {
+    relax = cover::solve_relaxation_lp(ctx.ll_family, {}, warm_ptr,
+                                       &ctx.lp_scratch);
+  } else {
+    // Rung-0 cap discipline mirrors solve_relaxation_guarded; a tripped
+    // solve degrades to the Lagrangian/greedy rungs, which never produce a
+    // basis to commit.
+    const long long cap =
+        guard::combine_caps(lim.lp_iteration_cap, lim.ll_node_cap);
+    lp::SimplexOptions opts;
+    opts.max_iterations = static_cast<int>(
+        std::min<long long>(cap, std::numeric_limits<int>::max()));
+    relax = cover::solve_relaxation_lp_capped(ctx.ll_family, opts, warm_ptr,
+                                              &ctx.lp_scratch);
+    if (relax.guard_trip != guard::Trip::kNone) {
+      const guard::Trip trip =
+          lim.lp_iteration_cap > 0 && cap == lim.lp_iteration_cap
+              ? guard::Trip::kLpIterationCap
+              : guard::Trip::kNodeBudget;
+      const long long spent = relax.guard_nodes;
+      load_pricing(ctx, pricing);
+      return lagrangian_relaxation(ctx, trip, spent);
+    }
+  }
+  if (final_basis != nullptr && relax.stats.basis_saved) {
+    *final_basis = ctx.basis_scratch;
+  }
+  return relax;
 }
 
 ConstructionBudget plan_construction(const guard::Limits& limits,
@@ -254,6 +295,9 @@ void record_lp_metrics(obs::MetricsRegistry* metrics,
   metrics->add_counter("lp/refactorizations", relax.stats.refactorizations);
   if (relax.stats.warm_start_used) {
     metrics->add_counter("lp/warm_start_hits");
+  }
+  if (relax.stats.warm_start_rejected) {
+    metrics->add_counter("lp/warm_start_rejects");
   }
   metrics->add_counter("lp/ftran_nnz_skipped", relax.stats.ftran_nnz_skipped);
 }

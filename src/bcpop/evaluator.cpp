@@ -25,6 +25,7 @@ Evaluator::RelaxationPtr Evaluator::relaxation(
     cover::Relaxation relax = solve_relaxation_guarded(ctx_, p);
     timer.stop();
     record_lp_metrics(metrics_, relax);
+    if (relax.stats.warm_start_rejected) ++warm_rejects_;
     return relax;
   });
 }
@@ -40,6 +41,8 @@ BackendStats Evaluator::backend_stats() const {
   s.guard_trips = guard_trips_;
   s.guard_degraded_evals = guard_degraded_;
   s.guard_budget_exhausted = guard_exhausted_;
+  s.lp_family_rebinds = ctx_.ll_family.rebinds();
+  s.lp_warm_start_rejects = warm_rejects_;
   return s;
 }
 
@@ -139,6 +142,7 @@ Evaluation Evaluator::evaluate_with_heuristic(std::span<const double> pricing,
     charge(purpose);
     const cover::Relaxation relax = solve_relaxation_guarded(
         ctx_, pricing, guard::Trip::kInjected, guard_.inject.degrade_to);
+    if (relax.stats.warm_start_rejected) ++warm_rejects_;
     Evaluation result =
         finish_heuristic(relax, pricing, heuristic, nullptr, purpose);
     count_guard(result);
@@ -256,6 +260,7 @@ std::vector<Evaluation> Evaluator::evaluate_heuristic_batch(
           solve_relaxation_guarded(ctx_, jobs[i].pricing,
                                    guard::Trip::kInjected,
                                    guard_.inject.degrade_to);
+      if (relax.stats.warm_start_rejected) ++warm_rejects_;
       results[i] = finish_heuristic(
           relax, jobs[i].pricing, *jobs[i].heuristic,
           plan.uniques[plan.result_of[i]].program.get(), jobs[i].purpose);
@@ -298,6 +303,7 @@ Evaluation Evaluator::evaluate_with_selection(
     charge(purpose);
     const cover::Relaxation relax = solve_relaxation_guarded(
         ctx_, pricing, guard::Trip::kInjected, guard_.inject.degrade_to);
+    if (relax.stats.warm_start_rejected) ++warm_rejects_;
     Evaluation result = finish_selection(relax, pricing, selection, purpose);
     count_guard(result);
     return result;

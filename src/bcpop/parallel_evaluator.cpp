@@ -1,7 +1,10 @@
 #include "carbon/bcpop/parallel_evaluator.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <thread>
+#include <unordered_map>
+#include <utility>
 
 #include "carbon/common/stopwatch.hpp"
 #include "carbon/gp/simd.hpp"
@@ -77,21 +80,34 @@ ParallelEvaluator::ParallelEvaluator(const Instance& instance, Options options)
                    : std::max<std::size_t>(
                          1, std::thread::hardware_concurrency())),
       sched_kind_(options.sched),
+      lp_warm_(options.lp_warm),
+      // Pool mode forces ONE shard per cache: all staged lookups/inserts
+      // happen on the calling thread anyway, and a single global LRU makes
+      // the eviction order — and hence the pooled-solve history — exactly
+      // the serial one for any thread count.
       cache_(std::max<std::size_t>(options.relaxation_cache_capacity, 1),
-             std::max<std::size_t>(options.cache_shards, 1)),
+             options.lp_warm == LpWarm::kPool
+                 ? 1
+                 : std::max<std::size_t>(options.cache_shards, 1)),
       xgen_(std::max<std::size_t>(options.score_cache_capacity, 1),
-            std::max<std::size_t>(options.score_cache_shards, 1)),
-      memo_xgen_(options.memo_xgen) {
+            options.lp_warm == LpWarm::kPool
+                ? 1
+                : std::max<std::size_t>(options.score_cache_shards, 1)),
+      memo_xgen_(options.memo_xgen),
+      basis_pool_(std::max<std::size_t>(options.basis_pool_capacity, 1)) {
   if (sched_kind_ == common::SchedKind::kStealing) {
     scheduler_ = std::make_unique<common::TaskScheduler>(threads_);
   } else {
     pool_ = std::make_unique<common::ThreadPool>(threads_);
   }
+  // Build + validate the relaxation structure and solve the base-cost LP
+  // once, then stamp every per-thread context from the shared family.
+  const cover::RelaxationFamily shared(inst_.market());
   const std::size_t n = threads_ + 1;
   contexts_.reserve(n);
   free_contexts_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    contexts_.push_back(std::make_unique<EvalContext>(inst_));
+    contexts_.push_back(std::make_unique<EvalContext>(inst_, shared));
     free_contexts_.push_back(contexts_.back().get());
   }
 }
@@ -153,9 +169,14 @@ void ParallelEvaluator::set_guard(const guard::GuardConfig& config,
   if (!(config.limits == guard_.limits)) {
     // Cached relaxations and evaluations are pure functions of
     // (inputs, limits); entries warmed under other limits would serve
-    // stale degradation rungs.
+    // stale degradation rungs. The basis pool and the pivots-saved
+    // baseline mean are dropped with them: pooled pivot counts (and what
+    // gets committed at all) depend on the rung-0 caps.
     cache_.clear();
     xgen_.clear();
+    basis_pool_.clear();
+    base_iter_sum_ = 0;
+    base_iter_count_ = 0;
   }
   guard_ = config;
   inject_at_ =
@@ -166,6 +187,13 @@ void ParallelEvaluator::set_guard(const guard::GuardConfig& config,
 void ParallelEvaluator::clear_caches() noexcept {
   cache_.clear();
   xgen_.clear();
+  // Resume isolation: a resumed segment must never consume another
+  // segment's pooled bases (or its pivots-saved baseline estimate), so the
+  // pool is cleared — clocks included — alongside the caches. Counters are
+  // kept; solvers subtract their checkpointed offsets.
+  basis_pool_.clear();
+  base_iter_sum_ = 0;
+  base_iter_count_ = 0;
 }
 
 Evaluation ParallelEvaluator::finish_heuristic(
@@ -192,9 +220,13 @@ Evaluation ParallelEvaluator::evaluate_heuristic_job(
     const gp::CompiledProgram* program, bool injected) {
   if (injected) {
     // Forced trip: the degradation is ordinal-dependent, so it must never
-    // land in — or come from — the pricing-keyed shared cache.
+    // land in — or come from — the pricing-keyed shared cache (nor touch
+    // the basis pool in pool mode).
     const cover::Relaxation relax = solve_relaxation_guarded(
         ctx, job.pricing, guard::Trip::kInjected, guard_.inject.degrade_to);
+    if (relax.stats.warm_start_rejected) {
+      warm_rejects_.fetch_add(1, std::memory_order_relaxed);
+    }
     return finish_heuristic(ctx, relax, job, program);
   }
   common::Stopwatch watchdog;
@@ -204,6 +236,9 @@ Evaluation ParallelEvaluator::evaluate_heuristic_job(
         cover::Relaxation r = solve_relaxation_guarded(ctx, p);
         timer.stop();
         record_lp_metrics(metrics_, r);
+        if (r.stats.warm_start_rejected) {
+          warm_rejects_.fetch_add(1, std::memory_order_relaxed);
+        }
         return r;
       });
   if (guard_.limits.watchdog_seconds > 0.0 &&
@@ -223,6 +258,9 @@ Evaluation ParallelEvaluator::evaluate_one(EvalContext& ctx,
   if (injected) {
     const cover::Relaxation relax = solve_relaxation_guarded(
         ctx, job.pricing, guard::Trip::kInjected, guard_.inject.degrade_to);
+    if (relax.stats.warm_start_rejected) {
+      warm_rejects_.fetch_add(1, std::memory_order_relaxed);
+    }
     charge(job.purpose);
     const ConstructionBudget plan = plan_construction(ctx.guard, relax);
     if (plan.skip) {
@@ -247,6 +285,9 @@ Evaluation ParallelEvaluator::evaluate_one(EvalContext& ctx,
         cover::Relaxation r = solve_relaxation_guarded(ctx, p);
         timer.stop();
         record_lp_metrics(metrics_, r);
+        if (r.stats.warm_start_rejected) {
+          warm_rejects_.fetch_add(1, std::memory_order_relaxed);
+        }
         return r;
       });
   charge(job.purpose);
@@ -273,6 +314,130 @@ Evaluation ParallelEvaluator::evaluate_one(EvalContext& ctx,
   return result;
 }
 
+Evaluation ParallelEvaluator::evaluate_one_with(
+    EvalContext& ctx, const SelectionJob& job,
+    const cover::Relaxation& relax) {
+  charge(job.purpose);
+  Evaluation result;
+  const ConstructionBudget plan = plan_construction(ctx.guard, relax);
+  if (plan.skip) {
+    result = skipped_evaluation(inst_, job.pricing, relax,
+                                guard::Trip::kNodeBudget, job.purpose);
+  } else {
+    obs::ScopedTimer timer(metrics_, "time/ll_solve");
+    const cover::SolveResult solved = solve_with_selection(
+        ctx, relax, job.pricing, job.selection, plan.options);
+    timer.stop();
+    result =
+        finalize_evaluation(inst_, job.pricing, solved, relax, job.purpose);
+  }
+  count_guard(result);
+  return result;
+}
+
+std::vector<ParallelEvaluator::RelaxationPtr>
+ParallelEvaluator::resolve_pooled(
+    std::span<const std::span<const double>> pricings) {
+  std::vector<RelaxationPtr> out(pricings.size());
+  struct Pending {
+    std::size_t out_index = 0;
+    std::span<const double> pricing;
+    lp::Basis warm;          ///< copied pooled start basis (from_pool only)
+    bool from_pool = false;
+    bool rejected = false;   ///< pooled basis rejected, re-solved baseline
+    cover::Relaxation relax;
+    lp::Basis final_basis;   ///< valid iff relax.stats.basis_saved
+    RelaxationPtr result;
+  };
+  std::vector<Pending> pending;
+  /// (out index, pending index) of duplicates of an in-batch miss.
+  std::vector<std::pair<std::size_t, std::size_t>> aliases;
+  std::unordered_map<std::vector<double>, std::size_t, PricingHash> index_of;
+
+  // Stage A — calling thread, submission order: cache probes and pool
+  // selections. The selected basis is COPIED out: the select() pointer dies
+  // at the next insert(), and workers must not touch the pool at all.
+  for (std::size_t i = 0; i < pricings.size(); ++i) {
+    std::vector<double> key(pricings[i].begin(), pricings[i].end());
+    if (const auto it = index_of.find(key); it != index_of.end()) {
+      aliases.emplace_back(i, it->second);
+      continue;
+    }
+    if (RelaxationPtr hit = cache_.lookup(pricings[i])) {
+      out[i] = std::move(hit);
+      continue;
+    }
+    Pending p;
+    p.out_index = i;
+    p.pricing = pricings[i];
+    if (const lp::Basis* nearest = basis_pool_.select(pricings[i])) {
+      p.warm = *nearest;
+      p.from_pool = true;
+    }
+    index_of.emplace(std::move(key), pending.size());
+    pending.push_back(std::move(p));
+  }
+
+  // Stage B — fan-out: each miss solves from its pre-selected start basis.
+  // A rejected pooled basis re-solves from the fixed baseline, so the
+  // resulting relaxation is bit-identical to what a pool miss produces.
+  for_each(pending.size(), [&](EvalContext& ctx, std::size_t k) {
+    Pending& p = pending[k];
+    obs::ScopedTimer timer(metrics_, "time/lp_relaxation");
+    const lp::Basis& start = p.from_pool ? p.warm : ctx.baseline_basis;
+    p.relax = solve_relaxation_pooled(ctx, p.pricing, start, &p.final_basis);
+    if (p.from_pool && p.relax.stats.warm_start_rejected) {
+      p.rejected = true;
+      p.final_basis = lp::Basis{};
+      p.relax = solve_relaxation_pooled(ctx, p.pricing, ctx.baseline_basis,
+                                        &p.final_basis);
+    }
+  });
+
+  // Stage C — calling thread, pending order: metrics, counters, pool
+  // commits, cache inserts. Deterministic because the pending order is the
+  // submission order and nothing here depends on solve timing.
+  for (Pending& p : pending) {
+    record_lp_metrics(metrics_, p.relax);
+    if (p.rejected) {
+      ++pool_rejects_;
+      warm_rejects_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (p.relax.stats.warm_start_rejected) {
+      warm_rejects_.fetch_add(1, std::memory_order_relaxed);
+    }
+    const bool full_rung = p.relax.guard_trip == guard::Trip::kNone &&
+                           p.relax.guard_rung == guard::Rung::kFullLp;
+    if (p.from_pool && !p.rejected) {
+      ++pool_hits_;
+      if (full_rung && p.relax.feasible && base_iter_count_ > 0) {
+        const long long mean = std::llround(
+            static_cast<double>(base_iter_sum_) / base_iter_count_);
+        pivots_saved_ +=
+            std::max(0LL, mean - static_cast<long long>(
+                                     p.relax.stats.iterations));
+      }
+    } else if (full_rung && p.relax.feasible) {
+      base_iter_sum_ += p.relax.stats.iterations;
+      ++base_iter_count_;
+    }
+    if (p.relax.stats.basis_saved) {
+      basis_pool_.insert(p.pricing, p.final_basis);
+    }
+    p.result = std::make_shared<const cover::Relaxation>(std::move(p.relax));
+    cache_.insert(p.pricing, p.result);
+    out[p.out_index] = p.result;
+  }
+  // In-batch duplicates read back through the cache so the hit counters
+  // match the serial call sequence; the direct pointer covers the (tiny
+  // cache) case where a later insert already evicted the entry.
+  for (const auto& [i, k] : aliases) {
+    RelaxationPtr hit = cache_.lookup(pricings[i]);
+    out[i] = hit != nullptr ? std::move(hit) : pending[k].result;
+  }
+  return out;
+}
+
 BackendStats ParallelEvaluator::backend_stats() const {
   BackendStats s;
   s.relaxation_cache_hits = cache_.hits();
@@ -285,6 +450,13 @@ BackendStats ParallelEvaluator::backend_stats() const {
   s.guard_degraded_evals = guard_degraded_.load(std::memory_order_relaxed);
   s.guard_budget_exhausted =
       guard_exhausted_.load(std::memory_order_relaxed);
+  long long rebinds = 0;
+  for (const auto& ctx : contexts_) rebinds += ctx->ll_family.rebinds();
+  s.lp_family_rebinds = rebinds;
+  s.lp_warm_start_rejects = warm_rejects_.load(std::memory_order_relaxed);
+  s.lp_pool_hits = pool_hits_;
+  s.lp_pool_rejects = pool_rejects_;
+  s.lp_pivots_saved = pivots_saved_;
   return s;
 }
 
@@ -298,6 +470,32 @@ std::vector<Evaluation> ParallelEvaluator::run_batch(
   // charge it with), so the tripped job is the same for any thread count
   // even though the atomic charges land in arbitrary order.
   const long long base = ll_evals_.load(std::memory_order_relaxed);
+  if (lp_warm_ == LpWarm::kPool) {
+    // Staged pool path: relaxations first (pool/cache traffic on this
+    // thread, in submission order), then only the construction stage fans
+    // out. Injected jobs bypass the pool like they bypass the cache.
+    std::vector<std::size_t> pooled;
+    std::vector<std::span<const double>> pricings;
+    pooled.reserve(jobs.size());
+    pricings.reserve(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      if (!inject_now(base + static_cast<long long>(i))) {
+        pooled.push_back(i);
+        pricings.push_back(jobs[i].pricing);
+      }
+    }
+    const std::vector<RelaxationPtr> relaxes = resolve_pooled(pricings);
+    std::vector<RelaxationPtr> by_job(jobs.size());
+    for (std::size_t k = 0; k < pooled.size(); ++k) {
+      by_job[pooled[k]] = relaxes[k];
+    }
+    for_each(jobs.size(), [&](EvalContext& ctx, std::size_t i) {
+      results[i] = by_job[i] != nullptr
+                       ? evaluate_one_with(ctx, jobs[i], *by_job[i])
+                       : evaluate_one(ctx, jobs[i], /*injected=*/true);
+    });
+    return results;
+  }
   // Tasks write disjoint slots of `results`; both engines drain every task
   // before returning (even on exceptions), so the by-reference captures
   // cannot dangle.
@@ -351,13 +549,33 @@ std::vector<Evaluation> ParallelEvaluator::evaluate_heuristic_batch(
     for (std::size_t u = 0; u < misses.size(); ++u) misses[u] = u;
   }
 
-  for_each(misses.size(), [&](EvalContext& ctx, std::size_t m) {
-    const std::size_t u = misses[m];
-    unique_results[u] =
-        evaluate_heuristic_job(ctx, jobs[plan.uniques[u].job_index],
-                               plan.uniques[u].program.get(),
-                               /*injected=*/false);
-  });
+  if (lp_warm_ == LpWarm::kPool) {
+    // Staged pool path: the miss set's relaxations are resolved through the
+    // basis pool first (submission-order pool/cache traffic on this
+    // thread), then only the construction stage fans out. The wall-clock
+    // watchdog skip does not apply to pooled batch solves (see the class
+    // comment).
+    std::vector<std::span<const double>> pricings;
+    pricings.reserve(misses.size());
+    for (const std::size_t u : misses) {
+      pricings.push_back(jobs[plan.uniques[u].job_index].pricing);
+    }
+    const std::vector<RelaxationPtr> relaxes = resolve_pooled(pricings);
+    for_each(misses.size(), [&](EvalContext& ctx, std::size_t m) {
+      const std::size_t u = misses[m];
+      unique_results[u] =
+          finish_heuristic(ctx, *relaxes[m], jobs[plan.uniques[u].job_index],
+                           plan.uniques[u].program.get());
+    });
+  } else {
+    for_each(misses.size(), [&](EvalContext& ctx, std::size_t m) {
+      const std::size_t u = misses[m];
+      unique_results[u] =
+          evaluate_heuristic_job(ctx, jobs[plan.uniques[u].job_index],
+                                 plan.uniques[u].program.get(),
+                                 /*injected=*/false);
+    });
+  }
 
   if (use_xgen) {
     const long long evictions_before = xgen_.evictions();
@@ -425,9 +643,18 @@ Evaluation ParallelEvaluator::evaluate_with_heuristic(
     }
   }
 
-  ContextLease lease(*this);
-  Evaluation result = evaluate_heuristic_job(lease.get(), job, program,
-                                             injected);
+  Evaluation result;
+  if (lp_warm_ == LpWarm::kPool && !injected) {
+    // Inline staging (single-element batch). NOT safe to call concurrently
+    // in pool mode — the pool is single-threaded by contract.
+    const std::span<const double> one[] = {pricing};
+    const std::vector<RelaxationPtr> relaxes = resolve_pooled(one);
+    ContextLease lease(*this);
+    result = finish_heuristic(lease.get(), *relaxes[0], job, program);
+  } else {
+    ContextLease lease(*this);
+    result = evaluate_heuristic_job(lease.get(), job, program, injected);
+  }
   count_guard(result);
   if (use_xgen) {
     const long long evictions_before = xgen_.evictions();
@@ -441,10 +668,17 @@ Evaluation ParallelEvaluator::evaluate_with_heuristic(
 Evaluation ParallelEvaluator::evaluate_with_selection(
     std::span<const double> pricing, std::span<const std::uint8_t> selection,
     EvalPurpose purpose) {
-  ContextLease lease(*this);
   const SelectionJob job{pricing, selection, purpose};
   const bool injected =
       inject_now(ll_evals_.load(std::memory_order_relaxed));
+  if (lp_warm_ == LpWarm::kPool && !injected) {
+    // Inline staging; see evaluate_with_heuristic.
+    const std::span<const double> one[] = {pricing};
+    const std::vector<RelaxationPtr> relaxes = resolve_pooled(one);
+    ContextLease lease(*this);
+    return evaluate_one_with(lease.get(), job, *relaxes[0]);
+  }
+  ContextLease lease(*this);
   return evaluate_one(lease.get(), job, injected);
 }
 

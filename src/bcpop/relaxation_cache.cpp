@@ -92,6 +92,42 @@ ShardedRelaxationCache::RelaxationPtr ShardedRelaxationCache::get_or_compute(
   return value;
 }
 
+ShardedRelaxationCache::RelaxationPtr ShardedRelaxationCache::lookup(
+    std::span<const double> pricing) {
+  Shard& s = shard_for(pricing);
+  Key key(pricing.begin(), pricing.end());
+  std::lock_guard lock(s.mutex);
+  const auto it = s.map.find(key);
+  if (it == s.map.end() || it->second.value == nullptr) return nullptr;
+  s.lru.splice(s.lru.begin(), s.lru, it->second.lru_pos);  // touch
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second.value;
+}
+
+void ShardedRelaxationCache::insert(std::span<const double> pricing,
+                                    RelaxationPtr value) {
+  Shard& s = shard_for(pricing);
+  Key key(pricing.begin(), pricing.end());
+  std::lock_guard lock(s.mutex);
+  const auto [it, inserted] = s.map.try_emplace(std::move(key));
+  Entry& e = it->second;
+  if (!inserted && e.value != nullptr) {
+    // Existing ready entry: replace the value in place and touch.
+    e.value = std::move(value);
+    s.lru.splice(s.lru.begin(), s.lru, e.lru_pos);
+    return;
+  }
+  e.value = std::move(value);
+  s.lru.push_front(it->first);
+  e.lru_pos = s.lru.begin();
+  solves_.fetch_add(1, std::memory_order_relaxed);
+  while (s.lru.size() > shard_capacity_ && s.lru.back() != it->first) {
+    s.map.erase(s.lru.back());
+    s.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
 std::size_t ShardedRelaxationCache::size() const {
   std::size_t total = 0;
   for (const auto& s : shards_) {

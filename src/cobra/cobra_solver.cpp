@@ -43,6 +43,12 @@ obs::JournalBackendStats backend_delta(const bcpop::BackendStats& now,
       now.guard_degraded_evals - start.guard_degraded_evals;
   d.guard_budget_exhausted =
       now.guard_budget_exhausted - start.guard_budget_exhausted;
+  d.lp_family_rebinds = now.lp_family_rebinds - start.lp_family_rebinds;
+  d.lp_warm_start_rejects =
+      now.lp_warm_start_rejects - start.lp_warm_start_rejects;
+  d.lp_pool_hits = now.lp_pool_hits - start.lp_pool_hits;
+  d.lp_pool_rejects = now.lp_pool_rejects - start.lp_pool_rejects;
+  d.lp_pivots_saved = now.lp_pivots_saved - start.lp_pivots_saved;
   return d;
 }
 
@@ -82,11 +88,22 @@ CobraSolver::CobraSolver(bcpop::EvaluatorInterface& evaluator,
 
 core::RunResult CobraSolver::run() {
   if (external_ != nullptr) return run_with(*external_);
-  if (cfg_.eval_threads != 1) {
+  // Pool mode always routes through the parallel evaluator — it owns the
+  // staged basis-pool discipline — even at eval_threads == 1.
+  if (cfg_.eval_threads != 1 || cfg_.lp_warm == bcpop::LpWarm::kPool) {
+    // Two generations of UL pricing bases must fit, or mid-generation LRU
+    // evictions reap the parents the rest of the batch is about to warm-
+    // start from (see CarbonSolver::run for the full argument).
+    const std::size_t pool_cap =
+        std::max<std::size_t>(bcpop::BasisPool::kDefaultCapacity,
+                              2 * cfg_.ul_population_size);
     bcpop::ParallelEvaluator par(
-        *inst_, bcpop::ParallelEvaluator::Options{.threads = cfg_.eval_threads,
-                                                  .sched = cfg_.sched,
-                                                  .memo_xgen = cfg_.memo_xgen});
+        *inst_,
+        bcpop::ParallelEvaluator::Options{.threads = cfg_.eval_threads,
+                                          .sched = cfg_.sched,
+                                          .memo_xgen = cfg_.memo_xgen,
+                                          .lp_warm = cfg_.lp_warm,
+                                          .basis_pool_capacity = pool_cap});
     par.set_compiled_scoring(cfg_.compiled_scoring);
     return run_with(par);
   }
@@ -191,6 +208,12 @@ core::RunResult CobraSolver::run_with(bcpop::EvaluatorInterface& eval) {
         ck.progress.backend.guard_degraded_evals;
     backend_start.guard_budget_exhausted -=
         ck.progress.backend.guard_budget_exhausted;
+    backend_start.lp_family_rebinds -= ck.progress.backend.lp_family_rebinds;
+    backend_start.lp_warm_start_rejects -=
+        ck.progress.backend.lp_warm_start_rejects;
+    backend_start.lp_pool_hits -= ck.progress.backend.lp_pool_hits;
+    backend_start.lp_pool_rejects -= ck.progress.backend.lp_pool_rejects;
+    backend_start.lp_pivots_saved -= ck.progress.backend.lp_pivots_saved;
     result = std::move(ck.progress.result);
     // Drop any cache state the (possibly reused) evaluator accumulated
     // before this resume: entries warmed by a different run segment — e.g.

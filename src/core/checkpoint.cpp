@@ -323,6 +323,18 @@ obs::JsonObjectWriter write_progress(const SolverProgress& p) {
         .field("gde", encode_i64(p.backend.guard_degraded_evals))
         .field("gex", encode_i64(p.backend.guard_budget_exhausted));
   }
+  // Optional LP family / warm-start-pool counters (docs/ALGORITHMS.md §15);
+  // omitted when all zero so pre-pool checkpoints keep their historical
+  // bytes, and absent keys read back as zero.
+  if (p.backend.lp_family_rebinds != 0 ||
+      p.backend.lp_warm_start_rejects != 0 || p.backend.lp_pool_hits != 0 ||
+      p.backend.lp_pool_rejects != 0 || p.backend.lp_pivots_saved != 0) {
+    backend.field("lpf", encode_i64(p.backend.lp_family_rebinds))
+        .field("wsr", encode_i64(p.backend.lp_warm_start_rejects))
+        .field("lph", encode_i64(p.backend.lp_pool_hits))
+        .field("lpr", encode_i64(p.backend.lp_pool_rejects))
+        .field("lps", encode_i64(p.backend.lp_pivots_saved));
+  }
 
   obs::JsonObjectWriter result;
   result.field("best_ul", encode_f64(p.result.best_ul_objective))
@@ -368,6 +380,13 @@ SolverProgress read_progress(const obs::JsonValue& v) {
     p.backend.guard_trips = decode_i64(b.at("gtr").as_string());
     p.backend.guard_degraded_evals = decode_i64(b.at("gde").as_string());
     p.backend.guard_budget_exhausted = decode_i64(b.at("gex").as_string());
+  }
+  if (b.has("lpf")) {
+    p.backend.lp_family_rebinds = decode_i64(b.at("lpf").as_string());
+    p.backend.lp_warm_start_rejects = decode_i64(b.at("wsr").as_string());
+    p.backend.lp_pool_hits = decode_i64(b.at("lph").as_string());
+    p.backend.lp_pool_rejects = decode_i64(b.at("lpr").as_string());
+    p.backend.lp_pivots_saved = decode_i64(b.at("lps").as_string());
   }
   const obs::JsonValue& r = v.at("result");
   p.result.best_ul_objective = decode_f64(r.at("best_ul").as_string());

@@ -34,17 +34,27 @@ lp::Problem build_relaxation_lp(const Instance& instance) {
   return p;
 }
 
+RelaxationFamily::RelaxationFamily(const Instance& instance)
+    : family(build_relaxation_lp(instance)) {
+  // Solve the base-cost LP once to pin the fixed warm-start basis. If the
+  // base market is not coverable the basis stays empty and every later solve
+  // crash-starts, which is equally deterministic.
+  lp::Basis basis;
+  const lp::Solution sol = lp::solve(family, {}, &basis);
+  if (sol.status == lp::SolveStatus::kOptimal) {
+    baseline_basis = std::move(basis);
+  }
+}
+
 namespace {
 
-Relaxation solve_relaxation_lp_impl(const lp::Problem& problem,
-                                    const lp::SimplexOptions& options,
-                                    lp::Basis* warm, bool capped) {
-  const lp::Solution sol = lp::solve(problem, options, warm);
-
+Relaxation relaxation_from_solution(const lp::Solution& sol, bool capped) {
   Relaxation out;
   out.stats.iterations = sol.iterations;
   out.stats.refactorizations = sol.refactorizations;
   out.stats.warm_start_used = sol.warm_start_used;
+  out.stats.warm_start_rejected = sol.warm_start_rejected;
+  out.stats.basis_saved = sol.basis_saved;
   out.stats.ftran_nnz_skipped = sol.ftran_nnz_skipped;
   out.guard_nodes = sol.iterations;
   switch (sol.status) {
@@ -78,13 +88,30 @@ Relaxation solve_relaxation_lp_impl(const lp::Problem& problem,
 Relaxation solve_relaxation_lp(const lp::Problem& problem,
                                const lp::SimplexOptions& options,
                                lp::Basis* warm) {
-  return solve_relaxation_lp_impl(problem, options, warm, /*capped=*/false);
+  return relaxation_from_solution(lp::solve(problem, options, warm),
+                                  /*capped=*/false);
+}
+
+Relaxation solve_relaxation_lp(const lp::ProblemFamily& family,
+                               const lp::SimplexOptions& options,
+                               lp::Basis* warm, lp::SolveScratch* scratch) {
+  return relaxation_from_solution(lp::solve(family, options, warm, scratch),
+                                  /*capped=*/false);
 }
 
 Relaxation solve_relaxation_lp_capped(const lp::Problem& problem,
                                       const lp::SimplexOptions& options,
                                       lp::Basis* warm) {
-  return solve_relaxation_lp_impl(problem, options, warm, /*capped=*/true);
+  return relaxation_from_solution(lp::solve(problem, options, warm),
+                                  /*capped=*/true);
+}
+
+Relaxation solve_relaxation_lp_capped(const lp::ProblemFamily& family,
+                                      const lp::SimplexOptions& options,
+                                      lp::Basis* warm,
+                                      lp::SolveScratch* scratch) {
+  return relaxation_from_solution(lp::solve(family, options, warm, scratch),
+                                  /*capped=*/true);
 }
 
 Relaxation relax(const Instance& instance) {

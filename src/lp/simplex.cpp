@@ -5,6 +5,7 @@
 #include <cmath>
 #include <limits>
 #include <stdexcept>
+#include <utility>
 
 namespace carbon::lp {
 
@@ -18,11 +19,37 @@ Solution solve(const Problem& problem, const SimplexOptions& options,
   return solver.run(warm);
 }
 
+Solution solve(const ProblemFamily& family, const SimplexOptions& options,
+               Basis* warm, SolveScratch* scratch) {
+  // ProblemFamily validated at construction; no per-solve validation.
+  detail::SimplexSolver solver(family.problem(), options, scratch);
+  return solver.run(warm);
+}
+
 namespace detail {
 
 SimplexSolver::SimplexSolver(const Problem& problem,
-                             const SimplexOptions& options)
-    : p_(problem), opt_(options) {
+                             const SimplexOptions& options,
+                             SolveScratch* scratch)
+    : p_(problem),
+      opt_(options),
+      cost_(scratch ? scratch->cost : own_.cost),
+      lower_(scratch ? scratch->lower : own_.lower),
+      upper_(scratch ? scratch->upper : own_.upper),
+      slack_sign_(scratch ? scratch->slack_sign : own_.slack_sign),
+      art_sign_(scratch ? scratch->art_sign : own_.art_sign),
+      col_scratch_(scratch ? scratch->col : own_.col),
+      status_(scratch ? scratch->status : own_.status),
+      basis_(scratch ? scratch->basis : own_.basis),
+      binv_(scratch ? scratch->binv : own_.binv),
+      xb_(scratch ? scratch->xb : own_.xb),
+      status_cand_(scratch ? scratch->status_cand : own_.status_cand),
+      mark_(scratch ? scratch->mark : own_.mark),
+      refactor_(scratch ? scratch->refactor : own_.refactor),
+      y_(scratch ? scratch->y : own_.y),
+      alpha_(scratch ? scratch->alpha : own_.alpha),
+      work_(scratch ? scratch->work : own_.work),
+      work2_(scratch ? scratch->work2 : own_.work2) {
   n_struct_ = p_.num_vars();
   m_ = p_.num_rows();
   n_total_ = n_struct_ + 2 * m_;
@@ -231,7 +258,8 @@ void SimplexSolver::setup_phase1() {
   // Fixed slacks (equality rows) also sit at their lower (= upper = 0).
 
   // Residual of each row at the nonbasic point.
-  std::vector<double> residual(p_.rhs);
+  std::vector<double>& residual = work_;
+  residual.assign(p_.rhs.begin(), p_.rhs.end());
   for (std::size_t j = 0; j < n_struct_ + m_; ++j) {
     const double v = nonbasic_value(j);
     if (v == 0.0) continue;
@@ -240,7 +268,7 @@ void SimplexSolver::setup_phase1() {
 
   basis_.resize(m_);
   xb_.assign(m_, 0.0);
-  binv_ = DenseMatrix::identity(m_);
+  binv_.set_identity(m_);
   for (std::size_t i = 0; i < m_; ++i) {
     art_sign_[i] = residual[i] >= 0.0 ? 1.0 : -1.0;
     const std::size_t aj = n_struct_ + m_ + i;
@@ -259,12 +287,14 @@ bool SimplexSolver::try_warm_start(const Basis& warm) {
       warm.status.size() != n_struct_ + m_) {
     return false;
   }
-  std::vector<VarStatus> status(n_total_, VarStatus::kAtLower);
-  std::vector<bool> is_basic(n_total_, false);
+  std::vector<VarStatus>& status = status_cand_;
+  status.assign(n_total_, VarStatus::kAtLower);
+  std::vector<unsigned char>& is_basic = mark_;
+  is_basic.assign(n_total_, 0);
   for (std::size_t i = 0; i < m_; ++i) {
     const std::size_t bj = warm.basic_vars[i];
     if (bj >= n_struct_ + m_ || is_basic[bj]) return false;
-    is_basic[bj] = true;
+    is_basic[bj] = 1;
   }
   for (std::size_t j = 0; j < n_struct_ + m_; ++j) {
     switch (warm.status[j]) {
@@ -285,10 +315,10 @@ bool SimplexSolver::try_warm_start(const Basis& warm) {
     if (is_basic[j] && status[j] != VarStatus::kBasic) return false;
   }
 
-  status_ = std::move(status);
+  std::swap(status_, status);
   basis_.assign(warm.basic_vars.begin(), warm.basic_vars.end());
   xb_.assign(m_, 0.0);
-  binv_ = DenseMatrix::identity(m_);
+  binv_.set_identity(m_);
   if (!refactorize()) return false;
   // Cost changes keep the basis primal-feasible, but verify anyway (the
   // caller may hand us a basis from a different problem by mistake).
@@ -323,7 +353,8 @@ void SimplexSolver::save_basis(Basis& out) const {
 }
 
 bool SimplexSolver::try_crash_start(bool structural_at_upper) {
-  std::vector<VarStatus> status(n_total_, VarStatus::kAtLower);
+  std::vector<VarStatus>& status = status_cand_;
+  status.assign(n_total_, VarStatus::kAtLower);
   if (structural_at_upper) {
     for (std::size_t j = 0; j < n_struct_; ++j) {
       if (std::isfinite(upper_[j])) status[j] = VarStatus::kAtUpper;
@@ -331,7 +362,8 @@ bool SimplexSolver::try_crash_start(bool structural_at_upper) {
   }
 
   // Row activity at the candidate nonbasic point.
-  std::vector<double> activity(m_, 0.0);
+  std::vector<double>& activity = work_;
+  activity.assign(m_, 0.0);
   for (std::size_t j = 0; j < n_struct_; ++j) {
     const double v =
         status[j] == VarStatus::kAtUpper ? upper_[j] : lower_[j];
@@ -340,7 +372,8 @@ bool SimplexSolver::try_crash_start(bool structural_at_upper) {
   }
 
   // Slack i value solving (Ax)_i + sign_i * s_i = b_i.
-  std::vector<double> slack(m_, 0.0);
+  std::vector<double>& slack = work2_;
+  slack.assign(m_, 0.0);
   for (std::size_t i = 0; i < m_; ++i) {
     const double s = slack_sign_[i] * (p_.rhs[i] - activity[i]);
     const std::size_t sj = n_struct_ + i;
@@ -352,10 +385,10 @@ bool SimplexSolver::try_crash_start(bool structural_at_upper) {
     slack[i] = s;
   }
 
-  status_ = std::move(status);
+  std::swap(status_, status);
   basis_.resize(m_);
   xb_.resize(m_);
-  binv_ = DenseMatrix::identity(m_);
+  binv_.set_identity(m_);
   for (std::size_t i = 0; i < m_; ++i) {
     basis_[i] = n_struct_ + i;
     status_[n_struct_ + i] = VarStatus::kBasic;
@@ -379,9 +412,10 @@ void SimplexSolver::enter_phase2() {
 
 bool SimplexSolver::refactorize() {
   ++refactorizations_;
-  DenseMatrix b(m_, m_);
+  DenseMatrix& b = refactor_;
+  b.reset(m_, m_);
   if (opt_.use_dense_kernels) {
-    std::vector<double> col;
+    std::vector<double>& col = col_scratch_;
     for (std::size_t i = 0; i < m_; ++i) {
       full_column(basis_[i], col);
       for (std::size_t r = 0; r < m_; ++r) b(r, i) = col[r];
@@ -404,14 +438,15 @@ bool SimplexSolver::refactorize() {
     }
   }
   if (!b.invert(opt_.pivot_tol)) return false;
-  binv_ = std::move(b);
+  std::swap(binv_, b);
   recompute_basic_values();
   return true;
 }
 
 void SimplexSolver::recompute_basic_values() {
   // xB = B^-1 (b - N xN)
-  std::vector<double> rhs(p_.rhs);
+  std::vector<double>& rhs = work_;
+  rhs.assign(p_.rhs.begin(), p_.rhs.end());
   for (std::size_t j = 0; j < n_total_; ++j) {
     if (status_[j] == VarStatus::kBasic) continue;
     const double v = nonbasic_value(j);
@@ -427,8 +462,10 @@ void SimplexSolver::recompute_basic_values() {
 }
 
 SolveStatus SimplexSolver::iterate(bool phase1) {
-  std::vector<double> y(m_);
-  std::vector<double> alpha(m_);
+  std::vector<double>& y = y_;
+  y.assign(m_, 0.0);
+  std::vector<double>& alpha = alpha_;
+  alpha.assign(m_, 0.0);
   int phase_iterations = 0;
 
   for (;;) {
@@ -573,7 +610,8 @@ SolveStatus SimplexSolver::iterate(bool phase1) {
 }
 
 void SimplexSolver::purge_artificials() {
-  std::vector<double> alpha(m_);
+  std::vector<double>& alpha = alpha_;
+  alpha.assign(m_, 0.0);
   for (std::size_t i = 0; i < m_; ++i) {
     if (basis_[i] < n_struct_ + m_) continue;  // not artificial
     // Degenerate pivot: replace the artificial with any non-artificial column
@@ -612,13 +650,16 @@ void SimplexSolver::export_stats(Solution& sol) const {
   sol.iterations = iterations_;
   sol.refactorizations = refactorizations_;
   sol.warm_start_used = warm_start_used_;
+  sol.warm_start_rejected = warm_start_rejected_;
   sol.ftran_nnz_skipped = ftran_skipped_;
 }
 
 Solution SimplexSolver::run(Basis* warm) {
   Solution sol;
 
-  warm_start_used_ = warm != nullptr && !warm->empty() && try_warm_start(*warm);
+  const bool warm_requested = warm != nullptr && !warm->empty();
+  warm_start_used_ = warm_requested && try_warm_start(*warm);
+  warm_start_rejected_ = warm_requested && !warm_start_used_;
   bool started = warm_start_used_;
   if (!started) {
     started = try_crash_start(/*structural_at_upper=*/false) ||
@@ -686,7 +727,10 @@ Solution SimplexSolver::run(Basis* warm) {
   if (warm != nullptr) {
     const bool clean = std::all_of(basis_.begin(), basis_.end(),
                                    [&](std::size_t b) { return b < n_struct_ + m_; });
-    if (clean) save_basis(*warm);
+    if (clean) {
+      save_basis(*warm);
+      sol.basis_saved = true;
+    }
   }
   return sol;
 }

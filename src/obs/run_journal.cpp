@@ -39,7 +39,12 @@ void append_backend(JsonObjectWriter& w, const JournalBackendStats& b) {
       .field("xgen_evictions", b.score_cache_evictions)
       .field("guard_trips", b.guard_trips)
       .field("guard_degraded", b.guard_degraded_evals)
-      .field("guard_exhausted", b.guard_budget_exhausted);
+      .field("guard_exhausted", b.guard_budget_exhausted)
+      .field("lp_family_rebinds", b.lp_family_rebinds)
+      .field("lp_warm_rejects", b.lp_warm_start_rejects)
+      .field("lp_pool_hits", b.lp_pool_hits)
+      .field("lp_pool_rejects", b.lp_pool_rejects)
+      .field("lp_pivots_saved", b.lp_pivots_saved);
   w.object_field("backend", std::move(inner));
 }
 

@@ -1,0 +1,142 @@
+// Tests for bcpop::BasisPool: the deterministic nearest-pricing selection
+// (quantized distance + lowest-insertion-ordinal tie-break), exact-key
+// replace-in-place, LRU eviction with select() recency, and the clear()
+// contract (a cleared pool behaves exactly like a fresh one — the resume
+// isolation discipline depends on it).
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "carbon/bcpop/basis_pool.hpp"
+
+namespace carbon::bcpop {
+namespace {
+
+/// Distinguishable basis payloads: tag is recoverable from basic_vars[0].
+lp::Basis tagged(std::size_t tag) {
+  lp::Basis b;
+  b.status = {static_cast<unsigned char>(tag & 0xff)};
+  b.basic_vars = {tag};
+  return b;
+}
+
+std::size_t tag_of(const lp::Basis* b) {
+  return (b == nullptr || b->basic_vars.empty()) ? static_cast<std::size_t>(-1)
+                                                 : b->basic_vars[0];
+}
+
+TEST(BasisPool, LpWarmNames) {
+  EXPECT_STREQ(to_string(LpWarm::kBaseline), "baseline");
+  EXPECT_STREQ(to_string(LpWarm::kPool), "pool");
+}
+
+TEST(BasisPool, EmptyPoolSelectsNothing) {
+  BasisPool pool(4);
+  const std::vector<double> q = {1.0, 2.0};
+  EXPECT_EQ(pool.select(q), nullptr);
+  EXPECT_EQ(pool.size(), 0u);
+  EXPECT_EQ(pool.capacity(), 4u);
+  EXPECT_EQ(pool.evictions(), 0);
+}
+
+TEST(BasisPool, SelectsNearestKey) {
+  BasisPool pool(8);
+  pool.insert(std::vector<double>{0.0, 0.0}, tagged(100));
+  pool.insert(std::vector<double>{10.0, 10.0}, tagged(200));
+  pool.insert(std::vector<double>{-4.0, 3.0}, tagged(300));
+
+  EXPECT_EQ(tag_of(pool.select(std::vector<double>{1.0, 1.0})), 100u);
+  EXPECT_EQ(tag_of(pool.select(std::vector<double>{9.0, 11.0})), 200u);
+  EXPECT_EQ(tag_of(pool.select(std::vector<double>{-4.1, 2.9})), 300u);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(BasisPool, TieBreaksByLowestInsertionOrdinal) {
+  BasisPool pool(8);
+  // {-1} and {+1} are exactly equidistant from {0}; the first-inserted
+  // entry must win regardless of storage order.
+  pool.insert(std::vector<double>{1.0}, tagged(1));
+  pool.insert(std::vector<double>{-1.0}, tagged(2));
+  EXPECT_EQ(tag_of(pool.select(std::vector<double>{0.0})), 1u);
+}
+
+TEST(BasisPool, ExactKeyReplacesInPlaceKeepingOrdinal) {
+  BasisPool pool(8);
+  pool.insert(std::vector<double>{1.0}, tagged(1));
+  pool.insert(std::vector<double>{-1.0}, tagged(2));
+  // Re-inserting key {1} replaces the basis but keeps ordinal 0, so it
+  // still wins the equidistant tie against ordinal 1.
+  pool.insert(std::vector<double>{1.0}, tagged(77));
+  EXPECT_EQ(pool.size(), 2u);
+  EXPECT_EQ(tag_of(pool.select(std::vector<double>{0.0})), 77u);
+  EXPECT_EQ(pool.evictions(), 0);
+}
+
+TEST(BasisPool, EvictsLeastRecentlyUsedHonoringSelectTouch) {
+  BasisPool pool(2);
+  pool.insert(std::vector<double>{0.0}, tagged(1));    // A
+  pool.insert(std::vector<double>{10.0}, tagged(2));   // B
+  // Touch A: B becomes the LRU entry.
+  EXPECT_EQ(tag_of(pool.select(std::vector<double>{0.0})), 1u);
+  pool.insert(std::vector<double>{100.0}, tagged(3));  // C evicts B
+  EXPECT_EQ(pool.size(), 2u);
+  EXPECT_EQ(pool.evictions(), 1);
+  // Nearest to B's old key {10} is now A ({0}, distance 100) rather than
+  // C ({100}, distance 8100): B is really gone.
+  EXPECT_EQ(tag_of(pool.select(std::vector<double>{10.0})), 1u);
+
+  // Without the touch, A (older ordinal, equal recency pattern) goes first.
+  BasisPool pool2(2);
+  pool2.insert(std::vector<double>{0.0}, tagged(1));   // A
+  pool2.insert(std::vector<double>{10.0}, tagged(2));  // B
+  pool2.insert(std::vector<double>{100.0}, tagged(3)); // C evicts A
+  EXPECT_EQ(pool2.evictions(), 1);
+  EXPECT_EQ(tag_of(pool2.select(std::vector<double>{0.0})), 2u);
+}
+
+TEST(BasisPool, ClearResetsToFreshPoolBehavior) {
+  // Run the same select/insert script on a fresh pool and on a cleared
+  // pool; every observable (selection outcomes, sizes, eviction count
+  // deltas) must match — clear() must reset the ordinal and recency clocks,
+  // not just drop entries.
+  auto script = [](BasisPool& pool, long long eviction_base) {
+    std::vector<std::size_t> trace;
+    pool.insert(std::vector<double>{0.0}, tagged(1));
+    pool.insert(std::vector<double>{10.0}, tagged(2));
+    trace.push_back(tag_of(pool.select(std::vector<double>{4.0})));
+    pool.insert(std::vector<double>{20.0}, tagged(3));  // capacity 2: evict
+    trace.push_back(tag_of(pool.select(std::vector<double>{0.0})));
+    trace.push_back(pool.size());
+    trace.push_back(static_cast<std::size_t>(pool.evictions() - eviction_base));
+    return trace;
+  };
+
+  BasisPool fresh(2);
+  const std::vector<std::size_t> want = script(fresh, 0);
+
+  BasisPool reused(2);
+  reused.insert(std::vector<double>{5.0}, tagged(91));
+  reused.insert(std::vector<double>{6.0}, tagged(92));
+  reused.insert(std::vector<double>{7.0}, tagged(93));
+  (void)reused.select(std::vector<double>{5.0});
+  const long long evictions_before = reused.evictions();
+  reused.clear();
+  EXPECT_EQ(reused.size(), 0u);
+  EXPECT_EQ(reused.select(std::vector<double>{5.0}), nullptr);
+  EXPECT_EQ(script(reused, evictions_before), want);
+}
+
+TEST(BasisPool, MismatchedKeyLengthNeverWins) {
+  BasisPool pool(4);
+  pool.insert(std::vector<double>{1.0, 2.0, 3.0}, tagged(1));
+  // A query of a different length cannot match the stored key.
+  EXPECT_EQ(pool.select(std::vector<double>{1.0, 2.0}), nullptr);
+  pool.insert(std::vector<double>{1.0, 2.0}, tagged(2));
+  EXPECT_EQ(tag_of(pool.select(std::vector<double>{1.0, 2.0})), 2u);
+}
+
+}  // namespace
+}  // namespace carbon::bcpop

@@ -1,0 +1,235 @@
+// Golden-trajectory matrix for the lp_warm=pool axis (docs/ALGORITHMS.md
+// §15). Pool mode is a DIFFERENT golden trajectory than baseline mode —
+// degenerate LPs may surface alternate optimal duals/x̄ under a pooled start
+// basis — but it makes its own determinism claims, asserted here:
+//
+//   * one pool trajectory per algorithm, bit-identical across
+//     eval_threads {1, 4} x compiled_scoring {off, on} and across repeated
+//     runs (the staged select/insert discipline keeps pool state a pure
+//     function of the batch sequence, not of thread scheduling);
+//   * resume determinism: two resumes from one checkpoint agree bit for
+//     bit, and a resumed segment never consumes pooled bases from another
+//     segment (clear-on-resume), proven with a pool poisoned by foreign
+//     work between kill and resume;
+//   * the backend telemetry actually reports pool activity (family
+//     rebinds, pool hits) so the counters cannot silently rot.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "carbon/bcpop/parallel_evaluator.hpp"
+#include "carbon/cobra/cobra_solver.hpp"
+#include "carbon/common/rng.hpp"
+#include "carbon/core/carbon_solver.hpp"
+#include "carbon/ea/real_ops.hpp"
+#include "carbon/gp/generate.hpp"
+#include "carbon/obs/json.hpp"
+#include "carbon/obs/run_journal.hpp"
+#include "common/temp_dir.hpp"
+#include "golden_common.hpp"
+
+namespace carbon {
+namespace {
+
+using golden::Trajectory;
+using golden::expect_same_trajectory;
+using golden::make_instance;
+using golden::parse_journal;
+using golden::trajectory_of;
+
+TEST(PoolGolden, CarbonPoolTrajectoryIsInvariantAcrossThreadsCompilation) {
+  const bcpop::Instance inst = make_instance();
+
+  core::CarbonConfig base = golden::carbon_config();
+  base.lp_warm = bcpop::LpWarm::kPool;
+  base.eval_threads = 1;
+  base.compiled_scoring = false;
+  const Trajectory golden_run =
+      trajectory_of(core::CarbonSolver(inst, base).run());
+  ASSERT_GT(golden_run.generations, 1);
+
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    for (const bool compiled : {false, true}) {
+      for (int repeat = 0; repeat < 2; ++repeat) {
+        core::CarbonConfig cfg = golden::carbon_config();
+        cfg.lp_warm = bcpop::LpWarm::kPool;
+        cfg.eval_threads = threads;
+        cfg.compiled_scoring = compiled;
+        const std::string label = "pool threads=" + std::to_string(threads) +
+                                  " compiled=" + std::to_string(compiled) +
+                                  " repeat=" + std::to_string(repeat);
+        expect_same_trajectory(
+            golden_run, trajectory_of(core::CarbonSolver(inst, cfg).run()),
+            label);
+      }
+    }
+  }
+}
+
+TEST(PoolGolden, CobraPoolTrajectoryIsInvariantAcrossThreadsCompilation) {
+  const bcpop::Instance inst = make_instance();
+
+  cobra::CobraConfig base = golden::cobra_config();
+  base.lp_warm = bcpop::LpWarm::kPool;
+  base.eval_threads = 1;
+  base.compiled_scoring = false;
+  const Trajectory golden_run =
+      trajectory_of(cobra::CobraSolver(inst, base).run());
+  ASSERT_GT(golden_run.generations, 1);
+
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    for (const bool compiled : {false, true}) {
+      for (int repeat = 0; repeat < 2; ++repeat) {
+        cobra::CobraConfig cfg = golden::cobra_config();
+        cfg.lp_warm = bcpop::LpWarm::kPool;
+        cfg.eval_threads = threads;
+        cfg.compiled_scoring = compiled;
+        const std::string label = "pool threads=" + std::to_string(threads) +
+                                  " compiled=" + std::to_string(compiled) +
+                                  " repeat=" + std::to_string(repeat);
+        expect_same_trajectory(
+            golden_run, trajectory_of(cobra::CobraSolver(inst, cfg).run()),
+            label);
+      }
+    }
+  }
+}
+
+TEST(PoolGolden, PoolBackendCountersReportActivity) {
+  // Telemetry must not perturb the pool trajectory, and the summary's
+  // backend block must show the pool actually working: cost-only rebinds
+  // on every relaxation solve and warm-start hits once the pool is primed.
+  const bcpop::Instance inst = make_instance();
+
+  core::CarbonConfig base = golden::carbon_config();
+  base.lp_warm = bcpop::LpWarm::kPool;
+  const Trajectory golden_run =
+      trajectory_of(core::CarbonSolver(inst, base).run());
+
+  core::CarbonConfig cfg = golden::carbon_config();
+  cfg.lp_warm = bcpop::LpWarm::kPool;
+  obs::MetricsRegistry metrics;
+  std::ostringstream sink;
+  obs::RunJournal journal(sink, &metrics);
+  cfg.telemetry.metrics = &metrics;
+  cfg.telemetry.journal = &journal;
+  const core::CarbonResult r = core::CarbonSolver(inst, cfg).run();
+  expect_same_trajectory(golden_run, trajectory_of(r), "pool + telemetry");
+
+  const auto records = parse_journal(sink.str());
+  ASSERT_FALSE(records.empty());
+  const obs::JsonValue& summary = records.back();
+  ASSERT_EQ(summary.at("type").as_string(), "summary");
+  const obs::JsonValue& backend = summary.at("backend");
+  EXPECT_GT(backend.at("lp_family_rebinds").as_integer(), 0);
+  EXPECT_GT(backend.at("lp_pool_hits").as_integer(), 0);
+  // Pool commits come from clean optimal bases of the shared family, so
+  // rejections should be the exception, never the rule.
+  EXPECT_LE(backend.at("lp_pool_rejects").as_integer(),
+            backend.at("lp_pool_hits").as_integer());
+}
+
+TEST(PoolGolden, PoolResumeIsDeterministicAndSegmentIsolated) {
+  // Pool-mode resume contract: a resumed run is NOT asserted bit-identical
+  // to the uninterrupted run (the pool is cleared at the segment boundary,
+  // a documented trade-off) — but resuming twice from one checkpoint must
+  // agree bit for bit, and the resumed trajectory must be IDENTICAL whether
+  // the serving evaluator is fresh or carries a pool poisoned by foreign
+  // work: the resumed segment never consumes another segment's bases.
+  const bcpop::Instance inst = make_instance();
+  const std::string path =
+      carbon::test::test_temp_dir() + "carbon-pool-resume.ckpt";
+
+  core::CarbonConfig cfg = golden::carbon_config();
+  cfg.lp_warm = bcpop::LpWarm::kPool;
+  cfg.checkpoint.every = 2;
+  cfg.checkpoint.path = path;
+  int killed_at = 0;
+  cfg.checkpoint.stop_after_checkpoint = [&](int gen) {
+    killed_at = gen;
+    return true;
+  };
+  (void)core::CarbonSolver(inst, cfg).run();
+  ASSERT_EQ(killed_at, 2);
+
+  core::CarbonConfig resume = golden::carbon_config();
+  resume.lp_warm = bcpop::LpWarm::kPool;
+  resume.checkpoint.resume_from = path;
+  const Trajectory first =
+      trajectory_of(core::CarbonSolver(inst, resume).run());
+  const Trajectory second =
+      trajectory_of(core::CarbonSolver(inst, resume).run());
+  expect_same_trajectory(first, second, "pool resume, twice");
+
+  // Poisoned-evaluator resume: warm the external evaluator's basis pool
+  // (and caches) with work no segment of the golden run ever performed,
+  // then resume on it. clear_caches-on-resume must drop the foreign bases,
+  // so the trajectory matches the fresh-evaluator resumes above.
+  bcpop::ParallelEvaluator eval(
+      inst, bcpop::ParallelEvaluator::Options{
+                .threads = 4, .lp_warm = bcpop::LpWarm::kPool});
+  common::Rng rng(4242);
+  for (int i = 0; i < 8; ++i) {
+    const gp::Tree tree = gp::generate_ramped(rng);
+    const bcpop::Pricing pricing =
+        ea::random_real_vector(rng, eval.price_bounds());
+    (void)eval.evaluate_with_heuristic(pricing, tree,
+                                       bcpop::EvalPurpose::kLowerOnly);
+  }
+  ASSERT_GT(eval.basis_pool().size(), 0u)
+      << "poisoning must actually seed the pool";
+
+  core::CarbonConfig poisoned = golden::carbon_config();
+  poisoned.lp_warm = bcpop::LpWarm::kPool;
+  poisoned.checkpoint.resume_from = path;
+  const Trajectory via_poisoned =
+      trajectory_of(core::CarbonSolver(eval, poisoned).run());
+  expect_same_trajectory(first, via_poisoned, "poisoned-pool resume");
+  std::remove(path.c_str());
+}
+
+TEST(PoolGolden, PoolModeDegenerateDualsAreReproducible) {
+  // Evaluator-level pin for the degenerate-LP hazard: the SAME pricing
+  // evaluated through pool-mode evaluators with different thread counts and
+  // different pool histories must report bit-identical follower reactions
+  // and objectives. (The per-batch relaxation of a pricing depends only on
+  // the deterministic pool state at that batch — reproduced here by
+  // replaying an identical evaluation sequence.)
+  const bcpop::Instance inst = make_instance();
+
+  const auto replay = [&](std::size_t threads) {
+    bcpop::ParallelEvaluator eval(
+        inst, bcpop::ParallelEvaluator::Options{
+                  .threads = threads, .lp_warm = bcpop::LpWarm::kPool});
+    common::Rng rng(77);
+    std::vector<double> gaps;
+    std::vector<double> objectives;
+    for (int i = 0; i < 12; ++i) {
+      const gp::Tree tree = gp::generate_ramped(rng);
+      const bcpop::Pricing pricing =
+          ea::random_real_vector(rng, eval.price_bounds());
+      const bcpop::Evaluation e = eval.evaluate_with_heuristic(
+          pricing, tree, bcpop::EvalPurpose::kBoth);
+      gaps.push_back(e.gap_percent);
+      objectives.push_back(e.ul_objective);
+    }
+    return std::make_pair(gaps, objectives);
+  };
+
+  const auto serial = replay(1);
+  const auto parallel = replay(4);
+  ASSERT_EQ(serial.first.size(), parallel.first.size());
+  for (std::size_t i = 0; i < serial.first.size(); ++i) {
+    SCOPED_TRACE("evaluation " + std::to_string(i));
+    EXPECT_EQ(serial.first[i], parallel.first[i]);    // bitwise
+    EXPECT_EQ(serial.second[i], parallel.second[i]);  // bitwise
+  }
+}
+
+}  // namespace
+}  // namespace carbon

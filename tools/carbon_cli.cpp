@@ -21,6 +21,7 @@
 //                [--guard-lp-iters N] [--guard-rounds N] [--guard-nodes N]
 //                [--guard-watchdog SECONDS]
 //                [--sched stealing|parallel_for] [--memo-xgen on|off]
+//                [--lp-warm baseline|pool]
 //       Treats the first L bundles as the leader's and solves the bi-level
 //       pricing problem. --journal appends one JSON record per generation
 //       plus a run summary (schema: docs/ALGORITHMS.md §9); --metrics
@@ -35,7 +36,12 @@
 //       --sched picks the parallel evaluator's fan-out engine and
 //       --memo-xgen toggles cross-generation score memoization; both are
 //       trajectory-neutral knobs for benchmarking and differential testing
-//       (carbon and cobra only; docs/ALGORITHMS.md §14).
+//       (carbon and cobra only; docs/ALGORITHMS.md §14). --lp-warm picks
+//       the LL relaxation warm-start policy: baseline (default, the fixed
+//       base-cost basis — historical trajectories bit for bit) or pool
+//       (nearest pooled basis; deterministic for any --threads but a
+//       DIFFERENT golden axis — carbon and cobra only;
+//       docs/ALGORITHMS.md §15).
 //
 // Exit codes: 0 success, 1 usage error, 2 runtime failure.
 
@@ -245,10 +251,19 @@ int cmd_solve(const common::CliArgs& args) {
     return 1;
   }
   const bool memo_xgen = memo_str == "on";
-  if ((args.has("sched") || args.has("memo-xgen")) && algo != "carbon" &&
-      algo != "cobra") {
+  const std::string lp_warm_str = args.get("lp-warm", "baseline");
+  bcpop::LpWarm lp_warm = bcpop::LpWarm::kBaseline;
+  if (lp_warm_str == "pool") {
+    lp_warm = bcpop::LpWarm::kPool;
+  } else if (lp_warm_str != "baseline") {
+    std::fprintf(stderr, "solve: --lp-warm must be baseline|pool\n");
+    return 1;
+  }
+  if ((args.has("sched") || args.has("memo-xgen") || args.has("lp-warm")) &&
+      algo != "carbon" && algo != "cobra") {
     std::fprintf(stderr,
-                 "solve: --sched/--memo-xgen require --algo carbon|cobra\n");
+                 "solve: --sched/--memo-xgen/--lp-warm require "
+                 "--algo carbon|cobra\n");
     return 1;
   }
 
@@ -285,6 +300,7 @@ int cmd_solve(const common::CliArgs& args) {
     cfg.eval_threads = threads;
     cfg.sched = sched;
     cfg.memo_xgen = memo_xgen;
+    cfg.lp_warm = lp_warm;
     cfg.telemetry = telemetry;
     cfg.checkpoint = checkpoint;
     cfg.guard = guard_cfg;
@@ -301,6 +317,7 @@ int cmd_solve(const common::CliArgs& args) {
     cfg.eval_threads = threads;
     cfg.sched = sched;
     cfg.memo_xgen = memo_xgen;
+    cfg.lp_warm = lp_warm;
     cfg.telemetry = telemetry;
     cfg.checkpoint = checkpoint;
     cfg.guard = guard_cfg;

@@ -36,14 +36,21 @@ cd "$(dirname "$0")/.."
 # scratch-reuse runs catch state leaking between solves), and the guard
 # suites (budget degradation and fault injection run whole solvers at
 # eval_threads 4, so TSan sees the injection-ordinal accounting and the
-# cap-degraded relaxations crossing the sharded cache). This is the
-# same set labeled `sanitizer-critical` in tests/CMakeLists.txt.
+# cap-degraded relaxations crossing the sharded cache), and the LP
+# warm-start pool suites (basis_pool_test pins the pool's deterministic
+# selection/eviction/clear contract; pool_golden_test runs pool-mode
+# solvers at eval_threads 4 where every select/insert must stay on the
+# batch-submitting thread — TSan sees any stage-B worker touching the
+# pool, and ASan checks the copied-basis lifetime across the fan-out).
+# This is the same set labeled `sanitizer-critical` in
+# tests/CMakeLists.txt.
 TESTS=(thread_pool_test task_scheduler_test metrics_test
        relaxation_cache_test score_cache_test
        bcpop_evaluator_test parallel_evaluator_test gp_compiled_test
        simplex_differential_test checkpoint_resume_test
        gp_simd_eval_test greedy_incremental_test
-       guard_test guard_degradation_test)
+       guard_test guard_degradation_test
+       basis_pool_test pool_golden_test)
 
 FAILED=()
 
